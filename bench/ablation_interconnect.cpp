@@ -1,0 +1,68 @@
+/// \file ablation_interconnect.cpp
+/// Interconnect ablation: the paper's FPGA systems wire SPI channels as
+/// dedicated point-to-point FIFOs. This bench quantifies what that buys
+/// over a single shared bus, at two wire widths, for both applications.
+/// Expected shape: the 4-PE speech system (large frame/error transfers
+/// fanning out from one host) degrades most under bus contention and
+/// narrow wires; the 2-PE particle filter (small messages) barely
+/// notices the topology.
+#include <cstdio>
+
+#include "apps/particle_app.hpp"
+#include "apps/speech_app.hpp"
+
+int main() {
+  using namespace spi;
+
+  std::printf("interconnect ablation: steady period (us) per topology and wire width\n\n");
+
+  std::printf("speech error-gen (1024 samples, order 10):\n");
+  std::printf("%6s %13s %13s %13s %13s %13s\n", "n", "p2p 4B/cyc", "bus 4B/cyc",
+              "mesh 4B/cyc", "p2p 1B/cyc", "bus 1B/cyc");
+  for (std::int32_t n : {2, 4}) {
+    const apps::ErrorGenApp app(n, apps::SpeechParams{});
+    std::printf("%6d", n);
+    for (auto [topo, width] : {std::pair{sim::Topology::kPointToPoint, std::int64_t{4}},
+                               std::pair{sim::Topology::kSharedBus, std::int64_t{4}},
+                               std::pair{sim::Topology::kMesh2D, std::int64_t{4}},
+                               std::pair{sim::Topology::kPointToPoint, std::int64_t{1}},
+                               std::pair{sim::Topology::kSharedBus, std::int64_t{1}}}) {
+      apps::SpeechTimingModel timing;
+      timing.link.topology = topo;
+      timing.link.bytes_per_cycle = width;
+      timing.link.mesh_width = 3;  // host + up to 4 PEs on a 3x2 mesh
+      const auto stats = app.run_timed(1024, 10, timing, 150);
+      std::printf(" %13.2f",
+                  sim::ClockModel{timing.clock_mhz}.to_microseconds(
+                      static_cast<sim::SimTime>(stats.steady_period_cycles)));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nparticle filter (2 PE, 200 particles):\n");
+  std::printf("%6s %14s %14s %14s %14s\n", "n", "p2p 4B/cyc", "bus 4B/cyc", "p2p 1B/cyc",
+              "bus 1B/cyc");
+  {
+    apps::ParticleParams params;
+    params.particles = 200;
+    const apps::ParticleFilterApp app(2, params);
+    std::printf("%6d", 2);
+    for (auto [topo, width] : {std::pair{sim::Topology::kPointToPoint, std::int64_t{4}},
+                               std::pair{sim::Topology::kSharedBus, std::int64_t{4}},
+                               std::pair{sim::Topology::kPointToPoint, std::int64_t{1}},
+                               std::pair{sim::Topology::kSharedBus, std::int64_t{1}}}) {
+      apps::ParticleTimingModel timing;
+      timing.link.topology = topo;
+      timing.link.bytes_per_cycle = width;
+      const auto stats = app.run_timed(200, timing, 150);
+      std::printf(" %14.2f",
+                  sim::ClockModel{timing.clock_mhz}.to_microseconds(
+                      static_cast<sim::SimTime>(stats.steady_period_cycles)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected: shared bus hurts the fan-out-heavy speech system (all frame and\n"
+              "error traffic contends), narrower wires amplify the gap; the particle\n"
+              "filter's small messages are largely insensitive.\n");
+  return 0;
+}

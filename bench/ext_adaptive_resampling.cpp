@@ -1,0 +1,41 @@
+/// \file ext_adaptive_resampling.cpp
+/// Extension experiment: ESS-gated (adaptive) resampling in the
+/// distributed particle filter. The paper resamples every iteration;
+/// gating the 3-phase resampling on the global effective sample size
+/// skips the expensive particle exchange when the weights are still
+/// healthy — the skipped rounds ship *empty* SPI_dynamic packed tokens
+/// (a zero-byte payload is a legal VTS message), trading a negligible
+/// accuracy change for a large cut in exchanged particles.
+#include <cstdio>
+
+#include "apps/particle_app.hpp"
+
+int main() {
+  using namespace spi;
+
+  dsp::Rng rng(321);
+  const dsp::CrackTrajectory traj = dsp::simulate_crack(dsp::CrackModel{}, 200, rng);
+  const double obs_rmse = dsp::rmse(traj.truth, traj.observations);
+
+  std::printf("adaptive resampling, 2 PEs, 200 particles, 200 steps\n");
+  std::printf("observation RMSE (floor reference): %.4f\n\n", obs_rmse);
+  std::printf("%14s %14s %18s %16s %12s\n", "ESS threshold", "resamples", "particles moved",
+              "dyn payload B", "RMSE");
+
+  for (double fraction : {1.0, 0.8, 0.5, 0.3, 0.1}) {
+    apps::ParticleParams params;
+    params.particles = 200;
+    params.resample_ess_fraction = fraction;
+    const apps::ParticleFilterApp app(2, params);
+    const apps::TrackResult result = app.track(traj);
+    std::printf("%13.1fN %14lld %18lld %16lld %12.4f\n", fraction,
+                static_cast<long long>(result.resample_steps),
+                static_cast<long long>(result.particles_exchanged),
+                static_cast<long long>(result.particles_exchanged * 8),
+                result.rmse_vs_truth);
+  }
+  std::printf("\nexpected: resampling rounds and exchanged particles fall with the\n"
+              "threshold while RMSE stays near the always-resample baseline until the\n"
+              "threshold starves the filter.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file ext_vectorization.cpp
+/// Extension experiment: message vectorization (blocking factor). SPI's
+/// headers are already minimal, but every message still pays the
+/// per-message costs (enqueue, actor pipeline, header, link latency).
+/// Batching J logical tokens into one message amortizes those costs —
+/// the classic blocked-schedule / vectorization transformation of the
+/// SDF synthesis literature. The sweep runs the same logical workload
+/// (tokens/iteration x iterations constant) at different batch sizes
+/// under both backends.
+#include <cstdio>
+
+#include "core/spi_system.hpp"
+#include "mpi/mpi_backend.hpp"
+
+namespace {
+
+/// Pipeline moving `batch` tokens of 8 bytes per firing; exec scales
+/// with the batch so compute-per-token is constant.
+double run_batched(std::int64_t batch, std::int64_t logical_iterations, bool use_mpi) {
+  using namespace spi;
+  df::Graph g("vec");
+  const df::ActorId a = g.add_actor("A", 20 * batch);
+  const df::ActorId b = g.add_actor("B", 20 * batch);
+  g.connect(a, df::Rate::fixed(batch), b, df::Rate::fixed(batch), 0, 8);
+  sched::Assignment assignment(2, 2);
+  assignment.assign(b, 1);
+  core::SpiSystemOptions options;
+  options.sync.ubs_credit_window = 4;
+  const core::SpiSystem system(g, assignment, options);
+
+  sim::TimedExecutorOptions run;
+  run.iterations = logical_iterations / batch;
+  const mpi::MpiBackend mpi_backend;
+  const auto stats =
+      use_mpi ? system.run_timed_with(mpi_backend, run) : system.run_timed(run);
+  // Normalize to time per logical token.
+  return stats.steady_period_cycles / static_cast<double>(batch);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::int64_t kLogical = 1920;  // divisible by every batch size
+  std::printf("message vectorization: cycles per logical token vs batch size\n\n");
+  std::printf("%8s %14s %14s %12s\n", "batch J", "SPI cyc/tok", "MPI cyc/tok", "MPI/SPI");
+  for (std::int64_t batch : {1, 2, 4, 8, 16, 32}) {
+    const double spi = run_batched(batch, kLogical, false);
+    const double mpi = run_batched(batch, kLogical, true);
+    std::printf("%8lld %14.2f %14.2f %11.2fx\n", static_cast<long long>(batch), spi, mpi,
+                mpi / spi);
+  }
+  std::printf("\nexpected: both backends improve with batching as per-message costs\n"
+              "amortize; the GAP closes because vectorization hides exactly the\n"
+              "overheads SPI's specialization removes — i.e. SPI gives small-batch\n"
+              "(low-latency) operation the efficiency MPI only reaches when batching.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file fig6_speech_errorgen.cpp
+/// Reproduces Figure 6 of the paper: execution time (microseconds) of the
+/// parallelized error-generation actor D of the speech-compression
+/// application versus input sample size, for n = 1, 2, 3, 4 PEs.
+///
+/// The paper plots per-frame execution time on a Virtex-4; we plot the
+/// steady-state per-iteration period of the timed platform model (see
+/// DESIGN.md substitution table). Expected shape: time grows with sample
+/// size; more PEs are faster with sublinear speedup (the host I/O
+/// interface serializes and communication sets a floor).
+#include <cstdio>
+#include <vector>
+
+#include "apps/speech_app.hpp"
+
+int main() {
+  using namespace spi;
+
+  apps::SpeechParams params;
+  params.max_frame_size = 2048;
+  params.order = 10;
+  const apps::SpeechTimingModel timing;
+  const sim::ClockModel clock{timing.clock_mhz};
+  const std::vector<std::size_t> sample_sizes{256, 512, 768, 1024, 1536, 2048};
+  const std::vector<std::int32_t> pe_counts{1, 2, 3, 4};
+
+  std::printf("Figure 6: execution time of actor D (speech compression) in microseconds\n");
+  std::printf("model order M=%zu, clock %.0f MHz, steady-state period over 200 frames\n\n",
+              params.order, timing.clock_mhz);
+  std::printf("%12s", "sample size");
+  for (std::int32_t n : pe_counts) std::printf("        n=%d", n);
+  std::printf("    speedup(n=4 vs n=1)\n");
+
+  for (std::size_t size : sample_sizes) {
+    std::printf("%12zu", size);
+    double t1 = 0.0, t4 = 0.0;
+    for (std::int32_t n : pe_counts) {
+      const apps::ErrorGenApp app(n, params);
+      const sim::ExecStats stats = app.run_timed(size, params.order, timing, 200);
+      const double us =
+          clock.to_microseconds(static_cast<sim::SimTime>(stats.steady_period_cycles));
+      if (n == 1) t1 = us;
+      if (n == 4) t4 = us;
+      std::printf("   %8.1f", us);
+    }
+    std::printf("    %14.2fx\n", t1 / t4);
+  }
+  std::printf("\npaper shape check: rows increase left-to-right in size, decrease with n,\n"
+              "speedup sublinear (communication/I-O floor).\n");
+  return 0;
+}

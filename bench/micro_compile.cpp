@@ -1,0 +1,83 @@
+/// \file micro_compile.cpp
+/// google-benchmark microbenchmarks of the *compiler* itself: SpiSystem
+/// construction (VTS + repetitions + PASS + HSDF + sync graph + protocol
+/// selection + resynchronization) and the individual analyses, as a
+/// function of graph size. Guards the pipeline's asymptotics.
+#include <benchmark/benchmark.h>
+
+#include "core/spi_system.hpp"
+#include "dataflow/looped_schedule.hpp"
+#include "sched/resync.hpp"
+
+namespace {
+
+using namespace spi;
+
+/// Chain of n actors with periodic feedback, spread over 4 processors.
+struct Chain {
+  df::Graph g{"chain"};
+  sched::Assignment assignment{0, 1};
+
+  explicit Chain(int actors) {
+    for (int i = 0; i < actors; ++i) g.add_actor("t" + std::to_string(i), 10);
+    for (int i = 0; i + 1 < actors; ++i)
+      g.connect_simple(static_cast<df::ActorId>(i), static_cast<df::ActorId>(i + 1), 0, 16);
+    for (int i = 0; i + 20 < actors; i += 20)
+      g.connect_simple(static_cast<df::ActorId>(i + 20), static_cast<df::ActorId>(i), 3, 4);
+    assignment = sched::Assignment(g.actor_count(), 4);
+    for (int i = 0; i < actors; ++i)
+      assignment.assign(static_cast<df::ActorId>(i), static_cast<sched::Proc>(i % 4));
+  }
+};
+
+void BM_SpiSystemCompile(benchmark::State& state) {
+  const Chain chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const core::SpiSystem system(chain.g, chain.assignment);
+    benchmark::DoNotOptimize(system.channels().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpiSystemCompile)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_Repetitions(benchmark::State& state) {
+  const Chain chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(df::compute_repetitions(chain.g));
+}
+BENCHMARK(BM_Repetitions)->Arg(64)->Arg(256);
+
+void BM_McmAnalysis(benchmark::State& state) {
+  const Chain chain(static_cast<int>(state.range(0)));
+  core::SpiSystemOptions options;
+  options.resynchronize = false;
+  const core::SpiSystem system(chain.g, chain.assignment, options);
+  for (auto _ : state) benchmark::DoNotOptimize(system.sync_graph().max_cycle_mean());
+}
+BENCHMARK(BM_McmAnalysis)->Arg(32)->Arg(96);
+
+void BM_Apgan(benchmark::State& state) {
+  // Multirate acyclic chain for the SAS heuristic.
+  df::Graph g("apgan");
+  const int actors = static_cast<int>(state.range(0));
+  for (int i = 0; i < actors; ++i) g.add_actor("t" + std::to_string(i));
+  for (int i = 0; i + 1 < actors; ++i)
+    g.connect(static_cast<df::ActorId>(i), df::Rate::fixed(2 + i % 3),
+              static_cast<df::ActorId>(i + 1), df::Rate::fixed(1 + i % 4));
+  const df::Repetitions reps = df::compute_repetitions(g);
+  for (auto _ : state) benchmark::DoNotOptimize(df::apgan_schedule(g, reps));
+}
+BENCHMARK(BM_Apgan)->Arg(8)->Arg(24);
+
+void BM_TimedRunPerIteration(benchmark::State& state) {
+  const Chain chain(32);
+  const core::SpiSystem system(chain.g, chain.assignment);
+  sim::TimedExecutorOptions options;
+  options.iterations = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(system.run_timed(options).makespan);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TimedRunPerIteration)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

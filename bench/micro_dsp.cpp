@@ -1,0 +1,112 @@
+/// \file micro_dsp.cpp
+/// google-benchmark microbenchmarks of the DSP kernels behind the two
+/// applications (host wall-clock, not simulated time): FFT, LU, LPC
+/// coefficient paths, prediction error, Huffman, systematic resampling.
+#include <benchmark/benchmark.h>
+
+#include "dsp/fft.hpp"
+#include "dsp/huffman.hpp"
+#include "dsp/linalg.hpp"
+#include "dsp/lpc.hpp"
+#include "dsp/particle_filter.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using namespace spi::dsp;
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  for (auto _ : state) {
+    auto copy = x;
+    fft_inplace(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->RangeMultiplier(4)->Range(64, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform(-1, 1);
+  for (std::size_t d = 0; d < n; ++d) a.at(d, d) += 4.0;
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu_solve(a, b));
+  }
+}
+BENCHMARK(BM_LuSolve)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_LpcViaLu(benchmark::State& state) {
+  Rng rng(9);
+  const auto frame = synthetic_speech(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(lpc_coefficients_lu(frame, 10));
+}
+BENCHMARK(BM_LpcViaLu)->Arg(256)->Arg(1024);
+
+void BM_LpcViaLevinson(benchmark::State& state) {
+  Rng rng(9);
+  const auto frame = synthetic_speech(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(lpc_coefficients_levinson(frame, 10));
+}
+BENCHMARK(BM_LpcViaLevinson)->Arg(256)->Arg(1024);
+
+void BM_PredictionError(benchmark::State& state) {
+  Rng rng(4);
+  const auto frame = synthetic_speech(static_cast<std::size_t>(state.range(0)), rng);
+  const auto coeffs = lpc_coefficients_levinson(frame, 10);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(prediction_error(frame, coeffs, 0, frame.size()));
+}
+BENCHMARK(BM_PredictionError)->Arg(512)->Arg(2048);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::uint64_t> freq(256);
+  for (auto& f : freq) f = static_cast<std::uint64_t>(rng.uniform_int(0, 100)) + 1;
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  std::vector<std::size_t> symbols(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : symbols) s = static_cast<std::size_t>(rng.uniform_int(0, 255));
+  for (auto _ : state) {
+    BitWriter w;
+    code.encode(symbols, w);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(1024)->Arg(8192);
+
+void BM_SystematicResample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  std::vector<double> particles(n), weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    particles[i] = rng.uniform(0, 10);
+    weights[i] = rng.uniform(0.01, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        systematic_resample(particles, weights, static_cast<std::int64_t>(n), 0.5));
+  }
+}
+BENCHMARK(BM_SystematicResample)->Arg(100)->Arg(1000);
+
+void BM_ParticleFilterStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ParticleFilter filter(n, CrackModel{}, 11);
+  double obs = 1.0;
+  for (auto _ : state) {
+    obs += 0.01;
+    benchmark::DoNotOptimize(filter.step(obs));
+  }
+}
+BENCHMARK(BM_ParticleFilterStep)->Arg(100)->Arg(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

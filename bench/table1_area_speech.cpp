@@ -1,0 +1,49 @@
+/// \file table1_area_speech.cpp
+/// Reproduces Table 1 of the paper: FPGA resource requirements of the
+/// 4-PE implementation of actor D (speech compression), reporting the
+/// full system as a percentage of the device and the SPI library
+/// relative to the full system.
+///
+/// Paper values (Virtex-4): full system 2.63% slices / 1.88% FFs /
+/// 2.15% LUTs / 8.33% BRAM; SPI library 11.88% / 12.5% / 13.94% / 50%.
+#include <cstdio>
+
+#include "apps/speech_app.hpp"
+
+int main() {
+  using namespace spi;
+
+  const apps::ErrorGenApp app(4, apps::SpeechParams{});
+  const sim::AreaReport report = app.area_report();
+  report.check_fits();
+  std::printf("%s\n", report
+                          .to_table("Table 1: FPGA resources, 4-PE implementation of actor D "
+                                    "(application 1)")
+                          .c_str());
+
+  std::printf("paper reference row:  Full system           2.63%%  1.88%%  2.15%%  8.33%%  (DSP n/r)\n");
+  std::printf("paper reference row:  SPI library          11.88%%  12.5%%  13.94%%  50%%    (DSP n/r)\n\n");
+
+  std::printf("component inventory:\n");
+  for (const auto& c : report.components()) {
+    std::printf("  %-24s slices=%-5lld ffs=%-5lld lut=%-5lld bram=%-3lld dsp=%-3lld %s\n",
+                c.name.c_str(), static_cast<long long>(c.area.slices),
+                static_cast<long long>(c.area.slice_ffs), static_cast<long long>(c.area.lut4),
+                static_cast<long long>(c.area.bram), static_cast<long long>(c.area.dsp48),
+                c.is_spi ? "[SPI]" : "");
+  }
+
+  // Co-design context (paper Section 5.2: "the FPGA resources were not
+  // enough to fit a multiprocessor version of the whole system").
+  const sim::AreaReport one_pipeline = apps::ErrorGenApp::full_hardware_area(1);
+  std::printf("\nco-design check: one all-hardware A..E pipeline would use %.1f%% of the\n"
+              "device's slices; a 2-way multiprocessor version ",
+              one_pipeline.system_percent_of_device(0));
+  try {
+    apps::ErrorGenApp::full_hardware_area(2).check_fits();
+    std::printf("unexpectedly fits (!)\n");
+  } catch (const std::runtime_error&) {
+    std::printf("does NOT fit —\nhence the paper parallelizes only actor D in hardware.\n");
+  }
+  return 0;
+}

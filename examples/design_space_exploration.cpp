@@ -1,0 +1,65 @@
+/// \file design_space_exploration.cpp
+/// Uses the library as a downstream architect would: sweep the design
+/// space of the speech error-generation system — PE count, interconnect
+/// width and topology — and report per-configuration throughput, device
+/// area, and a throughput-per-slice figure of merit. Demonstrates that
+/// the analysis (area model) and execution (timed model) layers compose
+/// into a design-space-exploration loop.
+#include <cstdio>
+#include <vector>
+
+#include "apps/speech_app.hpp"
+#include "sim/power.hpp"
+
+int main() {
+  using namespace spi;
+
+  apps::SpeechParams params;
+  constexpr std::size_t kSamples = 1024;
+  constexpr std::size_t kOrder = 10;
+
+  std::printf("design-space exploration: speech error generation, %zu samples, order %zu\n\n",
+              kSamples, kOrder);
+  std::printf("%4s %6s %14s %12s %12s %12s %14s %12s\n", "PEs", "wire", "topology",
+              "period(us)", "frames/s", "slices", "frames/s/slice", "uJ/frame");
+
+  struct Best {
+    double merit = 0.0;
+    std::string config;
+  } best;
+
+  for (std::int32_t n : {1, 2, 3, 4}) {
+    const apps::ErrorGenApp app(n, params);
+    const sim::AreaReport area = app.area_report();
+    const auto slices = area.total().slices;
+    for (std::int64_t width : {2, 4, 8}) {
+      for (auto [topo_name, topo] :
+           {std::pair{"point-to-point", sim::Topology::kPointToPoint},
+            std::pair{"shared-bus", sim::Topology::kSharedBus}}) {
+        apps::SpeechTimingModel timing;
+        timing.link.bytes_per_cycle = width;
+        timing.link.topology = topo;
+        const auto stats = app.run_timed(kSamples, kOrder, timing, 120);
+        const double period_us = sim::ClockModel{timing.clock_mhz}.to_microseconds(
+            static_cast<sim::SimTime>(stats.steady_period_cycles));
+        const double frames_per_s = 1e6 / period_us;
+        const double merit = frames_per_s / static_cast<double>(slices);
+        const sim::EnergyEstimate energy = sim::estimate_energy(stats, area);
+        std::printf("%4d %5lldB %14s %12.1f %12.0f %12lld %14.2f %12.3f\n", n,
+                    static_cast<long long>(width), topo_name, period_us, frames_per_s,
+                    static_cast<long long>(slices), merit,
+                    energy.total_nj() / 120.0 / 1000.0);
+        if (merit > best.merit) {
+          best.merit = merit;
+          best.config = std::to_string(n) + " PEs, " + std::to_string(width) + "B/cyc " +
+                        topo_name;
+        }
+      }
+    }
+  }
+  std::printf("\nbest throughput-per-slice: %s (%.2f frames/s/slice)\n", best.config.c_str(),
+              best.merit);
+  std::printf("takeaway: wider wires help until the host I/O serialization dominates;\n"
+              "past that point extra PEs buy little — the sweet spot balances both.\n");
+  return 0;
+}

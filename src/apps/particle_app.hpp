@@ -1,0 +1,105 @@
+/// \file particle_app.hpp
+/// Application 2 of the paper: particle-filter-based tracking of crack
+/// failure length in turbine-engine blades (Section 5.3).
+///
+/// Per figure 4, E estimates the current state, U updates it against the
+/// external observation, and S selects particles for the next iteration.
+/// Particles are distributed equally across PEs; every step parallelizes
+/// except resampling, which is split into three phases (figure 5):
+///   1. each PE computes a partial (local) weight statistic and
+///      communicates it to the other PEs — known length -> SPI_static;
+///   2. local resampling against the globally apportioned target counts;
+///   3. intra-resampling: excess particles move between PEs so all PEs
+///      re-enter the next iteration with N/n particles — run-time-varying
+///      length -> SPI_dynamic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/spi_system.hpp"
+#include "dsp/particle_filter.hpp"
+#include "sim/fpga_area.hpp"
+
+namespace spi::apps {
+
+struct ParticleParams {
+  std::size_t particles = 100;      ///< N (the paper sweeps 50..300)
+  std::size_t max_particles = 512;  ///< compile-time bound (VTS requirement)
+  dsp::CrackModel model;
+  std::uint64_t seed = 42;
+  /// Adaptive resampling (extension): the 3-phase resampling runs only
+  /// when the global effective sample size falls below this fraction of
+  /// N. 1.0 = resample every iteration (the paper's scheme). Skipped
+  /// iterations ship *empty* packed tokens on the SPI_dynamic channels —
+  /// VTS handles zero-size payloads natively.
+  double resample_ess_fraction = 1.0;
+};
+
+/// Cycle-cost calibration of the FPGA particle-filter PEs.
+struct ParticleTimingModel {
+  double clock_mhz = 100.0;
+  std::int64_t est_cycles_per_particle = 12;  ///< Paris-law propagation pipeline
+  std::int64_t upd_cycles_per_particle = 18;  ///< Gaussian likelihood (exp unit)
+  std::int64_t sum_cycles_per_particle = 2;   ///< local weight accumulation
+  std::int64_t res_cycles_per_particle = 6;   ///< systematic resampling walk
+  std::int64_t xch_cycles_per_particle = 3;   ///< excess particle copy in/out
+  std::int64_t phase_setup_cycles = 16;
+  std::int64_t particle_wire_bytes = 4;       ///< 32-bit fixed-point particle values
+  std::int64_t weight_wire_bytes = 8;         ///< two 32-bit partial sums
+  std::int64_t obs_wire_bytes = 4;
+  /// Mean fraction of a PE's particles exchanged during intra-resampling
+  /// (drives the dynamic message sizes of the timed model; the functional
+  /// run measures the real value).
+  double mean_exchange_fraction = 0.15;
+  sim::LinkParams link;  ///< interconnect model (topology, width)
+};
+
+/// Result of functionally tracking a crack trajectory.
+struct TrackResult {
+  std::vector<double> estimates;       ///< per-step posterior-mean crack length
+  double rmse_vs_truth = 0.0;
+  std::int64_t particles_exchanged = 0;  ///< raw particles moved in phase 3
+  std::int64_t static_messages = 0;      ///< SPI_static messages (weight sums, obs)
+  std::int64_t dynamic_messages = 0;     ///< SPI_dynamic messages (particles)
+  std::int64_t resample_steps = 0;       ///< iterations that ran phases 2+3
+};
+
+/// The distributed particle-filter system (figures 5 and 7, table 2).
+class ParticleFilterApp {
+ public:
+  ParticleFilterApp(std::int32_t pe_count, ParticleParams params,
+                    core::SpiSystemOptions options = {});
+
+  [[nodiscard]] std::int32_t pe_count() const { return pe_count_; }
+  [[nodiscard]] const ParticleParams& params() const { return params_; }
+  [[nodiscard]] const core::SpiSystem& system() const { return *system_; }
+
+  /// Functional distributed tracking of a trajectory through the SPI
+  /// fabric (real packed particles, real headers, real resampling).
+  [[nodiscard]] TrackResult track(const dsp::CrackTrajectory& trajectory) const;
+
+  /// Figure 7: timed execution at a given run-time particle count.
+  [[nodiscard]] sim::ExecStats run_timed(std::size_t particles,
+                                         const ParticleTimingModel& timing,
+                                         std::int64_t iterations,
+                                         const sim::CommBackend* backend = nullptr) const;
+
+  /// Table 2: component-wise FPGA area of the n-PE system.
+  [[nodiscard]] sim::AreaReport area_report() const;
+
+ private:
+  std::int32_t pe_count_;
+  ParticleParams params_;
+  // Per-PE actors (phase pipeline) and the shared observation source.
+  df::ActorId obs_ = df::kInvalidActor;
+  std::vector<df::ActorId> est_, upd_, lws_, res_, xch_;
+  std::vector<df::EdgeId> obs_edge_;                   ///< obs -> upd_i
+  std::vector<std::vector<df::EdgeId>> lws_edge_;      ///< lws_i -> res_j (all j)
+  std::vector<std::vector<df::EdgeId>> particle_edge_; ///< res_i -> xch_j (j != i; [i][j])
+  std::vector<df::EdgeId> chain_eu_, chain_ul_, chain_rx_, loop_xe_;
+  std::unique_ptr<core::SpiSystem> system_;
+};
+
+}  // namespace spi::apps

@@ -1,0 +1,83 @@
+/// \file functional.hpp
+/// Functional execution of an SPI system: real token data flows through
+/// real SPI channels (headers, packing, BBS/UBS checks) in a sequential
+/// interleaving (the PASS) of the self-timed multiprocessor execution.
+///
+/// This layer answers "does the parallel SPI implementation compute the
+/// same values as the sequential reference?" — the correctness half of
+/// the reproduction — while the timed executor answers the performance
+/// half. Any admissible interleaving produces identical results in a
+/// dataflow graph, so running the PASS order is sufficient for
+/// functional validation (determinacy of dataflow).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/spi_system.hpp"
+
+namespace spi::core {
+
+/// Everything one firing sees and produces. Tokens on VTS-converted
+/// dynamic edges are *packed* tokens (variable size up to b_max; build
+/// them with TokenPacker); tokens on static edges have the edge's exact
+/// token size.
+struct FiringContext {
+  df::ActorId actor = df::kInvalidActor;
+  std::int64_t invocation = 0;  ///< k-th firing of this actor (0-based, global)
+  /// inputs[i] = the cons-rate tokens consumed from in_edges[i].
+  std::vector<std::vector<Bytes>> inputs;
+  /// outputs[i] must be filled with prod-rate tokens for out_edges[i].
+  std::vector<std::vector<Bytes>> outputs;
+  /// Edge ids aligned with inputs / outputs.
+  std::span<const df::EdgeId> in_edges;
+  std::span<const df::EdgeId> out_edges;
+
+  /// Convenience: index of edge `e` within in_edges / out_edges.
+  [[nodiscard]] std::size_t input_index(df::EdgeId e) const;
+  [[nodiscard]] std::size_t output_index(df::EdgeId e) const;
+};
+
+using ComputeFn = std::function<void(FiringContext&)>;
+
+/// Executes a compiled SpiSystem functionally.
+class FunctionalRuntime {
+ public:
+  explicit FunctionalRuntime(const SpiSystem& system);
+
+  /// Registers the computation of an actor. Unregistered actors default
+  /// to producing zero-filled full-rate tokens (useful for smoke tests).
+  void set_compute(df::ActorId actor, ComputeFn fn);
+
+  /// Runs `iterations` complete graph iterations.
+  void run(std::int64_t iterations);
+
+  /// SPI channel of an interprocessor edge (statistics, occupancy).
+  [[nodiscard]] const SpiChannel& channel(df::EdgeId edge) const;
+  [[nodiscard]] const std::map<df::EdgeId, SpiChannel>& channels() const { return channels_; }
+
+  /// Total firings executed so far per actor.
+  [[nodiscard]] std::int64_t invocations(df::ActorId actor) const {
+    return fired_.at(static_cast<std::size_t>(actor));
+  }
+
+ private:
+  void fire(df::ActorId actor);
+  [[nodiscard]] Bytes take_token(df::EdgeId edge);
+  void put_tokens(df::EdgeId edge, std::vector<Bytes>&& tokens);
+
+  const SpiSystem& system_;
+  const df::Graph& graph_;  ///< the VTS-converted graph
+  std::vector<ComputeFn> compute_;
+  std::vector<std::int64_t> fired_;
+  /// Receiver-side raw FIFOs, one per edge (interprocessor edges refill
+  /// from their SpiChannel on demand).
+  std::vector<std::deque<Bytes>> fifo_;
+  std::map<df::EdgeId, SpiChannel> channels_;
+};
+
+}  // namespace spi::core

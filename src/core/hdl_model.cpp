@@ -1,0 +1,157 @@
+#include "core/hdl_model.hpp"
+
+#include <stdexcept>
+
+namespace spi::core {
+
+namespace {
+
+/// Packs bytes into little-endian 32-bit wire words (zero-padded tail).
+std::vector<std::uint32_t> to_words(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint32_t> words;
+  words.reserve((bytes.size() + 3) / 4);
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    std::uint32_t w = 0;
+    for (std::size_t b = 0; b < 4 && i + b < bytes.size(); ++b)
+      w |= static_cast<std::uint32_t>(bytes[i + b]) << (8 * b);
+    words.push_back(w);
+  }
+  return words;
+}
+
+void append_word_bytes(Bytes& out, std::uint32_t word, std::int64_t remaining) {
+  for (int b = 0; b < 4 && remaining > 0; ++b, --remaining)
+    out.push_back(static_cast<std::uint8_t>((word >> (8 * b)) & 0xFF));
+}
+
+}  // namespace
+
+bool WireModel::ready(sim::SimTime) const {
+  // Shift-register capacity: the pipeline depth plus a small skid buffer.
+  return static_cast<sim::SimTime>(words_.size()) < depth_ + 4;
+}
+
+void WireModel::push(sim::SimTime now, std::uint32_t word) {
+  if (!ready(now)) throw std::logic_error("WireModel: push while not ready");
+  words_.push_back(Word{now + depth_, word});
+}
+
+std::optional<std::uint32_t> WireModel::pop(sim::SimTime now) {
+  if (words_.empty() || words_.front().arrival > now) return std::nullopt;
+  const std::uint32_t value = words_.front().value;
+  words_.pop_front();
+  return value;
+}
+
+void SpiSendFsm::tick(sim::SimTime now) {
+  switch (state_) {
+    case State::kIdle: {
+      if (queue_.empty()) return;
+      // Latch the next message: header word(s) then payload words.
+      const Bytes payload = std::move(queue_.front());
+      queue_.pop_front();
+      words_.clear();
+      words_.push_back(static_cast<std::uint32_t>(edge_));
+      if (dynamic_) words_.push_back(static_cast<std::uint32_t>(payload.size()));
+      const auto payload_words = to_words(payload);
+      words_.insert(words_.end(), payload_words.begin(), payload_words.end());
+      cursor_ = 0;
+      state_ = State::kHeader;
+      stats_.busy_cycles += 1;  // the latch cycle
+      return;
+    }
+    case State::kHeader:
+    case State::kPayload: {
+      stats_.busy_cycles += 1;
+      if (!wire_.ready(now)) {
+        stats_.stall_cycles += 1;
+        return;
+      }
+      wire_.push(now, words_[cursor_++]);
+      stats_.words += 1;
+      const std::size_t header_words = dynamic_ ? 2 : 1;
+      if (cursor_ >= words_.size()) {
+        state_ = State::kIdle;
+        stats_.messages += 1;
+      } else if (cursor_ >= header_words) {
+        state_ = State::kPayload;
+      }
+      return;
+    }
+  }
+}
+
+void SpiReceiveFsm::tick(sim::SimTime now) {
+  const auto word = wire_.pop(now);
+  if (!word) {
+    if (state_ != State::kIdle) stats_.stall_cycles += 1;
+    return;
+  }
+  stats_.words += 1;
+  stats_.busy_cycles += 1;
+  switch (state_) {
+    case State::kIdle: {
+      if (static_cast<df::EdgeId>(*word) != edge_)
+        throw std::runtime_error("SpiReceiveFsm: edge-id header mismatch (routing error)");
+      if (dynamic_) {
+        state_ = State::kSize;
+      } else {
+        expected_bytes_ = static_payload_bytes_;
+        assembling_.clear();
+        state_ = expected_bytes_ > 0 ? State::kPayload : State::kIdle;
+        if (expected_bytes_ == 0) finish();
+      }
+      return;
+    }
+    case State::kSize: {
+      expected_bytes_ = static_cast<std::int64_t>(*word);
+      assembling_.clear();
+      if (expected_bytes_ == 0) {
+        state_ = State::kIdle;
+        finish();
+      } else {
+        state_ = State::kPayload;
+      }
+      return;
+    }
+    case State::kPayload: {
+      const std::int64_t remaining = expected_bytes_ - static_cast<std::int64_t>(assembling_.size());
+      append_word_bytes(assembling_, *word, remaining);
+      if (static_cast<std::int64_t>(assembling_.size()) >= expected_bytes_) {
+        state_ = State::kIdle;
+        finish();
+      }
+      return;
+    }
+  }
+}
+
+void SpiReceiveFsm::finish() {
+  stats_.messages += 1;
+  deliver_(std::move(assembling_));
+  assembling_.clear();
+}
+
+HdlChannelRun run_hdl_channel(df::EdgeId edge, bool dynamic, std::int64_t static_payload_bytes,
+                              sim::SimTime wire_depth, const std::vector<Bytes>& messages) {
+  HdlChannelRun run;
+  WireModel wire(wire_depth);
+  SpiSendFsm send(edge, dynamic, wire);
+  SpiReceiveFsm receive(edge, dynamic, static_payload_bytes, wire,
+                        [&run](Bytes payload) { run.delivered.push_back(std::move(payload)); });
+  for (const Bytes& m : messages) send.submit(m);
+
+  sim::SimTime t = 0;
+  const sim::SimTime limit = 1'000'000;
+  while (run.delivered.size() < messages.size()) {
+    receive.tick(t);
+    send.tick(t);
+    if (++t > limit) throw std::runtime_error("run_hdl_channel: no progress (FSM bug)");
+  }
+  run.cycles = t;
+  run.send = send.stats();
+  run.receive = receive.stats();
+  return run;
+}
+
+}  // namespace spi::core

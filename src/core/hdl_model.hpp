@@ -1,0 +1,151 @@
+/// \file hdl_model.hpp
+/// Cycle-level FSM models of the HDL SPI library (paper Sections 1/5.1:
+/// "We develop a hardware description language (HDL) realization of the
+/// SPI library").
+///
+/// The coarse cost model in spi_backend.hpp prices a message with three
+/// numbers; these models instead *execute* the communication actors
+/// cycle by cycle on the event kernel, the way the Xilinx System
+/// Generator blocks do on the fabric:
+///
+///   SpiSendFsm:    IDLE -> HEADER (1 word/cycle) -> PAYLOAD (1 word/
+///                  cycle, valid/ready handshake) -> IDLE
+///   SpiReceiveFsm: IDLE -> HEADER -> PAYLOAD -> DELIVER
+///
+/// connected by a WireModel: a registered point-to-point word channel
+/// with a fixed pipeline depth and ready back-pressure. A conformance
+/// test (tests/test_hdl_model.cpp) checks the per-message cycle counts
+/// the FSMs measure against the analytic SpiBackend + LinkNetwork cost,
+/// calibrating the one against the other.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/message.hpp"
+#include "sim/event_kernel.hpp"
+
+namespace spi::core {
+
+/// Word width of the modeled fabric (32-bit, matching the default
+/// LinkParams::bytes_per_cycle).
+inline constexpr std::int64_t kWireWordBytes = 4;
+
+/// A registered word pipeline with valid/ready semantics: at most one
+/// word enters per cycle when ready; each word emerges `depth` cycles
+/// later. Capacity equals the pipeline depth (an FPGA shift-register
+/// FIFO); when the consumer stalls, back-pressure propagates.
+class WireModel {
+ public:
+  explicit WireModel(sim::SimTime depth) : depth_(depth) {}
+
+  [[nodiscard]] sim::SimTime depth() const { return depth_; }
+  [[nodiscard]] bool ready(sim::SimTime now) const;
+
+  /// Producer pushes a word at cycle `now` (requires ready()).
+  void push(sim::SimTime now, std::uint32_t word);
+
+  /// Consumer pops the oldest word if one has arrived by `now`.
+  [[nodiscard]] std::optional<std::uint32_t> pop(sim::SimTime now);
+
+  [[nodiscard]] std::size_t in_flight() const { return words_.size(); }
+
+ private:
+  struct Word {
+    sim::SimTime arrival;
+    std::uint32_t value;
+  };
+  sim::SimTime depth_;
+  std::deque<Word> words_;
+};
+
+/// Statistics one FSM gathers per message.
+struct FsmStats {
+  std::int64_t messages = 0;
+  std::int64_t words = 0;
+  sim::SimTime busy_cycles = 0;    ///< cycles not spent in IDLE
+  sim::SimTime stall_cycles = 0;   ///< cycles blocked on the wire
+};
+
+/// The SPI_send communication actor. Accepts whole messages from the
+/// computation side (the paper's separation: the PE only enqueues) and
+/// streams header + payload words onto the wire, one word per cycle.
+class SpiSendFsm {
+ public:
+  enum class State : std::uint8_t { kIdle, kHeader, kPayload };
+
+  SpiSendFsm(df::EdgeId edge, bool dynamic, WireModel& wire)
+      : edge_(edge), dynamic_(dynamic), wire_(wire) {}
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const FsmStats& stats() const { return stats_; }
+  [[nodiscard]] bool idle() const { return state_ == State::kIdle && queue_.empty(); }
+
+  /// PE-side enqueue (non-blocking; the FSM drains the queue).
+  void submit(Bytes payload) { queue_.push_back(std::move(payload)); }
+
+  /// One clock edge at cycle `now`.
+  void tick(sim::SimTime now);
+
+ private:
+  df::EdgeId edge_;
+  bool dynamic_;
+  WireModel& wire_;
+  State state_ = State::kIdle;
+  std::deque<Bytes> queue_;
+  std::vector<std::uint32_t> words_;  ///< current message as wire words
+  std::size_t cursor_ = 0;
+  FsmStats stats_;
+};
+
+/// The SPI_receive communication actor: reassembles words into messages
+/// and delivers decoded payloads to the computation side.
+class SpiReceiveFsm {
+ public:
+  enum class State : std::uint8_t { kIdle, kSize, kPayload };
+
+  SpiReceiveFsm(df::EdgeId edge, bool dynamic, std::int64_t static_payload_bytes,
+                WireModel& wire, std::function<void(Bytes)> deliver)
+      : edge_(edge), dynamic_(dynamic), static_payload_bytes_(static_payload_bytes),
+        wire_(wire), deliver_(std::move(deliver)) {}
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const FsmStats& stats() const { return stats_; }
+  [[nodiscard]] bool idle() const { return state_ == State::kIdle; }
+
+  /// One clock edge at cycle `now`.
+  void tick(sim::SimTime now);
+
+ private:
+  void finish();  ///< message complete: deliver and count
+
+  df::EdgeId edge_;
+  bool dynamic_;
+  std::int64_t static_payload_bytes_;
+  WireModel& wire_;
+  std::function<void(Bytes)> deliver_;
+  State state_ = State::kIdle;
+  std::int64_t expected_bytes_ = 0;
+  Bytes assembling_;
+  FsmStats stats_;
+};
+
+/// Drives a send FSM, a wire and a receive FSM with a common clock until
+/// all submitted messages are delivered; returns total cycles elapsed.
+/// The harness behind the HDL-vs-analytic conformance tests and the
+/// micro-benches.
+struct HdlChannelRun {
+  sim::SimTime cycles = 0;
+  FsmStats send;
+  FsmStats receive;
+  std::vector<Bytes> delivered;
+};
+[[nodiscard]] HdlChannelRun run_hdl_channel(df::EdgeId edge, bool dynamic,
+                                            std::int64_t static_payload_bytes,
+                                            sim::SimTime wire_depth,
+                                            const std::vector<Bytes>& messages);
+
+}  // namespace spi::core

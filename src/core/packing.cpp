@@ -1,0 +1,46 @@
+#include "core/packing.hpp"
+
+#include <stdexcept>
+
+namespace spi::core {
+
+TokenPacker::TokenPacker(std::int64_t raw_token_bytes, std::int64_t max_raw_tokens)
+    : raw_token_bytes_(raw_token_bytes), max_raw_tokens_(max_raw_tokens) {
+  if (raw_token_bytes <= 0)
+    throw std::invalid_argument("TokenPacker: raw_token_bytes must be positive");
+  if (max_raw_tokens <= 0)
+    throw std::invalid_argument("TokenPacker: max_raw_tokens must be positive");
+}
+
+Bytes TokenPacker::pack(std::span<const std::uint8_t> raw, std::int64_t count) const {
+  if (count < 0) throw std::invalid_argument("TokenPacker::pack: negative count");
+  if (count > max_raw_tokens_)
+    throw std::length_error("TokenPacker::pack: dynamic rate exceeds declared bound (" +
+                            std::to_string(count) + " > " + std::to_string(max_raw_tokens_) +
+                            ") — b_max violated");
+  if (static_cast<std::int64_t>(raw.size()) != count * raw_token_bytes_)
+    throw std::invalid_argument("TokenPacker::pack: raw byte count does not match token count");
+  return Bytes(raw.begin(), raw.end());
+}
+
+std::vector<Bytes> TokenPacker::unpack(std::span<const std::uint8_t> packed) const {
+  const std::int64_t count = count_of(static_cast<std::int64_t>(packed.size()));
+  std::vector<Bytes> tokens;
+  tokens.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto begin = packed.begin() + i * raw_token_bytes_;
+    tokens.emplace_back(begin, begin + raw_token_bytes_);
+  }
+  return tokens;
+}
+
+std::int64_t TokenPacker::count_of(std::int64_t packed_bytes) const {
+  if (packed_bytes < 0 || packed_bytes % raw_token_bytes_ != 0)
+    throw std::runtime_error("TokenPacker: packed size is not a whole number of raw tokens");
+  const std::int64_t count = packed_bytes / raw_token_bytes_;
+  if (count > max_raw_tokens_)
+    throw std::length_error("TokenPacker: packed token exceeds b_max");
+  return count;
+}
+
+}  // namespace spi::core

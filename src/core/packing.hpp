@@ -1,0 +1,53 @@
+/// \file packing.hpp
+/// VTS runtime: packing raw tokens into variable-size packed tokens.
+///
+/// The dataflow-level VTS conversion (dataflow/vts.hpp) declares that a
+/// dynamic port moves exactly one *packed* token per firing. This class
+/// is the runtime half: the sending SPI actor packs the firing's raw
+/// tokens (a run-time-varying count, bounded by the port's rate bound)
+/// into one contiguous packed token, and the receiving actor splits it
+/// back. Exceeding the declared bound is a hard error — the static
+/// buffer allocation of equation 1 depends on it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/message.hpp"
+
+namespace spi::core {
+
+class TokenPacker {
+ public:
+  /// \param raw_token_bytes  size of one raw (unpacked) token
+  /// \param max_raw_tokens   the port's dynamic-rate upper bound
+  TokenPacker(std::int64_t raw_token_bytes, std::int64_t max_raw_tokens);
+
+  [[nodiscard]] std::int64_t raw_token_bytes() const { return raw_token_bytes_; }
+  [[nodiscard]] std::int64_t max_raw_tokens() const { return max_raw_tokens_; }
+  /// b_max of equation 1.
+  [[nodiscard]] std::int64_t max_packed_bytes() const {
+    return raw_token_bytes_ * max_raw_tokens_;
+  }
+
+  /// Packs `count` raw tokens (concatenated in `raw`, each raw_token_bytes
+  /// long) into one packed token. Throws std::length_error when count
+  /// exceeds the declared bound and std::invalid_argument on size
+  /// mismatch. count == 0 yields an empty packed token (a legal dynamic
+  /// firing that transfers no data).
+  [[nodiscard]] Bytes pack(std::span<const std::uint8_t> raw, std::int64_t count) const;
+
+  /// Splits a packed token back into raw tokens. Validates that the
+  /// packed size is a whole number of raw tokens within the bound.
+  [[nodiscard]] std::vector<Bytes> unpack(std::span<const std::uint8_t> packed) const;
+
+  /// Raw-token count carried by a packed token of `packed_bytes`.
+  [[nodiscard]] std::int64_t count_of(std::int64_t packed_bytes) const;
+
+ private:
+  std::int64_t raw_token_bytes_;
+  std::int64_t max_raw_tokens_;
+};
+
+}  // namespace spi::core

@@ -1,0 +1,56 @@
+/// \file spi_backend.hpp
+/// Timing cost model of the HDL SPI library (paper Section 5.1).
+///
+/// SPI_send / SPI_receive are dedicated hardware actors: the computation
+/// PE only pays a small enqueue cost per message, after which the
+/// communication actor streams the message onto the link — the paper's
+/// "efficient separation between communication and computation". Header
+/// overhead is 4 bytes for SPI_static (edge ID) and 8 for SPI_dynamic
+/// (edge ID + size); datatype is compile-time knowledge and never
+/// travels. No handshake round trips: buffer safety comes from the
+/// BBS/UBS analysis, not from rendezvous.
+#pragma once
+
+#include <unordered_set>
+
+#include "core/message.hpp"
+#include "sim/comm_backend.hpp"
+
+namespace spi::core {
+
+struct SpiCostParams {
+  /// PE cycles to hand a message descriptor to the SPI actor.
+  std::int64_t send_enqueue_cycles = 2;
+  /// SPI actor pipeline cycles before the first word hits the link.
+  std::int64_t offload_fixed_cycles = 4;
+  /// Acknowledgements are header-only messages (edge ID).
+  std::int64_t ack_wire_bytes = kStaticHeaderBytes;
+};
+
+class SpiBackend final : public sim::CommBackend {
+ public:
+  SpiBackend(SpiCostParams params, std::unordered_set<df::EdgeId> dynamic_edges)
+      : params_(params), dynamic_edges_(std::move(dynamic_edges)) {}
+
+  [[nodiscard]] sim::MessageCost data_message(const sim::ChannelInfo& channel,
+                                              std::int64_t payload_bytes) const override {
+    const bool dynamic =
+        channel.dynamic || dynamic_edges_.contains(channel.edge);
+    const std::int64_t header = dynamic ? kDynamicHeaderBytes : kStaticHeaderBytes;
+    return sim::MessageCost{params_.send_enqueue_cycles, params_.offload_fixed_cycles,
+                            header + payload_bytes, 0};
+  }
+
+  [[nodiscard]] sim::MessageCost sync_message(const sim::ChannelInfo&) const override {
+    return sim::MessageCost{params_.send_enqueue_cycles, params_.offload_fixed_cycles,
+                            params_.ack_wire_bytes, 0};
+  }
+
+  [[nodiscard]] const char* name() const override { return "SPI"; }
+
+ private:
+  SpiCostParams params_;
+  std::unordered_set<df::EdgeId> dynamic_edges_;
+};
+
+}  // namespace spi::core

@@ -1,0 +1,138 @@
+/// \file spi_system.hpp
+/// SpiSystem — the library's top-level entry point (the role SPI_init
+/// plays in the paper's HDL library).
+///
+/// Given an application dataflow graph (static and/or dynamic rates) and
+/// an actor-to-processor assignment, construction runs the full SPI
+/// compilation pipeline:
+///
+///   1. VTS conversion          (Section 3; dynamic rates -> packed SDF)
+///   2. repetitions vector + consistency check
+///   3. sequential PASS         (admissibility / deadlock check)
+///   4. HSDF expansion + per-processor self-timed order
+///   5. IPC / synchronization graph                     (Section 4)
+///   6. BBS/UBS protocol selection, equations 1 and 2 buffer bounds
+///   7. resynchronization (optional)                    (Section 4.1)
+///
+/// The result is a *channel plan* — per interprocessor edge: SPI_static
+/// or SPI_dynamic interface, BBS or UBS protocol, static buffer bytes,
+/// elided acknowledgements — plus handles to run the system on the timed
+/// platform model with SPI (or any other) communication backend.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/spi_backend.hpp"
+#include "dataflow/graph.hpp"
+#include "dataflow/repetitions.hpp"
+#include "dataflow/sdf_schedule.hpp"
+#include "dataflow/vts.hpp"
+#include "sched/assignment.hpp"
+#include "sched/resync.hpp"
+#include "sched/sync_graph.hpp"
+#include "sim/timed_executor.hpp"
+
+namespace spi::core {
+
+struct SpiSystemOptions {
+  bool resynchronize = true;
+  sched::ResyncOptions resync;
+  sched::SyncGraphOptions sync;
+  SpiCostParams costs;
+  /// Policy for the sequential PASS the per-processor self-timed orders
+  /// are derived from. kFirstFireable follows actor-id order — an
+  /// application can shape its processors' schedules (e.g. issue all
+  /// sends before any receive) by choosing actor creation order;
+  /// kMinBufferDemand greedily minimizes buffer occupancy instead.
+  df::SchedulePolicy pass_policy = df::SchedulePolicy::kMinBufferDemand;
+};
+
+/// Compile-time plan for one interprocessor dataflow edge.
+struct ChannelPlan {
+  df::EdgeId edge = df::kInvalidEdge;
+  std::string name;
+  SpiMode mode = SpiMode::kStatic;
+  sched::SyncProtocol protocol = sched::SyncProtocol::kUbs;
+  std::int64_t b_max_bytes = 0;  ///< max bytes of one message payload
+  std::int64_t c_bytes = 0;      ///< equation 1: c_sdf(e) · b_max(e)
+  /// Equation 2 (BBS only): statically guaranteed buffer bound.
+  std::optional<std::int64_t> bbs_capacity_tokens;
+  std::optional<std::int64_t> bbs_capacity_bytes;
+  /// Sync-graph edge indices realizing this dataflow edge (>1 when the
+  /// HSDF expansion splits a multirate edge across firings).
+  std::vector<std::size_t> sync_edges;
+  std::size_t acks_total = 0;    ///< UBS ack edges created for this channel
+  std::size_t acks_elided = 0;   ///< of those, removed by resynchronization
+};
+
+class SpiSystem {
+ public:
+  SpiSystem(const df::Graph& application, sched::Assignment assignment,
+            SpiSystemOptions options = {});
+
+  // --- analysis results -------------------------------------------------
+  [[nodiscard]] const df::Graph& application() const { return app_; }
+  [[nodiscard]] const df::VtsResult& vts() const { return vts_; }
+  [[nodiscard]] const df::Repetitions& repetitions() const { return reps_; }
+  [[nodiscard]] const df::SequentialSchedule& pass() const { return pass_; }
+  [[nodiscard]] const sched::Assignment& assignment() const { return assignment_; }
+  [[nodiscard]] const sched::SyncGraph& sync_graph() const { return sync_build_.graph; }
+  [[nodiscard]] const sched::ProcOrder& proc_order() const { return proc_order_; }
+  [[nodiscard]] const std::optional<sched::ResyncReport>& resync_report() const {
+    return resync_report_;
+  }
+  [[nodiscard]] const std::vector<ChannelPlan>& channels() const { return channels_; }
+  [[nodiscard]] const ChannelPlan& channel_for(df::EdgeId edge) const;
+
+  /// Synchronization messages per graph iteration under the current plan
+  /// (data messages + surviving acks + resynchronization messages).
+  [[nodiscard]] std::size_t messages_per_iteration() const;
+
+  // --- execution ---------------------------------------------------------
+  /// The SPI cost-model backend configured for this system's channels.
+  [[nodiscard]] const SpiBackend& backend() const { return *backend_; }
+
+  /// Runs the timed platform simulation with the SPI backend. A null
+  /// workload payload hook defaults to each channel's static payload
+  /// (worst case for dynamic channels).
+  [[nodiscard]] sim::ExecStats run_timed(const sim::TimedExecutorOptions& options,
+                                         sim::WorkloadModel workload = {}) const;
+
+  /// Same, with an alternative protocol backend (e.g. the MPI baseline)
+  /// — the controlled comparison DESIGN.md describes.
+  [[nodiscard]] sim::ExecStats run_timed_with(const sim::CommBackend& backend,
+                                              const sim::TimedExecutorOptions& options,
+                                              sim::WorkloadModel workload = {}) const;
+
+  /// Human-readable compilation report (channels, protocols, bounds,
+  /// resynchronization summary).
+  [[nodiscard]] std::string report() const;
+
+  /// Machine-readable channel plan (JSON): per channel the mode,
+  /// protocol, b_max, c(e), equation-2 capacity and ack accounting, plus
+  /// the resynchronization summary. Consumed by downstream tooling
+  /// (`spi_compile --json`).
+  [[nodiscard]] std::string plan_json() const;
+
+ private:
+  void install_default_payloads(sim::WorkloadModel& workload) const;
+
+  df::Graph app_;
+  sched::Assignment assignment_;
+  SpiSystemOptions options_;
+  df::VtsResult vts_;
+  df::Repetitions reps_;
+  df::SequentialSchedule pass_;
+  sched::HsdfGraph hsdf_;
+  sched::ProcOrder proc_order_;
+  sched::SyncGraphBuild sync_build_;
+  std::optional<sched::ResyncReport> resync_report_;
+  std::vector<ChannelPlan> channels_;
+  std::unique_ptr<SpiBackend> backend_;
+};
+
+}  // namespace spi::core

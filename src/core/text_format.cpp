@@ -1,0 +1,206 @@
+#include "core/text_format.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace spi::core {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("parse_system: line " + std::to_string(line) + ": " + message);
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;  // comment
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::int64_t parse_int(std::size_t line, std::string_view s, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size())
+    fail(line, std::string("invalid ") + what + " '" + std::string(s) + "'");
+  return value;
+}
+
+/// key=value attribute, returns value for the given key or nullopt.
+std::map<std::string, std::string> parse_attrs(std::size_t line,
+                                               std::span<const std::string> tokens) {
+  std::map<std::string, std::string> attrs;
+  for (const std::string& t : tokens) {
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) fail(line, "expected key=value attribute, got '" + t + "'");
+    attrs[t.substr(0, eq)] = t.substr(eq + 1);
+  }
+  return attrs;
+}
+
+/// "Name:3" (static rate 3) or "Name:dyn8" (dynamic, bound 8) or "Name"
+/// (rate 1).
+struct Endpoint {
+  std::string actor;
+  df::Rate rate = df::Rate::fixed(1);
+};
+
+Endpoint parse_endpoint(std::size_t line, std::string_view s) {
+  Endpoint ep;
+  const auto colon = s.find(':');
+  if (colon == std::string_view::npos) {
+    ep.actor = std::string(s);
+    return ep;
+  }
+  ep.actor = std::string(s.substr(0, colon));
+  std::string_view rate = s.substr(colon + 1);
+  if (rate.starts_with("dyn")) {
+    ep.rate = df::Rate::dynamic(parse_int(line, rate.substr(3), "dynamic bound"));
+  } else {
+    ep.rate = df::Rate::fixed(parse_int(line, rate, "rate"));
+  }
+  return ep;
+}
+
+}  // namespace
+
+ParsedSystem parse_system(std::string_view text) {
+  df::Graph graph;
+  std::string graph_name;
+  std::map<std::string, df::ActorId> actors;
+  std::map<std::string, sched::Proc> procs;
+  std::int32_t proc_count = 0;  // 0 = derive from assignments
+
+  struct PendingEdge {
+    std::size_t line;
+    Endpoint src, snk;
+    std::int64_t delay = 0;
+    std::int64_t bytes = 4;
+  };
+  std::vector<PendingEdge> edges;
+
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    const std::string_view line =
+        text.substr(begin, end == std::string_view::npos ? text.size() - begin : end - begin);
+    begin = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "graph") {
+      if (tokens.size() != 2) fail(line_no, "usage: graph <name>");
+      graph_name = tokens[1];
+    } else if (keyword == "procs") {
+      if (tokens.size() != 2) fail(line_no, "usage: procs <count>");
+      proc_count = static_cast<std::int32_t>(parse_int(line_no, tokens[1], "processor count"));
+      if (proc_count <= 0) fail(line_no, "processor count must be positive");
+    } else if (keyword == "actor") {
+      if (tokens.size() < 2) fail(line_no, "usage: actor <name> [exec=N]");
+      if (actors.contains(tokens[1])) fail(line_no, "duplicate actor '" + tokens[1] + "'");
+      std::int64_t exec = 1;
+      const auto attrs = parse_attrs(line_no, std::span(tokens).subspan(2));
+      for (const auto& [key, value] : attrs) {
+        if (key == "exec")
+          exec = parse_int(line_no, value, "exec");
+        else
+          fail(line_no, "unknown actor attribute '" + key + "'");
+      }
+      actors[tokens[1]] = graph.add_actor(tokens[1], exec);
+    } else if (keyword == "edge") {
+      // edge <src[:rate]> -> <snk[:rate]> [delay=N] [bytes=N]
+      if (tokens.size() < 4 || tokens[2] != "->")
+        fail(line_no, "usage: edge <src[:rate]> -> <snk[:rate]> [delay=N] [bytes=N]");
+      PendingEdge e;
+      e.line = line_no;
+      e.src = parse_endpoint(line_no, tokens[1]);
+      e.snk = parse_endpoint(line_no, tokens[3]);
+      const auto attrs = parse_attrs(line_no, std::span(tokens).subspan(4));
+      for (const auto& [key, value] : attrs) {
+        if (key == "delay")
+          e.delay = parse_int(line_no, value, "delay");
+        else if (key == "bytes")
+          e.bytes = parse_int(line_no, value, "bytes");
+        else
+          fail(line_no, "unknown edge attribute '" + key + "'");
+      }
+      edges.push_back(std::move(e));
+    } else if (keyword == "proc") {
+      // proc <actor> = <processor>
+      if (tokens.size() != 4 || tokens[2] != "=") fail(line_no, "usage: proc <actor> = <n>");
+      procs[tokens[1]] =
+          static_cast<sched::Proc>(parse_int(line_no, tokens[3], "processor id"));
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  // Resolve edges after all actors are known (forward references OK).
+  for (const PendingEdge& e : edges) {
+    const auto src = actors.find(e.src.actor);
+    if (src == actors.end()) fail(e.line, "unknown actor '" + e.src.actor + "'");
+    const auto snk = actors.find(e.snk.actor);
+    if (snk == actors.end()) fail(e.line, "unknown actor '" + e.snk.actor + "'");
+    graph.connect(src->second, e.src.rate, snk->second, e.snk.rate, e.delay, e.bytes);
+  }
+
+  // Assignment: default processor 0; derive count when not declared.
+  sched::Proc max_proc = 0;
+  for (const auto& [name, proc] : procs) {
+    if (!actors.contains(name))
+      throw std::invalid_argument("parse_system: proc declaration for unknown actor '" + name +
+                                  "'");
+    if (proc < 0) throw std::invalid_argument("parse_system: negative processor id");
+    max_proc = std::max(max_proc, proc);
+  }
+  if (proc_count == 0) proc_count = max_proc + 1;
+  if (max_proc >= proc_count)
+    throw std::invalid_argument("parse_system: proc id " + std::to_string(max_proc) +
+                                " exceeds declared procs " + std::to_string(proc_count));
+
+  ParsedSystem result{df::Graph(graph_name.empty() ? "parsed" : graph_name),
+                      sched::Assignment(graph.actor_count(), proc_count)};
+  // Rebuild the graph under its proper name (Graph has no rename).
+  for (const df::Actor& a : graph.actors()) result.graph.add_actor(a.name, a.exec_cycles);
+  for (const df::Edge& e : graph.edges())
+    result.graph.connect(e.src, e.prod, e.snk, e.cons, e.delay, e.token_bytes, e.name);
+  for (const auto& [name, proc] : procs) result.assignment.assign(actors.at(name), proc);
+  return result;
+}
+
+std::string to_text(const df::Graph& graph, const sched::Assignment& assignment) {
+  std::ostringstream out;
+  out << "graph " << (graph.name().empty() ? "unnamed" : graph.name()) << "\n";
+  out << "procs " << assignment.proc_count() << "\n";
+  for (const df::Actor& a : graph.actors()) out << "actor " << a.name << " exec=" << a.exec_cycles << "\n";
+  auto rate_text = [](const df::Rate& r) {
+    return r.is_dynamic() ? "dyn" + std::to_string(r.bound()) : std::to_string(r.bound());
+  };
+  for (const df::Edge& e : graph.edges()) {
+    out << "edge " << graph.actor(e.src).name << ":" << rate_text(e.prod) << " -> "
+        << graph.actor(e.snk).name << ":" << rate_text(e.cons) << " delay=" << e.delay
+        << " bytes=" << e.token_bytes << "\n";
+  }
+  for (std::size_t a = 0; a < graph.actor_count(); ++a)
+    out << "proc " << graph.actor(static_cast<df::ActorId>(a)).name << " = "
+        << assignment.proc_of(static_cast<df::ActorId>(a)) << "\n";
+  return out.str();
+}
+
+}  // namespace spi::core

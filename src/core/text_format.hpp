@@ -1,0 +1,42 @@
+/// \file text_format.hpp
+/// A small text format for describing SPI systems, consumed by the
+/// `spi_compile` command-line tool and usable programmatically. One
+/// declaration per line; '#' starts a comment.
+///
+///   graph lpc_frontend
+///   procs 3
+///   actor Src  exec=32
+///   actor Filt exec=128
+///   actor Sink exec=16
+///   edge  Src:2    -> Filt:3   delay=0 bytes=4    # static 2:3 edge
+///   edge  Filt:dyn8 -> Sink:dyn8 bytes=8          # dynamic, bound 8
+///   proc  Src  = 0
+///   proc  Filt = 1
+///   proc  Sink = 2
+///
+/// Unassigned actors default to processor 0; `procs` defaults to the
+/// highest assigned processor + 1.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dataflow/graph.hpp"
+#include "sched/assignment.hpp"
+
+namespace spi::core {
+
+struct ParsedSystem {
+  df::Graph graph;
+  sched::Assignment assignment{0, 1};
+};
+
+/// Parses the format above. Throws std::invalid_argument with a
+/// line-numbered message on any syntax or semantic error.
+[[nodiscard]] ParsedSystem parse_system(std::string_view text);
+
+/// Renders a graph + assignment back to the text format (round-trips
+/// through parse_system; the tests assert it).
+[[nodiscard]] std::string to_text(const df::Graph& graph, const sched::Assignment& assignment);
+
+}  // namespace spi::core

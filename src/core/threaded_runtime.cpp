@@ -1,0 +1,188 @@
+#include "core/threaded_runtime.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace spi::core {
+
+namespace {
+
+/// Internal unwind signal when another worker failed.
+struct Aborted : std::runtime_error {
+  Aborted() : std::runtime_error("ThreadedRuntime: aborted") {}
+};
+
+}  // namespace
+
+void ThreadedRuntime::BlockingChannel::push(Bytes token) {
+  std::unique_lock lock(mutex_);
+  if (queue_.size() >= capacity_) {
+    ++producer_blocks;
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || abort_.load(); });
+  }
+  if (abort_.load()) throw Aborted{};
+  messages += 1;
+  payload_bytes += static_cast<std::int64_t>(token.size());
+  queue_.push_back(std::move(token));
+  not_empty_.notify_one();
+}
+
+Bytes ThreadedRuntime::BlockingChannel::pop() {
+  std::unique_lock lock(mutex_);
+  if (queue_.empty()) {
+    ++consumer_blocks;
+    not_empty_.wait(lock, [&] { return !queue_.empty() || abort_.load(); });
+  }
+  if (abort_.load() && queue_.empty()) throw Aborted{};
+  Bytes token = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return token;
+}
+
+void ThreadedRuntime::BlockingChannel::interrupt() {
+  std::lock_guard lock(mutex_);
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+ThreadedRuntime::ThreadedRuntime(const SpiSystem& system)
+    : system_(system),
+      graph_(system.vts().graph),
+      compute_(graph_.actor_count()),
+      local_fifo_(graph_.edge_count()),
+      fired_(graph_.actor_count(), 0) {
+  const sched::Assignment& assignment = system.assignment();
+
+  // Bounded channels for every interprocessor edge. Capacity: the BBS
+  // bound (equation 2, converted to tokens) or the UBS credit window,
+  // plus the edge's initial tokens.
+  for (const ChannelPlan& plan : system.channels()) {
+    const df::Edge& e = graph_.edge(plan.edge);
+    const std::int64_t per_iter = e.prod.value() * system.repetitions().of(e.src);
+    const std::int64_t window = plan.bbs_capacity_tokens.value_or(1);
+    const std::int64_t capacity = window * per_iter + e.delay;
+    channels_.emplace(plan.edge, std::make_unique<BlockingChannel>(
+                                     static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)),
+                                     abort_));
+  }
+
+  // Initial tokens.
+  for (std::size_t i = 0; i < graph_.edge_count(); ++i) {
+    const df::Edge& e = graph_.edge(static_cast<df::EdgeId>(i));
+    const bool dynamic = system_.vts().edges[i].converted;
+    for (std::int64_t d = 0; d < e.delay; ++d) {
+      Bytes token = dynamic ? Bytes{} : Bytes(static_cast<std::size_t>(e.token_bytes), 0);
+      const auto it = channels_.find(static_cast<df::EdgeId>(i));
+      if (it != channels_.end())
+        it->second->push(std::move(token));
+      else
+        local_fifo_[i].push_back(std::move(token));
+    }
+  }
+
+  // Per-processor firing sequence from the PASS.
+  proc_firing_order_.resize(static_cast<std::size_t>(assignment.proc_count()));
+  for (df::ActorId actor : system.pass().firings)
+    proc_firing_order_[static_cast<std::size_t>(assignment.proc_of(actor))].push_back(actor);
+}
+
+void ThreadedRuntime::set_compute(df::ActorId actor, ComputeFn fn) {
+  compute_.at(static_cast<std::size_t>(actor)) = std::move(fn);
+}
+
+void ThreadedRuntime::fire(df::ActorId actor) {
+  const auto a = static_cast<std::size_t>(actor);
+  FiringContext ctx;
+  ctx.actor = actor;
+  ctx.invocation = fired_[a]++;
+  ctx.in_edges = graph_.in_edges(actor);
+  ctx.out_edges = graph_.out_edges(actor);
+
+  ctx.inputs.resize(ctx.in_edges.size());
+  for (std::size_t i = 0; i < ctx.in_edges.size(); ++i) {
+    const df::EdgeId eid = ctx.in_edges[i];
+    const df::Edge& e = graph_.edge(eid);
+    const auto channel = channels_.find(eid);
+    ctx.inputs[i].reserve(static_cast<std::size_t>(e.cons.value()));
+    for (std::int64_t t = 0; t < e.cons.value(); ++t) {
+      if (channel != channels_.end()) {
+        ctx.inputs[i].push_back(channel->second->pop());
+      } else {
+        auto& fifo = local_fifo_[static_cast<std::size_t>(eid)];
+        if (fifo.empty())
+          throw std::logic_error("ThreadedRuntime: local token underflow on " + e.name);
+        ctx.inputs[i].push_back(std::move(fifo.front()));
+        fifo.pop_front();
+      }
+    }
+  }
+
+  ctx.outputs.resize(ctx.out_edges.size());
+  if (compute_[a]) {
+    compute_[a](ctx);
+  } else {
+    for (std::size_t i = 0; i < ctx.out_edges.size(); ++i) {
+      const df::Edge& e = graph_.edge(ctx.out_edges[i]);
+      for (std::int64_t t = 0; t < e.prod.value(); ++t)
+        ctx.outputs[i].emplace_back(static_cast<std::size_t>(e.token_bytes), 0);
+    }
+  }
+
+  for (std::size_t i = 0; i < ctx.out_edges.size(); ++i) {
+    const df::EdgeId eid = ctx.out_edges[i];
+    const df::Edge& e = graph_.edge(eid);
+    const df::VtsEdgeInfo& info = system_.vts().edges[static_cast<std::size_t>(eid)];
+    if (static_cast<std::int64_t>(ctx.outputs[i].size()) != e.prod.value())
+      throw std::logic_error("ThreadedRuntime: wrong token count on " + e.name);
+    const auto channel = channels_.find(eid);
+    for (Bytes& token : ctx.outputs[i]) {
+      if (info.converted && static_cast<std::int64_t>(token.size()) > info.b_max_bytes)
+        throw std::length_error("ThreadedRuntime: packed token exceeds b_max on " + e.name);
+      if (channel != channels_.end())
+        channel->second->push(std::move(token));
+      else
+        local_fifo_[static_cast<std::size_t>(eid)].push_back(std::move(token));
+    }
+  }
+}
+
+void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
+  try {
+    const auto& order = proc_firing_order_[static_cast<std::size_t>(proc)];
+    for (std::int64_t iter = 0; iter < iterations && !abort_.load(); ++iter)
+      for (df::ActorId actor : order) fire(actor);
+  } catch (const Aborted&) {
+    // Unwound by another worker's failure; nothing to record.
+  } catch (...) {
+    {
+      std::lock_guard lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    abort_.store(true);
+    for (auto& [edge, channel] : channels_) channel->interrupt();
+  }
+}
+
+void ThreadedRuntime::run(std::int64_t iterations) {
+  if (iterations < 0) throw std::invalid_argument("ThreadedRuntime::run: negative iterations");
+  abort_.store(false);
+  first_error_ = nullptr;
+
+  std::vector<std::thread> threads;
+  threads.reserve(proc_firing_order_.size());
+  for (std::size_t p = 0; p < proc_firing_order_.size(); ++p)
+    threads.emplace_back([this, p, iterations] { worker(static_cast<std::int32_t>(p), iterations); });
+  for (std::thread& t : threads) t.join();
+
+  stats_ = ThreadedRunStats{};
+  for (const auto& [edge, channel] : channels_) {
+    stats_.messages += channel->messages;
+    stats_.payload_bytes += channel->payload_bytes;
+    stats_.producer_blocks += channel->producer_blocks;
+    stats_.consumer_blocks += channel->consumer_blocks;
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace spi::core

@@ -1,0 +1,105 @@
+/// \file threaded_runtime.hpp
+/// Software SPI: executes a compiled SpiSystem on real host threads —
+/// one thread per modeled processor, self-timed scheduling realized by
+/// blocking SPI channels.
+///
+/// The paper's preliminary SPI was exactly this: a software library for
+/// multiprocessor signal processing. Here every interprocessor channel
+/// is a bounded, thread-safe FIFO of tokens: a BBS channel blocks the
+/// producer at its equation-2 capacity (back-pressure the static
+/// analysis guarantees is never exercised in a correctly scheduled
+/// system, kept as a safety net); a UBS channel blocks at its credit
+/// window. Dataflow determinacy guarantees the parallel result is
+/// identical to FunctionalRuntime's sequential interleaving, whatever
+/// the thread schedule — the tests assert it.
+///
+/// Actor compute functions are the same ComputeFn used by
+/// FunctionalRuntime, so an application wires up once and runs on either
+/// engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/functional.hpp"
+
+namespace spi::core {
+
+struct ThreadedRunStats {
+  std::int64_t messages = 0;         ///< interprocessor tokens moved
+  std::int64_t payload_bytes = 0;
+  std::int64_t producer_blocks = 0;  ///< times a sender hit a full channel
+  std::int64_t consumer_blocks = 0;  ///< times a receiver waited for data
+};
+
+/// Multithreaded execution engine for a compiled SpiSystem.
+class ThreadedRuntime {
+ public:
+  explicit ThreadedRuntime(const SpiSystem& system);
+
+  /// Registers an actor's computation (same contract as
+  /// FunctionalRuntime::set_compute; must be called before run()).
+  /// Compute functions for actors on different processors run
+  /// concurrently — they must not share mutable state without their own
+  /// synchronization.
+  void set_compute(df::ActorId actor, ComputeFn fn);
+
+  /// Runs `iterations` graph iterations across proc_count() threads and
+  /// joins them. Exceptions thrown by compute functions are rethrown on
+  /// the caller thread (first one wins); other threads are unblocked and
+  /// wound down.
+  void run(std::int64_t iterations);
+
+  /// Aggregated channel statistics of the last run().
+  [[nodiscard]] const ThreadedRunStats& stats() const { return stats_; }
+
+ private:
+  /// Thread-safe bounded FIFO of raw tokens for one interprocessor edge.
+  class BlockingChannel {
+   public:
+    BlockingChannel(std::size_t capacity_tokens, std::atomic<bool>& abort)
+        : capacity_(capacity_tokens), abort_(abort) {}
+
+    void push(Bytes token);
+    [[nodiscard]] Bytes pop();
+    void interrupt();  ///< wake all waiters (used on abort)
+
+    std::int64_t messages = 0;  // guarded by mutex_
+    std::int64_t payload_bytes = 0;
+    std::int64_t producer_blocks = 0;
+    std::int64_t consumer_blocks = 0;
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<Bytes> queue_;
+    std::size_t capacity_;
+    std::atomic<bool>& abort_;
+  };
+
+  void worker(std::int32_t proc, std::int64_t iterations);
+  void fire(df::ActorId actor);
+
+  const SpiSystem& system_;
+  const df::Graph& graph_;  ///< the VTS-converted graph
+  std::vector<ComputeFn> compute_;
+  /// Per-edge local FIFOs (touched only by the owning processor's
+  /// thread) and cross-processor blocking channels.
+  std::vector<std::deque<Bytes>> local_fifo_;
+  std::map<df::EdgeId, std::unique_ptr<BlockingChannel>> channels_;
+  /// Per-processor firing sequence for one iteration (actor ids; an
+  /// actor appears once per firing, from the PASS).
+  std::vector<std::vector<df::ActorId>> proc_firing_order_;
+  std::vector<std::int64_t> fired_;  ///< per actor, owned by its processor's thread
+  std::atomic<bool> abort_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+  ThreadedRunStats stats_;
+};
+
+}  // namespace spi::core

@@ -1,0 +1,30 @@
+#include "dataflow/dot.hpp"
+
+#include <sstream>
+
+namespace spi::df {
+
+namespace {
+std::string rate_label(const Rate& r) {
+  return r.is_dynamic() ? "<=" + std::to_string(r.bound()) : std::to_string(r.bound());
+}
+}  // namespace
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream out;
+  out << "digraph \"" << g.name() << "\" {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (std::size_t a = 0; a < g.actor_count(); ++a)
+    out << "  a" << a << " [label=\"" << g.actor(static_cast<ActorId>(a)).name << "\"];\n";
+  for (const Edge& e : g.edges()) {
+    out << "  a" << e.src << " -> a" << e.snk << " [label=\"" << rate_label(e.prod) << ":"
+        << rate_label(e.cons);
+    if (e.delay > 0) out << " d=" << e.delay;
+    out << "\"";
+    if (e.is_dynamic()) out << ", style=dashed";
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace spi::df

@@ -1,0 +1,17 @@
+/// \file dot.hpp
+/// Graphviz DOT export for dataflow graphs — used by the examples to make
+/// application topologies and VTS conversions inspectable.
+#pragma once
+
+#include <string>
+
+#include "dataflow/graph.hpp"
+
+namespace spi::df {
+
+/// Renders the graph in DOT syntax. Dynamic ports are annotated with
+/// their bounds (`≤ b`), static ports with their rates; edge labels show
+/// delay (initial tokens) when non-zero.
+[[nodiscard]] std::string to_dot(const Graph& g);
+
+}  // namespace spi::df

@@ -1,0 +1,49 @@
+#include "dataflow/graph.hpp"
+
+namespace spi::df {
+
+ActorId Graph::add_actor(std::string name, std::int64_t exec_cycles) {
+  if (exec_cycles <= 0) throw std::invalid_argument("Graph::add_actor: exec_cycles must be positive");
+  actors_.push_back(Actor{std::move(name), exec_cycles});
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<ActorId>(actors_.size() - 1);
+}
+
+EdgeId Graph::connect(ActorId src, Rate prod, ActorId snk, Rate cons,
+                      std::int64_t delay, std::int64_t token_bytes,
+                      std::string edge_name) {
+  checked(src, actors_.size(), "actor");
+  checked(snk, actors_.size(), "actor");
+  if (delay < 0) throw std::invalid_argument("Graph::connect: negative delay");
+  if (token_bytes <= 0) throw std::invalid_argument("Graph::connect: token_bytes must be positive");
+  if (edge_name.empty())
+    edge_name = actors_[static_cast<std::size_t>(src)].name + "->" +
+                actors_[static_cast<std::size_t>(snk)].name;
+  edges_.push_back(Edge{src, snk, prod, cons, delay, token_bytes, std::move(edge_name)});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  in_[static_cast<std::size_t>(snk)].push_back(id);
+  return id;
+}
+
+bool Graph::is_sdf() const {
+  for (const Edge& e : edges_)
+    if (e.is_dynamic()) return false;
+  return true;
+}
+
+std::vector<EdgeId> Graph::dynamic_edges() const {
+  std::vector<EdgeId> result;
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    if (edges_[i].is_dynamic()) result.push_back(static_cast<EdgeId>(i));
+  return result;
+}
+
+ActorId Graph::find_actor(std::string_view name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i)
+    if (actors_[i].name == name) return static_cast<ActorId>(i);
+  return kInvalidActor;
+}
+
+}  // namespace spi::df

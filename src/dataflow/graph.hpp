@@ -1,0 +1,141 @@
+/// \file graph.hpp
+/// Coarse-grain dataflow graph model underlying SPI.
+///
+/// The model follows the paper's terminology: a graph of *actors* connected
+/// by *edges* (FIFO channels). Each edge endpoint has a token *rate*; rates
+/// are either static (classic SDF, Lee/Messerschmitt) or *dynamic with a
+/// known upper bound* — the precondition for the paper's Variable Token
+/// Size (VTS) conversion (Section 3). Edges carry a token width in bytes
+/// and an initial token count (*delay*).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spi::df {
+
+using ActorId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr ActorId kInvalidActor = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// Token production/consumption rate of one edge endpoint.
+///
+/// A static rate transfers exactly `bound()` tokens per firing. A dynamic
+/// rate transfers a run-time-determined number of tokens in [0, bound()];
+/// the bound must be finite and known at compile time, as required for VTS
+/// conversion (the paper disallows unbounded dynamic ports).
+class Rate {
+ public:
+  static Rate fixed(std::int64_t tokens) {
+    if (tokens <= 0) throw std::invalid_argument("Rate::fixed: rate must be positive");
+    return Rate{tokens, false};
+  }
+  static Rate dynamic(std::int64_t upper_bound) {
+    if (upper_bound <= 0) throw std::invalid_argument("Rate::dynamic: bound must be positive");
+    return Rate{upper_bound, true};
+  }
+
+  [[nodiscard]] std::int64_t bound() const { return bound_; }
+  [[nodiscard]] bool is_dynamic() const { return dynamic_; }
+
+  /// Static rate value; throws for dynamic rates (callers must VTS-convert
+  /// the graph before running SDF analyses).
+  [[nodiscard]] std::int64_t value() const {
+    if (dynamic_) throw std::domain_error("Rate::value: dynamic rate has no static value");
+    return bound_;
+  }
+
+  friend bool operator==(const Rate&, const Rate&) = default;
+
+ private:
+  Rate(std::int64_t bound, bool dynamic) : bound_(bound), dynamic_(dynamic) {}
+  std::int64_t bound_ = 1;
+  bool dynamic_ = false;
+};
+
+/// A dataflow actor (task). `exec_cycles` is the default firing duration
+/// used by the timing simulator; applications may override it per firing.
+struct Actor {
+  std::string name;
+  std::int64_t exec_cycles = 1;
+};
+
+/// A dataflow edge: FIFO channel src -> snk.
+struct Edge {
+  ActorId src = kInvalidActor;
+  ActorId snk = kInvalidActor;
+  Rate prod = Rate::fixed(1);   ///< tokens produced per src firing
+  Rate cons = Rate::fixed(1);   ///< tokens consumed per snk firing
+  std::int64_t delay = 0;       ///< initial tokens on the channel
+  std::int64_t token_bytes = 4; ///< bytes per (raw, unpacked) token
+  std::string name;
+
+  [[nodiscard]] bool is_dynamic() const { return prod.is_dynamic() || cons.is_dynamic(); }
+};
+
+/// Application dataflow graph. Actors and edges are identified by dense
+/// integer ids; adjacency lists are maintained incrementally.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  ActorId add_actor(std::string name, std::int64_t exec_cycles = 1);
+
+  /// Connects src -> snk with the given endpoint rates.
+  EdgeId connect(ActorId src, Rate prod, ActorId snk, Rate cons,
+                 std::int64_t delay = 0, std::int64_t token_bytes = 4,
+                 std::string edge_name = {});
+
+  /// Convenience for homogeneous (rate-1/1) edges.
+  EdgeId connect_simple(ActorId src, ActorId snk, std::int64_t delay = 0,
+                        std::int64_t token_bytes = 4) {
+    return connect(src, Rate::fixed(1), snk, Rate::fixed(1), delay, token_bytes);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Actor& actor(ActorId id) const { return actors_.at(checked(id, actors_.size(), "actor")); }
+  [[nodiscard]] Actor& actor(ActorId id) { return actors_.at(checked(id, actors_.size(), "actor")); }
+  [[nodiscard]] const Edge& edge(EdgeId id) const { return edges_.at(checked(id, edges_.size(), "edge")); }
+  [[nodiscard]] Edge& edge(EdgeId id) { return edges_.at(checked(id, edges_.size(), "edge")); }
+
+  [[nodiscard]] std::span<const Actor> actors() const { return actors_; }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Edge ids leaving / entering an actor.
+  [[nodiscard]] std::span<const EdgeId> out_edges(ActorId a) const { return out_.at(static_cast<std::size_t>(a)); }
+  [[nodiscard]] std::span<const EdgeId> in_edges(ActorId a) const { return in_.at(static_cast<std::size_t>(a)); }
+
+  /// True when every endpoint rate is static — i.e. the graph is pure SDF
+  /// and all classic SDF analyses (repetitions, bounds, PASS) apply.
+  [[nodiscard]] bool is_sdf() const;
+
+  /// Ids of all edges with at least one dynamic endpoint.
+  [[nodiscard]] std::vector<EdgeId> dynamic_edges() const;
+
+  /// Looks up an actor by name; returns kInvalidActor when absent.
+  [[nodiscard]] ActorId find_actor(std::string_view name) const;
+
+ private:
+  static std::size_t checked(std::int32_t id, std::size_t size, const char* what) {
+    if (id < 0 || static_cast<std::size_t>(id) >= size)
+      throw std::out_of_range(std::string("Graph: invalid ") + what + " id " + std::to_string(id));
+    return static_cast<std::size_t>(id);
+  }
+
+  std::string name_;
+  std::vector<Actor> actors_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace spi::df

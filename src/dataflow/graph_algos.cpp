@@ -1,0 +1,164 @@
+#include "dataflow/graph_algos.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stack>
+
+namespace spi::df {
+
+WeightedDigraph WeightedDigraph::from_dataflow(const Graph& g) {
+  WeightedDigraph wd(g.actor_count());
+  for (const Edge& e : g.edges()) wd.add_arc(e.src, e.snk, e.delay);
+  return wd;
+}
+
+std::vector<std::int64_t> min_delay_from(const WeightedDigraph& g, std::int32_t source) {
+  const std::size_t n = g.node_count();
+  std::vector<std::int64_t> dist(n, kUnreachable);
+  using Entry = std::pair<std::int64_t, std::int32_t>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist.at(static_cast<std::size_t>(source)) = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& arc : g.arcs(u)) {
+      const std::int64_t nd = d + arc.weight;
+      auto& slot = dist[static_cast<std::size_t>(arc.to)];
+      if (nd < slot) {
+        slot = nd;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::int64_t>> all_pairs_min_delay(const WeightedDigraph& g) {
+  std::vector<std::vector<std::int64_t>> result;
+  result.reserve(g.node_count());
+  for (std::size_t u = 0; u < g.node_count(); ++u)
+    result.push_back(min_delay_from(g, static_cast<std::int32_t>(u)));
+  return result;
+}
+
+namespace {
+
+/// Iterative Tarjan to avoid deep recursion on large graphs.
+struct TarjanState {
+  const WeightedDigraph& g;
+  std::vector<std::int32_t> index, lowlink, component;
+  std::vector<bool> on_stack;
+  std::stack<std::int32_t> stack;
+  std::int32_t next_index = 0;
+  std::int32_t component_count = 0;
+
+  explicit TarjanState(const WeightedDigraph& graph)
+      : g(graph),
+        index(graph.node_count(), -1),
+        lowlink(graph.node_count(), -1),
+        component(graph.node_count(), -1),
+        on_stack(graph.node_count(), false) {}
+
+  void run(std::int32_t root) {
+    struct Frame {
+      std::int32_t node;
+      std::size_t arc_pos;
+    };
+    std::stack<Frame> frames;
+    frames.push({root, 0});
+    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
+    stack.push(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.top();
+      const auto u = static_cast<std::size_t>(frame.node);
+      const auto& arcs = g.arcs(frame.node);
+      if (frame.arc_pos < arcs.size()) {
+        const std::int32_t v = arcs[frame.arc_pos++].to;
+        const auto vi = static_cast<std::size_t>(v);
+        if (index[vi] < 0) {
+          index[vi] = lowlink[vi] = next_index++;
+          stack.push(v);
+          on_stack[vi] = true;
+          frames.push({v, 0});
+        } else if (on_stack[vi]) {
+          lowlink[u] = std::min(lowlink[u], index[vi]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          while (true) {
+            const std::int32_t w = stack.top();
+            stack.pop();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            component[static_cast<std::size_t>(w)] = component_count;
+            if (w == frame.node) break;
+          }
+          ++component_count;
+        }
+        const std::int32_t done = frame.node;
+        frames.pop();
+        if (!frames.empty()) {
+          const auto parent = static_cast<std::size_t>(frames.top().node);
+          lowlink[parent] = std::min(lowlink[parent], lowlink[static_cast<std::size_t>(done)]);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SccResult strongly_connected_components(const WeightedDigraph& g) {
+  TarjanState state(g);
+  for (std::size_t u = 0; u < g.node_count(); ++u)
+    if (state.index[u] < 0) state.run(static_cast<std::int32_t>(u));
+  return SccResult{std::move(state.component), state.component_count};
+}
+
+std::optional<std::vector<std::int32_t>> topological_order(const WeightedDigraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::int32_t> in_degree(n, 0);
+  for (std::size_t u = 0; u < n; ++u)
+    for (const auto& arc : g.arcs(static_cast<std::int32_t>(u)))
+      ++in_degree[static_cast<std::size_t>(arc.to)];
+
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  std::queue<std::int32_t> ready;
+  for (std::size_t u = 0; u < n; ++u)
+    if (in_degree[u] == 0) ready.push(static_cast<std::int32_t>(u));
+  while (!ready.empty()) {
+    const std::int32_t u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (const auto& arc : g.arcs(u))
+      if (--in_degree[static_cast<std::size_t>(arc.to)] == 0) ready.push(arc.to);
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool reachable(const WeightedDigraph& g, std::int32_t from, std::int32_t to) {
+  if (from == to) return true;
+  std::vector<bool> seen(g.node_count(), false);
+  std::queue<std::int32_t> frontier;
+  seen[static_cast<std::size_t>(from)] = true;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const std::int32_t u = frontier.front();
+    frontier.pop();
+    for (const auto& arc : g.arcs(u)) {
+      if (arc.to == to) return true;
+      if (!seen[static_cast<std::size_t>(arc.to)]) {
+        seen[static_cast<std::size_t>(arc.to)] = true;
+        frontier.push(arc.to);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace spi::df

@@ -1,0 +1,73 @@
+/// \file graph_algos.hpp
+/// Generic directed-graph algorithms shared by the dataflow, scheduling
+/// and synchronization layers: Tarjan SCC, topological sort, and
+/// minimum-delay path computation (the Γ term of the paper's equation 2,
+/// and the redundancy test of resynchronization both reduce to it).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "dataflow/graph.hpp"
+
+namespace spi::df {
+
+/// Lightweight adjacency-list digraph with non-negative integer edge
+/// weights ("delays"). Dataflow, IPC and synchronization graphs all
+/// project onto this structure for analysis.
+class WeightedDigraph {
+ public:
+  struct Arc {
+    std::int32_t to = 0;
+    std::int64_t weight = 0;
+  };
+
+  explicit WeightedDigraph(std::size_t node_count) : adj_(node_count) {}
+
+  void add_arc(std::int32_t from, std::int32_t to, std::int64_t weight) {
+    if (weight < 0) throw std::invalid_argument("WeightedDigraph: negative weight");
+    adj_.at(static_cast<std::size_t>(from)).push_back(Arc{to, weight});
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  [[nodiscard]] const std::vector<Arc>& arcs(std::int32_t from) const {
+    return adj_.at(static_cast<std::size_t>(from));
+  }
+
+  /// Projects a dataflow graph: one node per actor, one arc per edge,
+  /// weighted by the edge delay (initial tokens).
+  static WeightedDigraph from_dataflow(const Graph& g);
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+};
+
+inline constexpr std::int64_t kUnreachable = std::numeric_limits<std::int64_t>::max();
+
+/// Single-source minimum-delay distances (Dijkstra; weights are
+/// non-negative by construction). dist[v] == kUnreachable when v is not
+/// reachable from source.
+[[nodiscard]] std::vector<std::int64_t> min_delay_from(const WeightedDigraph& g, std::int32_t source);
+
+/// All-pairs minimum delay; result[u][v]. O(V·(E log V)).
+[[nodiscard]] std::vector<std::vector<std::int64_t>> all_pairs_min_delay(const WeightedDigraph& g);
+
+/// Strongly connected components (Tarjan). Returns component index per
+/// node; components are numbered in reverse topological order of the
+/// component DAG (i.e. a component only reaches components with smaller
+/// or equal index... specifically, Tarjan emission order).
+struct SccResult {
+  std::vector<std::int32_t> component;  ///< node -> component id
+  std::int32_t count = 0;
+};
+[[nodiscard]] SccResult strongly_connected_components(const WeightedDigraph& g);
+
+/// Topological order of a DAG; std::nullopt when the graph has a cycle.
+[[nodiscard]] std::optional<std::vector<std::int32_t>> topological_order(const WeightedDigraph& g);
+
+/// True when `to` is reachable from `from` along arcs of any weight.
+[[nodiscard]] bool reachable(const WeightedDigraph& g, std::int32_t from, std::int32_t to);
+
+}  // namespace spi::df

@@ -1,0 +1,234 @@
+#include "dataflow/looped_schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "dataflow/graph_algos.hpp"
+
+namespace spi::df {
+
+ScheduleNode ScheduleNode::loop(std::int64_t count, std::vector<ScheduleNode> body) {
+  if (count <= 0) throw std::invalid_argument("ScheduleNode::loop: count must be positive");
+  if (count == 1 && body.size() == 1) return std::move(body.front());  // trivial loop folding
+  ScheduleNode n;
+  n.count_ = count;
+  n.body_ = std::move(body);
+  return n;
+}
+
+void ScheduleNode::expand(std::vector<ActorId>& out) const {
+  if (is_actor()) {
+    out.push_back(actor_);
+    return;
+  }
+  for (std::int64_t i = 0; i < count_; ++i)
+    for (const ScheduleNode& child : body_) child.expand(out);
+}
+
+std::size_t ScheduleNode::appearances() const {
+  if (is_actor()) return 1;
+  std::size_t n = 0;
+  for (const ScheduleNode& child : body_) n += child.appearances();
+  return n;
+}
+
+std::string ScheduleNode::str(const Graph& g) const {
+  if (is_actor()) return g.actor(actor_).name;
+  std::ostringstream out;
+  out << "(" << count_;
+  for (const ScheduleNode& child : body_) out << " " << child.str(g);
+  out << ")";
+  return out.str();
+}
+
+bool is_valid_schedule(const Graph& g, const Repetitions& reps, const LoopedSchedule& schedule) {
+  if (!reps.consistent) return false;
+  std::vector<std::int64_t> tokens(g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    tokens[e] = g.edge(static_cast<EdgeId>(e)).delay;
+  std::vector<std::int64_t> fired(g.actor_count(), 0);
+  for (ActorId a : schedule.firings()) {
+    for (EdgeId e : g.in_edges(a)) {
+      tokens[static_cast<std::size_t>(e)] -= g.edge(e).cons.value();
+      if (tokens[static_cast<std::size_t>(e)] < 0) return false;
+    }
+    for (EdgeId e : g.out_edges(a)) tokens[static_cast<std::size_t>(e)] += g.edge(e).prod.value();
+    ++fired[static_cast<std::size_t>(a)];
+  }
+  for (std::size_t a = 0; a < g.actor_count(); ++a)
+    if (fired[a] != reps.of(static_cast<ActorId>(a))) return false;
+  return true;
+}
+
+std::vector<std::int64_t> buffer_bounds_under(const Graph& g, const LoopedSchedule& schedule) {
+  std::vector<std::int64_t> tokens(g.edge_count());
+  std::vector<std::int64_t> peak(g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    tokens[e] = peak[e] = g.edge(static_cast<EdgeId>(e)).delay;
+  for (ActorId a : schedule.firings()) {
+    for (EdgeId e : g.in_edges(a)) tokens[static_cast<std::size_t>(e)] -= g.edge(e).cons.value();
+    for (EdgeId e : g.out_edges(a)) {
+      auto& t = tokens[static_cast<std::size_t>(e)];
+      t += g.edge(e).prod.value();
+      peak[static_cast<std::size_t>(e)] = std::max(peak[static_cast<std::size_t>(e)], t);
+    }
+  }
+  return peak;
+}
+
+namespace {
+
+/// APGAN working state over a shrinking cluster DAG.
+struct ClusterGraph {
+  struct Cluster {
+    std::int64_t reps = 1;
+    ScheduleNode tree = ScheduleNode::actor(0);
+    bool alive = false;
+  };
+  std::vector<Cluster> clusters;
+  /// Directed cluster adjacency derived from the SDF edges; parallel
+  /// edges collapse.
+  std::vector<std::pair<std::int32_t, std::int32_t>> arcs;
+
+  [[nodiscard]] bool has_arc(std::int32_t u, std::int32_t v) const {
+    return std::find(arcs.begin(), arcs.end(), std::make_pair(u, v)) != arcs.end();
+  }
+
+  /// True when a u ~> v path exists that uses at least one intermediate
+  /// cluster (i.e. not only the direct arc). Contracting (u, v) then
+  /// creates a cycle.
+  [[nodiscard]] bool indirect_path(std::int32_t u, std::int32_t v) const {
+    std::vector<std::int32_t> stack;
+    std::vector<bool> seen(clusters.size(), false);
+    for (const auto& [from, to] : arcs)
+      if (from == u && to != v && !seen[static_cast<std::size_t>(to)]) {
+        seen[static_cast<std::size_t>(to)] = true;
+        stack.push_back(to);
+      }
+    while (!stack.empty()) {
+      const std::int32_t x = stack.back();
+      stack.pop_back();
+      if (x == v) return true;
+      for (const auto& [from, to] : arcs)
+        if (from == x && !seen[static_cast<std::size_t>(to)]) {
+          seen[static_cast<std::size_t>(to)] = true;
+          stack.push_back(to);
+        }
+    }
+    return false;
+  }
+
+  /// Contracts v into u (u precedes v in the merged body).
+  void contract(std::int32_t u, std::int32_t v) {
+    auto& cu = clusters[static_cast<std::size_t>(u)];
+    auto& cv = clusters[static_cast<std::size_t>(v)];
+    const std::int64_t g = std::gcd(cu.reps, cv.reps);
+    std::vector<ScheduleNode> body;
+    body.push_back(ScheduleNode::loop(cu.reps / g, {std::move(cu.tree)}));
+    body.push_back(ScheduleNode::loop(cv.reps / g, {std::move(cv.tree)}));
+    cu.tree = ScheduleNode::loop(1, std::move(body));
+    cu.reps = g;
+    cv.alive = false;
+    for (auto& [from, to] : arcs) {
+      if (from == v) from = u;
+      if (to == v) to = u;
+    }
+    // Drop self-loops and duplicates.
+    arcs.erase(std::remove_if(arcs.begin(), arcs.end(),
+                              [](const auto& a) { return a.first == a.second; }),
+               arcs.end());
+    std::sort(arcs.begin(), arcs.end());
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  }
+};
+
+}  // namespace
+
+LoopedSchedule apgan_schedule(const Graph& g, const Repetitions& reps) {
+  if (!g.is_sdf()) throw std::invalid_argument("apgan_schedule: dynamic graph (VTS-convert first)");
+  if (!reps.consistent) throw std::invalid_argument("apgan_schedule: inconsistent graph");
+  {
+    WeightedDigraph zero(g.actor_count());
+    for (const Edge& e : g.edges()) zero.add_arc(e.src, e.snk, 0);
+    if (!topological_order(zero).has_value())
+      throw std::invalid_argument("apgan_schedule: graph has cycles (not supported)");
+  }
+
+  ClusterGraph cg;
+  cg.clusters.resize(g.actor_count());
+  for (std::size_t a = 0; a < g.actor_count(); ++a) {
+    cg.clusters[a].reps = reps.of(static_cast<ActorId>(a));
+    cg.clusters[a].tree = ScheduleNode::actor(static_cast<ActorId>(a));
+    cg.clusters[a].alive = true;
+  }
+  for (const Edge& e : g.edges())
+    if (e.src != e.snk) cg.arcs.emplace_back(e.src, e.snk);
+  std::sort(cg.arcs.begin(), cg.arcs.end());
+  cg.arcs.erase(std::unique(cg.arcs.begin(), cg.arcs.end()), cg.arcs.end());
+
+  // Greedy contraction: adjacent pair with the maximum repetition gcd
+  // whose contraction keeps the cluster graph acyclic.
+  while (true) {
+    std::int32_t best_u = -1, best_v = -1;
+    std::int64_t best_gcd = 0;
+    for (const auto& [u, v] : cg.arcs) {
+      if (cg.indirect_path(u, v)) continue;  // contraction would close a cycle
+      const std::int64_t rho = std::gcd(cg.clusters[static_cast<std::size_t>(u)].reps,
+                                        cg.clusters[static_cast<std::size_t>(v)].reps);
+      if (rho > best_gcd) {
+        best_gcd = rho;
+        best_u = u;
+        best_v = v;
+      }
+    }
+    if (best_u < 0) break;
+    cg.contract(best_u, best_v);
+  }
+
+  // Assemble surviving clusters (one per connected component, plus any
+  // arcs that could not be contracted — emit in topological order).
+  std::vector<std::int32_t> survivors;
+  for (std::size_t c = 0; c < cg.clusters.size(); ++c)
+    if (cg.clusters[c].alive) survivors.push_back(static_cast<std::int32_t>(c));
+  // Topological order of survivors w.r.t. remaining arcs.
+  std::stable_sort(survivors.begin(), survivors.end(), [&](std::int32_t a, std::int32_t b) {
+    if (cg.has_arc(a, b)) return true;
+    if (cg.has_arc(b, a)) return false;
+    return a < b;
+  });
+  // (stable_sort with a partial order is only a heuristic; do an exact
+  // Kahn pass instead when arcs survive.)
+  if (!cg.arcs.empty()) {
+    std::vector<std::int32_t> order;
+    std::vector<std::int32_t> indegree(cg.clusters.size(), 0);
+    for (const auto& [u, v] : cg.arcs) ++indegree[static_cast<std::size_t>(v)];
+    std::vector<std::int32_t> ready;
+    for (std::int32_t c : survivors)
+      if (indegree[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+    std::vector<bool> emitted(cg.clusters.size(), false);
+    while (!ready.empty()) {
+      std::sort(ready.begin(), ready.end());
+      const std::int32_t c = ready.front();
+      ready.erase(ready.begin());
+      order.push_back(c);
+      emitted[static_cast<std::size_t>(c)] = true;
+      for (const auto& [u, v] : cg.arcs)
+        if (u == c && --indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+    if (order.size() == survivors.size()) survivors = std::move(order);
+  }
+
+  std::vector<ScheduleNode> roots;
+  roots.reserve(survivors.size());
+  for (std::int32_t c : survivors) {
+    auto& cluster = cg.clusters[static_cast<std::size_t>(c)];
+    roots.push_back(ScheduleNode::loop(cluster.reps, {std::move(cluster.tree)}));
+  }
+  LoopedSchedule schedule;
+  schedule.root = ScheduleNode::loop(1, std::move(roots));
+  return schedule;
+}
+
+}  // namespace spi::df

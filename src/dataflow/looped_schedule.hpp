@@ -1,0 +1,88 @@
+/// \file looped_schedule.hpp
+/// Looped schedules and the APGAN single-appearance heuristic.
+///
+/// Embedded software synthesis from SDF (the body of work the paper's
+/// buffer-bound machinery cites — Bhattacharyya et al.) represents
+/// schedules as *schedule trees*: a loop node `(n B1 B2 ...)` executes
+/// its body n times. A *single-appearance schedule* (SAS) names every
+/// actor exactly once, minimizing code size; among SASs, buffer memory
+/// varies widely, and APGAN (Adjacent Pairwise Grouping of Actors)
+/// greedily clusters the adjacent actor pair with the largest
+/// repetition-count gcd — provably optimal on a broad graph class and a
+/// strong heuristic elsewhere.
+///
+/// This module provides the schedule tree, its evaluation (firing
+/// expansion, buffer-memory under lexical execution, code-size metric),
+/// and APGAN for consistent acyclic SDF graphs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.hpp"
+#include "dataflow/repetitions.hpp"
+
+namespace spi::df {
+
+/// A node of a looped schedule: either a single actor firing or a loop
+/// over child nodes.
+class ScheduleNode {
+ public:
+  static ScheduleNode actor(ActorId id) {
+    ScheduleNode n;
+    n.actor_ = id;
+    return n;
+  }
+  static ScheduleNode loop(std::int64_t count, std::vector<ScheduleNode> body);
+
+  [[nodiscard]] bool is_actor() const { return actor_ != kInvalidActor; }
+  [[nodiscard]] ActorId actor_id() const { return actor_; }
+  [[nodiscard]] std::int64_t loop_count() const { return count_; }
+  [[nodiscard]] const std::vector<ScheduleNode>& body() const { return body_; }
+
+  /// Flat firing sequence the node denotes.
+  void expand(std::vector<ActorId>& out) const;
+
+  /// Number of actor appearances in the (unexpanded) schedule text.
+  [[nodiscard]] std::size_t appearances() const;
+
+  /// Schedule text, e.g. "(2 A (3 B C))".
+  [[nodiscard]] std::string str(const Graph& g) const;
+
+ private:
+  ActorId actor_ = kInvalidActor;
+  std::int64_t count_ = 1;
+  std::vector<ScheduleNode> body_;
+};
+
+struct LoopedSchedule {
+  ScheduleNode root = ScheduleNode::loop(1, {});
+
+  [[nodiscard]] std::vector<ActorId> firings() const {
+    std::vector<ActorId> out;
+    root.expand(out);
+    return out;
+  }
+  [[nodiscard]] std::size_t appearances() const { return root.appearances(); }
+  [[nodiscard]] std::string str(const Graph& g) const { return root.str(g); }
+};
+
+/// True when the flat expansion of the schedule is a valid PASS of g
+/// (never underflows an edge and fires each actor its repetition count).
+[[nodiscard]] bool is_valid_schedule(const Graph& g, const Repetitions& reps,
+                                     const LoopedSchedule& schedule);
+
+/// Per-edge maximum token occupancy when executing the schedule's flat
+/// expansion (the buffer model of inlined software synthesis).
+[[nodiscard]] std::vector<std::int64_t> buffer_bounds_under(const Graph& g,
+                                                            const LoopedSchedule& schedule);
+
+/// APGAN: builds a single-appearance looped schedule for a consistent,
+/// *acyclic* pure-SDF graph. Throws std::invalid_argument on cyclic or
+/// dynamic graphs (VTS-convert first; cycles need clustering theory out
+/// of scope here).
+[[nodiscard]] LoopedSchedule apgan_schedule(const Graph& g, const Repetitions& reps);
+
+}  // namespace spi::df

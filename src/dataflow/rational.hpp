@@ -1,0 +1,93 @@
+/// \file rational.hpp
+/// Exact rational arithmetic used by the SDF balance-equation solver.
+///
+/// Repetitions vectors must be computed exactly: floating point would
+/// mis-classify graphs as (in)consistent for large co-prime rates. The
+/// class keeps values normalized (gcd-reduced, denominator > 0) so that
+/// equality is structural.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace spi::df {
+
+/// Exact rational number over 64-bit integers, always stored normalized.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit by design
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+  [[nodiscard]] constexpr bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] constexpr bool is_zero() const { return num_ == 0; }
+
+  /// Integer value; throws unless is_integer().
+  [[nodiscard]] std::int64_t to_integer() const {
+    if (!is_integer()) throw std::domain_error("Rational: not an integer: " + str());
+    return num_;
+  }
+
+  [[nodiscard]] Rational reciprocal() const {
+    if (num_ == 0) throw std::domain_error("Rational: reciprocal of zero");
+    return {den_, num_};
+  }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return {a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_};
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return {a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_};
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return {a.num_ * b.num_, a.den_ * b.den_};
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    return a * b.reciprocal();
+  }
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return a.num_ * b.den_ < b.num_ * a.den_;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return is_integer() ? std::to_string(num_)
+                        : std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+ private:
+  void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// Least common multiple that guards against the zero cases the std
+/// version leaves undefined for our usage.
+inline std::int64_t lcm_positive(std::int64_t a, std::int64_t b) {
+  if (a <= 0 || b <= 0) throw std::invalid_argument("lcm_positive: non-positive input");
+  return std::lcm(a, b);
+}
+
+}  // namespace spi::df

@@ -1,0 +1,115 @@
+#include "dataflow/repetitions.hpp"
+
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "dataflow/rational.hpp"
+
+namespace spi::df {
+
+std::int64_t Repetitions::total_firings() const {
+  return std::accumulate(q.begin(), q.end(), std::int64_t{0});
+}
+
+Repetitions compute_repetitions(const Graph& g) {
+  if (!g.is_sdf())
+    throw std::logic_error(
+        "compute_repetitions: graph has dynamic rates; apply VTS conversion first");
+
+  const std::size_t n = g.actor_count();
+  Repetitions result;
+  if (n == 0) {
+    result.consistent = true;
+    return result;
+  }
+
+  // Propagate rational firing ratios over the undirected reachability
+  // structure (BFS per connected component), then check all edges.
+  std::vector<Rational> ratio(n, Rational{0});
+  std::vector<bool> visited(n, false);
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    ratio[root] = Rational{1};
+    visited[root] = true;
+    std::queue<ActorId> frontier;
+    frontier.push(static_cast<ActorId>(root));
+    while (!frontier.empty()) {
+      const ActorId a = frontier.front();
+      frontier.pop();
+      auto relax = [&](EdgeId eid, bool forward) {
+        const Edge& e = g.edge(eid);
+        const ActorId other = forward ? e.snk : e.src;
+        // balance: q[src]·prod = q[snk]·cons
+        const Rational derived =
+            forward ? ratio[static_cast<std::size_t>(a)] * Rational{e.prod.value(), e.cons.value()}
+                    : ratio[static_cast<std::size_t>(a)] * Rational{e.cons.value(), e.prod.value()};
+        auto& slot = ratio[static_cast<std::size_t>(other)];
+        if (!visited[static_cast<std::size_t>(other)]) {
+          slot = derived;
+          visited[static_cast<std::size_t>(other)] = true;
+          frontier.push(other);
+        } else if (slot != derived) {
+          result.consistent = false;
+          result.conflict_edge = eid;
+        }
+      };
+      for (EdgeId eid : g.out_edges(a)) relax(eid, /*forward=*/true);
+      for (EdgeId eid : g.in_edges(a)) relax(eid, /*forward=*/false);
+      if (result.conflict_edge != kInvalidEdge) return result;
+    }
+  }
+
+  // Scale each component so all entries are minimal positive integers.
+  // First clear denominators with the component-wide LCM, then divide by
+  // the component-wide GCD. Components are identified by re-walking from
+  // each unnormalized root.
+  std::vector<std::int64_t> q(n, 0);
+  std::vector<bool> scaled(n, false);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (scaled[root]) continue;
+    // Collect the component membership.
+    std::vector<std::size_t> members;
+    std::queue<std::size_t> frontier;
+    frontier.push(root);
+    scaled[root] = true;
+    while (!frontier.empty()) {
+      const std::size_t a = frontier.front();
+      frontier.pop();
+      members.push_back(a);
+      auto visit = [&](std::size_t other) {
+        if (!scaled[other]) {
+          scaled[other] = true;
+          frontier.push(other);
+        }
+      };
+      for (EdgeId eid : g.out_edges(static_cast<ActorId>(a)))
+        visit(static_cast<std::size_t>(g.edge(eid).snk));
+      for (EdgeId eid : g.in_edges(static_cast<ActorId>(a)))
+        visit(static_cast<std::size_t>(g.edge(eid).src));
+    }
+    std::int64_t denom_lcm = 1;
+    for (std::size_t m : members) denom_lcm = lcm_positive(denom_lcm, ratio[m].den());
+    std::int64_t num_gcd = 0;
+    for (std::size_t m : members) {
+      const Rational scaled_ratio = ratio[m] * Rational{denom_lcm};
+      q[m] = scaled_ratio.to_integer();
+      num_gcd = std::gcd(num_gcd, q[m]);
+    }
+    if (num_gcd > 1)
+      for (std::size_t m : members) q[m] /= num_gcd;
+  }
+
+  result.consistent = true;
+  result.q = std::move(q);
+  return result;
+}
+
+std::int64_t tokens_per_iteration(const Graph& g, const Repetitions& reps, EdgeId e) {
+  if (!reps.consistent) throw std::logic_error("tokens_per_iteration: inconsistent graph");
+  const Edge& edge = g.edge(e);
+  return edge.prod.value() * reps.of(edge.src);
+}
+
+}  // namespace spi::df

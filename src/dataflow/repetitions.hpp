@@ -1,0 +1,43 @@
+/// \file repetitions.hpp
+/// SDF repetitions vector and consistency analysis.
+///
+/// For an SDF graph, the repetitions vector q assigns each actor the
+/// (minimal, positive-integer) number of firings per graph iteration such
+/// that every edge is in balance: prod(e)·q[src(e)] = cons(e)·q[snk(e)].
+/// A graph with no such vector is *inconsistent* and cannot execute in
+/// bounded memory (Lee & Messerschmitt 1987). SPI requires consistency
+/// after VTS conversion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/graph.hpp"
+
+namespace spi::df {
+
+/// Result of the balance-equation solve.
+struct Repetitions {
+  bool consistent = false;
+  /// Inconsistent edge witness (first edge whose balance equation failed),
+  /// kInvalidEdge when consistent or when inconsistency is structural.
+  EdgeId conflict_edge = kInvalidEdge;
+  /// q[a] = firings of actor a per iteration; empty when inconsistent.
+  std::vector<std::int64_t> q;
+
+  [[nodiscard]] std::int64_t of(ActorId a) const { return q.at(static_cast<std::size_t>(a)); }
+  /// Total firings per iteration (sum of q).
+  [[nodiscard]] std::int64_t total_firings() const;
+};
+
+/// Solves the balance equations. Requires graph.is_sdf(); throws otherwise
+/// (dynamic graphs must be VTS-converted first — see vts.hpp).
+/// Disconnected graphs are handled per connected component, each normalized
+/// to the smallest positive integer solution.
+[[nodiscard]] Repetitions compute_repetitions(const Graph& g);
+
+/// Total tokens produced on edge e per graph iteration (= consumed, by
+/// balance). Requires a consistent repetitions vector.
+[[nodiscard]] std::int64_t tokens_per_iteration(const Graph& g, const Repetitions& reps, EdgeId e);
+
+}  // namespace spi::df

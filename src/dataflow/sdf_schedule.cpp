@@ -1,0 +1,117 @@
+#include "dataflow/sdf_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spi::df {
+
+namespace {
+
+/// Token state of the PASS simulation.
+struct SimState {
+  std::vector<std::int64_t> tokens;      // per edge
+  std::vector<std::int64_t> remaining;   // per actor: firings left this iteration
+  std::vector<std::int64_t> max_tokens;  // per edge: high-water mark
+
+  explicit SimState(const Graph& g, const Repetitions& reps)
+      : tokens(g.edge_count()), remaining(reps.q.begin(), reps.q.end()),
+        max_tokens(g.edge_count()) {
+    for (std::size_t e = 0; e < g.edge_count(); ++e)
+      tokens[e] = max_tokens[e] = g.edge(static_cast<EdgeId>(e)).delay;
+  }
+};
+
+bool fireable(const Graph& g, const SimState& s, ActorId a) {
+  if (s.remaining[static_cast<std::size_t>(a)] <= 0) return false;
+  for (EdgeId eid : g.in_edges(a)) {
+    const Edge& e = g.edge(eid);
+    // Self-loops consume before producing within a firing.
+    if (s.tokens[static_cast<std::size_t>(eid)] < e.cons.value()) return false;
+  }
+  return true;
+}
+
+void fire(const Graph& g, SimState& s, ActorId a) {
+  for (EdgeId eid : g.in_edges(a))
+    s.tokens[static_cast<std::size_t>(eid)] -= g.edge(eid).cons.value();
+  for (EdgeId eid : g.out_edges(a)) {
+    auto& t = s.tokens[static_cast<std::size_t>(eid)];
+    t += g.edge(eid).prod.value();
+    s.max_tokens[static_cast<std::size_t>(eid)] =
+        std::max(s.max_tokens[static_cast<std::size_t>(eid)], t);
+  }
+  --s.remaining[static_cast<std::size_t>(a)];
+}
+
+/// Buffer-demand score of firing `a`: net token change across its edges,
+/// used by the kMinBufferDemand heuristic (smaller is better).
+std::int64_t demand_score(const Graph& g, ActorId a) {
+  std::int64_t score = 0;
+  for (EdgeId eid : g.out_edges(a)) score += g.edge(eid).prod.value();
+  for (EdgeId eid : g.in_edges(a)) score -= g.edge(eid).cons.value();
+  return score;
+}
+
+}  // namespace
+
+SequentialSchedule build_sequential_schedule(const Graph& g, const Repetitions& reps,
+                                             SchedulePolicy policy) {
+  if (!g.is_sdf())
+    throw std::logic_error("build_sequential_schedule: graph is not pure SDF (VTS-convert first)");
+  if (!reps.consistent)
+    throw std::logic_error("build_sequential_schedule: inconsistent repetitions vector");
+
+  SequentialSchedule schedule;
+  SimState state(g, reps);
+  const std::int64_t total = reps.total_firings();
+  schedule.firings.reserve(static_cast<std::size_t>(total));
+
+  for (std::int64_t step = 0; step < total; ++step) {
+    ActorId chosen = kInvalidActor;
+    std::int64_t best_score = 0;
+    for (std::size_t a = 0; a < g.actor_count(); ++a) {
+      const auto id = static_cast<ActorId>(a);
+      if (!fireable(g, state, id)) continue;
+      if (policy == SchedulePolicy::kFirstFireable) {
+        chosen = id;
+        break;
+      }
+      const std::int64_t score = demand_score(g, id);
+      if (chosen == kInvalidActor || score < best_score) {
+        chosen = id;
+        best_score = score;
+      }
+    }
+    if (chosen == kInvalidActor) {
+      schedule.admissible = false;  // deadlock before quota completion
+      schedule.firings.clear();
+      return schedule;
+    }
+    fire(g, state, chosen);
+    schedule.firings.push_back(chosen);
+  }
+
+  schedule.admissible = true;
+  schedule.buffer_bound = std::move(state.max_tokens);
+  return schedule;
+}
+
+std::vector<std::int64_t> sdf_buffer_bounds(const Graph& g) {
+  const Repetitions reps = compute_repetitions(g);
+  if (!reps.consistent) throw std::logic_error("sdf_buffer_bounds: inconsistent graph");
+  const SequentialSchedule s =
+      build_sequential_schedule(g, reps, SchedulePolicy::kMinBufferDemand);
+  if (!s.admissible) throw std::logic_error("sdf_buffer_bounds: graph deadlocks");
+  return s.buffer_bound;
+}
+
+std::int64_t total_buffer_bytes(const Graph& g, const std::vector<std::int64_t>& bounds) {
+  if (bounds.size() != g.edge_count())
+    throw std::invalid_argument("total_buffer_bytes: bounds size mismatch");
+  std::int64_t bytes = 0;
+  for (std::size_t e = 0; e < bounds.size(); ++e)
+    bytes += bounds[e] * g.edge(static_cast<EdgeId>(e)).token_bytes;
+  return bytes;
+}
+
+}  // namespace spi::df

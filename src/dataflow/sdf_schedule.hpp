@@ -1,0 +1,50 @@
+/// \file sdf_schedule.hpp
+/// Sequential SDF scheduling and buffer-bound analysis.
+///
+/// Implements the classic class-S construction (Lee & Messerschmitt): fire
+/// any fireable actor that has not yet completed its repetitions-vector
+/// quota; the graph deadlocks iff no actor is fireable before all quotas
+/// complete. The simulation simultaneously yields `c_sdf(e)` — an upper
+/// bound on tokens simultaneously resident on each edge — which the paper
+/// plugs into equation 1 (`c(e) = c_sdf(e)·b_max(e)`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/graph.hpp"
+#include "dataflow/repetitions.hpp"
+
+namespace spi::df {
+
+/// A flat periodic admissible sequential schedule: actor firing order for
+/// one graph iteration (length = sum of repetitions vector).
+struct SequentialSchedule {
+  bool admissible = false;          ///< false => graph deadlocks
+  std::vector<ActorId> firings;     ///< firing sequence for one iteration
+  std::vector<std::int64_t> buffer_bound;  ///< per-edge c_sdf(e) under this schedule
+};
+
+/// Scheduling policy: which fireable actor is selected next.
+enum class SchedulePolicy {
+  kFirstFireable,   ///< lowest actor id (deterministic, canonical)
+  kMinBufferDemand, ///< greedy heuristic: prefer firings that shrink buffers
+};
+
+/// Builds a flat PASS for one iteration of a consistent SDF graph and
+/// records per-edge maximum occupancy. Throws if `reps` is inconsistent
+/// or the graph is not pure SDF.
+[[nodiscard]] SequentialSchedule build_sequential_schedule(
+    const Graph& g, const Repetitions& reps,
+    SchedulePolicy policy = SchedulePolicy::kFirstFireable);
+
+/// Convenience: c_sdf(e) for every edge under the (buffer-greedy) schedule.
+/// This is the bound the VTS analysis of Section 3 consumes.
+[[nodiscard]] std::vector<std::int64_t> sdf_buffer_bounds(const Graph& g);
+
+/// Total buffer memory in bytes for an SDF graph under the given per-edge
+/// token bounds (bound[e] tokens × token_bytes).
+[[nodiscard]] std::int64_t total_buffer_bytes(const Graph& g,
+                                              const std::vector<std::int64_t>& bounds);
+
+}  // namespace spi::df

@@ -1,0 +1,83 @@
+#include "dataflow/vts.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "dataflow/repetitions.hpp"
+#include "dataflow/sdf_schedule.hpp"
+
+namespace spi::df {
+
+VtsResult vts_convert(const Graph& g) {
+  VtsResult result;
+  result.graph = Graph(g.name() + "+vts");
+  result.edges.reserve(g.edge_count());
+
+  for (const Actor& a : g.actors()) result.graph.add_actor(a.name, a.exec_cycles);
+
+  for (std::size_t i = 0; i < g.edge_count(); ++i) {
+    const Edge& e = g.edge(static_cast<EdgeId>(i));
+    VtsEdgeInfo info;
+    info.raw_token_bytes = e.token_bytes;
+    info.prod_rate_bound = e.prod.bound();
+    info.cons_rate_bound = e.cons.bound();
+
+    if (e.is_dynamic()) {
+      info.converted = true;
+      // One packed token carries all raw tokens of a single firing; its
+      // size is bounded by the larger endpoint rate bound (the producer
+      // defines packing; the consumer must accept the largest packet).
+      const std::int64_t max_rate = std::max(e.prod.bound(), e.cons.bound());
+      info.b_max_bytes = max_rate * e.token_bytes;
+      // Both endpoints become rate 1 (paper figure 1): one firing moves
+      // exactly one packed token, whose *size* carries the dynamism.
+      result.graph.connect(e.src, Rate::fixed(1), e.snk, Rate::fixed(1), e.delay,
+                           info.b_max_bytes, e.name);
+    } else {
+      info.converted = false;
+      info.b_max_bytes = e.token_bytes;
+      result.graph.connect(e.src, e.prod, e.snk, e.cons, e.delay, e.token_bytes, e.name);
+    }
+    result.edges.push_back(info);
+  }
+  return result;
+}
+
+std::vector<std::int64_t> packed_buffer_byte_bounds(const VtsResult& vts) {
+  const std::vector<std::int64_t> c_sdf = sdf_buffer_bounds(vts.graph);
+  std::vector<std::int64_t> c_bytes(c_sdf.size());
+  for (std::size_t e = 0; e < c_sdf.size(); ++e)
+    c_bytes[e] = c_sdf[e] * vts.edges[e].b_max_bytes;  // equation 1
+  return c_bytes;
+}
+
+VtsMemoryComparison compare_vts_memory(const Graph& original, const VtsResult& vts) {
+  VtsMemoryComparison cmp;
+  for (std::int64_t b : packed_buffer_byte_bounds(vts)) cmp.vts_bytes += b;
+
+  // Naive alternative: freeze every dynamic rate at its upper bound and
+  // size raw-token buffers for that worst case.
+  Graph worst(original.name() + "+worstcase");
+  for (const Actor& a : original.actors()) worst.add_actor(a.name, a.exec_cycles);
+  for (const Edge& e : original.edges()) {
+    const Rate prod = e.prod.is_dynamic() ? Rate::fixed(e.prod.bound()) : e.prod;
+    const Rate cons = e.cons.is_dynamic() ? Rate::fixed(e.cons.bound()) : e.cons;
+    worst.connect(e.src, prod, e.snk, cons, e.delay, e.token_bytes, e.name);
+  }
+  try {
+    const std::vector<std::int64_t> bounds = sdf_buffer_bounds(worst);
+    cmp.worst_case_static_bytes = total_buffer_bytes(worst, bounds);
+  } catch (const std::logic_error&) {
+    // Frozen worst-case rates made the graph inconsistent or deadlocked —
+    // fall back to the classic conservative per-edge bound
+    // prod + cons - gcd + delay (tokens), which needs no global schedule.
+    for (const Edge& e : worst.edges()) {
+      const std::int64_t p = e.prod.value(), c = e.cons.value();
+      const std::int64_t tokens = p + c - std::gcd(p, c) + e.delay;
+      cmp.worst_case_static_bytes += tokens * e.token_bytes;
+    }
+  }
+  return cmp;
+}
+
+}  // namespace spi::df

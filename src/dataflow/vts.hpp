@@ -1,0 +1,63 @@
+/// \file vts.hpp
+/// Variable Token Size (VTS) conversion — Section 3 of the paper.
+///
+/// A dynamic port transfers a run-time-varying number of raw tokens per
+/// firing, bounded above (e.g. `x ≤ 10` in the paper's figure 1). VTS
+/// *repacks* those raw tokens into a single packed token per firing whose
+/// *size* varies (bounded by `b_max = rate_bound · raw_token_bytes`) while
+/// the token *rate* becomes the static constant 1. The converted graph is
+/// pure SDF, so the whole SDF toolbox (repetitions vector, PASS, buffer
+/// bounds, self-timed scheduling, resynchronization) applies — this is the
+/// paper's key distinction from BDDF, which bounds *rates* instead and
+/// forfeits SDF analyzability.
+///
+/// Equation 1: the byte bound of an edge buffer after conversion is
+///   c(e) = c_sdf(e) · b_max(e)
+/// where c_sdf(e) is an SDF token bound computed on the *converted* graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/graph.hpp"
+
+namespace spi::df {
+
+/// Per-edge record of what VTS conversion did.
+struct VtsEdgeInfo {
+  bool converted = false;          ///< true when the edge had a dynamic endpoint
+  std::int64_t b_max_bytes = 0;    ///< max bytes in one packed token (raw token bytes when !converted)
+  std::int64_t raw_token_bytes = 0;///< bytes of one raw (unpacked) token
+  std::int64_t prod_rate_bound = 0;///< raw-token bound of the producing port
+  std::int64_t cons_rate_bound = 0;///< raw-token bound of the consuming port
+};
+
+/// Result of VTS conversion. Edge ids of `graph` correspond 1:1 (same
+/// index) to the edges of the original graph.
+struct VtsResult {
+  Graph graph;                     ///< pure SDF graph (is_sdf() holds)
+  std::vector<VtsEdgeInfo> edges;  ///< indexed by EdgeId
+};
+
+/// Converts every dynamic edge: a dynamic endpoint becomes rate 1 and the
+/// edge's token width becomes b_max(e) = rate_bound · raw_token_bytes
+/// (upper bound of one packed token). Static endpoints and static edges
+/// are untouched. Actor set and edge topology are preserved.
+[[nodiscard]] VtsResult vts_convert(const Graph& g);
+
+/// Equation 1: per-edge byte bound c(e) = c_sdf(e)·b_max(e) over the
+/// converted graph. Requires the converted graph to be consistent and
+/// deadlock-free.
+[[nodiscard]] std::vector<std::int64_t> packed_buffer_byte_bounds(const VtsResult& vts);
+
+/// Total byte memory of the VTS buffers vs. the naive alternative of
+/// statically sizing every dynamic edge for its worst-case raw rate on
+/// both endpoints (what one would do without VTS). Used by the VTS
+/// ablation bench.
+struct VtsMemoryComparison {
+  std::int64_t vts_bytes = 0;
+  std::int64_t worst_case_static_bytes = 0;
+};
+[[nodiscard]] VtsMemoryComparison compare_vts_memory(const Graph& original, const VtsResult& vts);
+
+}  // namespace spi::df

@@ -1,0 +1,105 @@
+#include "dsp/fft.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace spi::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("next_power_of_two: n must be >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+void transform(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (!is_power_of_two(n)) throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& x : data) x *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<Complex> data) { transform(data, /*inverse=*/false); }
+void ifft_inplace(std::span<Complex> data) { transform(data, /*inverse=*/true); }
+
+std::vector<Complex> fft(std::span<const Complex> data) {
+  std::vector<Complex> out(data.begin(), data.end());
+  fft_inplace(out);
+  return out;
+}
+
+std::vector<Complex> ifft(std::span<const Complex> data) {
+  std::vector<Complex> out(data.begin(), data.end());
+  ifft_inplace(out);
+  return out;
+}
+
+std::vector<Complex> fft_real(std::span<const double> data) {
+  std::vector<Complex> out;
+  out.reserve(data.size());
+  for (double x : data) out.emplace_back(x, 0.0);
+  fft_inplace(out);
+  return out;
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> data) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> power_spectrum(std::span<const double> frame) {
+  const std::size_t n = next_power_of_two(frame.size());
+  std::vector<Complex> padded(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < frame.size(); ++i) padded[i] = Complex(frame[i], 0.0);
+  fft_inplace(padded);
+  std::vector<double> power(n);
+  for (std::size_t k = 0; k < n; ++k) power[k] = std::norm(padded[k]);
+  return power;
+}
+
+}  // namespace spi::dsp

@@ -1,0 +1,41 @@
+/// \file fft.hpp
+/// Fast Fourier transform (actor B of the paper's speech-compression
+/// application computes an FFT over each input frame).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace spi::dsp {
+
+using Complex = std::complex<double>;
+
+/// True when n is a power of two (the radix-2 requirement).
+[[nodiscard]] bool is_power_of_two(std::size_t n);
+
+/// In-place iterative radix-2 decimation-in-time FFT. data.size() must be
+/// a power of two.
+void fft_inplace(std::span<Complex> data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_inplace(std::span<Complex> data);
+
+/// Out-of-place convenience wrappers.
+[[nodiscard]] std::vector<Complex> fft(std::span<const Complex> data);
+[[nodiscard]] std::vector<Complex> ifft(std::span<const Complex> data);
+
+/// FFT of a real signal (zero imaginary parts).
+[[nodiscard]] std::vector<Complex> fft_real(std::span<const double> data);
+
+/// O(N^2) reference DFT, the oracle the tests compare against.
+[[nodiscard]] std::vector<Complex> dft_reference(std::span<const Complex> data);
+
+/// Power spectrum |X[k]|^2 of a real frame (zero-padded to the next power
+/// of two when needed).
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const double> frame);
+
+/// Next power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_power_of_two(std::size_t n);
+
+}  // namespace spi::dsp

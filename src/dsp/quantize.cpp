@@ -1,0 +1,40 @@
+#include "dsp/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spi::dsp {
+
+UniformQuantizer::UniformQuantizer(double step, std::int32_t max_symbol)
+    : step_(step), max_symbol_(max_symbol) {
+  if (step <= 0.0) throw std::invalid_argument("UniformQuantizer: step must be positive");
+  if (max_symbol <= 0) throw std::invalid_argument("UniformQuantizer: max_symbol must be positive");
+}
+
+std::int32_t UniformQuantizer::quantize(double x) const {
+  const double scaled = std::round(x / step_);
+  const double clipped =
+      std::clamp(scaled, -static_cast<double>(max_symbol_), static_cast<double>(max_symbol_));
+  return static_cast<std::int32_t>(clipped);
+}
+
+double UniformQuantizer::dequantize(std::int32_t symbol) const {
+  return static_cast<double>(symbol) * step_;
+}
+
+std::vector<std::int32_t> UniformQuantizer::quantize(std::span<const double> x) const {
+  std::vector<std::int32_t> out;
+  out.reserve(x.size());
+  for (double v : x) out.push_back(quantize(v));
+  return out;
+}
+
+std::vector<double> UniformQuantizer::dequantize(std::span<const std::int32_t> symbols) const {
+  std::vector<double> out;
+  out.reserve(symbols.size());
+  for (std::int32_t s : symbols) out.push_back(dequantize(s));
+  return out;
+}
+
+}  // namespace spi::dsp

@@ -1,0 +1,47 @@
+/// \file quantize.hpp
+/// Uniform scalar quantization of prediction-error samples (the paper's
+/// Application 1 quantizes the prediction error and its coefficients;
+/// the quantized symbols feed the Huffman coder).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spi::dsp {
+
+/// Midtread uniform quantizer with a symmetric clip range.
+class UniformQuantizer {
+ public:
+  /// \param step       quantization step size (> 0)
+  /// \param max_symbol symbols are clipped to [-max_symbol, +max_symbol]
+  UniformQuantizer(double step, std::int32_t max_symbol);
+
+  [[nodiscard]] double step() const { return step_; }
+  [[nodiscard]] std::int32_t max_symbol() const { return max_symbol_; }
+  /// Alphabet size = 2*max_symbol + 1 (symbols re-indexed to 0-based for
+  /// entropy coding: index = symbol + max_symbol).
+  [[nodiscard]] std::size_t alphabet_size() const {
+    return static_cast<std::size_t>(2 * max_symbol_ + 1);
+  }
+
+  [[nodiscard]] std::int32_t quantize(double x) const;
+  [[nodiscard]] double dequantize(std::int32_t symbol) const;
+
+  [[nodiscard]] std::vector<std::int32_t> quantize(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> dequantize(std::span<const std::int32_t> symbols) const;
+
+  /// 0-based alphabet index of a symbol (for the Huffman coder).
+  [[nodiscard]] std::size_t index_of(std::int32_t symbol) const {
+    return static_cast<std::size_t>(symbol + max_symbol_);
+  }
+  [[nodiscard]] std::int32_t symbol_of(std::size_t index) const {
+    return static_cast<std::int32_t>(index) - max_symbol_;
+  }
+
+ private:
+  double step_;
+  std::int32_t max_symbol_;
+};
+
+}  // namespace spi::dsp

@@ -1,0 +1,62 @@
+/// \file rng.hpp
+/// Deterministic random number generation for workloads and tests.
+///
+/// Every stochastic element of the reproduction (synthetic speech, crack
+/// observations, dynamic message sizes) draws from an explicitly seeded
+/// generator so experiments are bit-reproducible run to run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <random>
+
+namespace spi::dsp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::generate_canonical<double, 53>(engine_);
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal via Box–Muller (avoids distribution-object state so
+  /// results are identical across standard libraries).
+  [[nodiscard]] double gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  [[nodiscard]] double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace spi::dsp

@@ -1,0 +1,52 @@
+/// \file mpi_backend.hpp
+/// Timing cost model of the generic MPI-style baseline.
+///
+/// A software message-passing stack runs *on the processing element*: the
+/// PE itself executes the send path (envelope construction, buffer
+/// management, protocol decision) and pays a per-byte copy into the
+/// library's staging buffer — communication is not separated from
+/// computation. Large payloads switch from the eager protocol to
+/// rendezvous, adding a request-to-send / clear-to-send round trip before
+/// data moves (standard MPI behaviour, and the overhead TMD-MPI-style
+/// FPGA ports inherit). Matching cost on the receive side delays message
+/// availability.
+#pragma once
+
+#include "mpi/mpi_comm.hpp"
+#include "sim/comm_backend.hpp"
+
+namespace spi::mpi {
+
+struct MpiCostParams {
+  std::int64_t send_sw_cycles = 120;      ///< send-path software overhead on the PE
+  std::int64_t copy_bytes_per_cycle = 4;  ///< staging-buffer copy bandwidth
+  std::int64_t match_cycles = 60;         ///< receive-side envelope matching latency
+  std::int64_t eager_threshold_bytes = 1024;  ///< above this: rendezvous protocol
+};
+
+class MpiBackend final : public sim::CommBackend {
+ public:
+  explicit MpiBackend(MpiCostParams params = {}) : params_(params) {}
+
+  [[nodiscard]] sim::MessageCost data_message(const sim::ChannelInfo&,
+                                              std::int64_t payload_bytes) const override {
+    sim::MessageCost cost;
+    cost.pe_block_cycles =
+        params_.send_sw_cycles + payload_bytes / params_.copy_bytes_per_cycle;
+    cost.offload_cycles = params_.match_cycles;  // receive-side matching delay
+    cost.wire_bytes = kEnvelopeBytes + payload_bytes;
+    cost.handshake_roundtrips = payload_bytes > params_.eager_threshold_bytes ? 1 : 0;
+    return cost;
+  }
+
+  [[nodiscard]] sim::MessageCost sync_message(const sim::ChannelInfo& channel) const override {
+    return data_message(channel, 0);  // a zero-byte message still pays the full stack
+  }
+
+  [[nodiscard]] const char* name() const override { return "MPI-generic"; }
+
+ private:
+  MpiCostParams params_;
+};
+
+}  // namespace spi::mpi

@@ -1,0 +1,57 @@
+#include "mpi/mpi_comm.hpp"
+
+#include <stdexcept>
+
+namespace spi::mpi {
+
+std::int64_t datatype_size(Datatype t) {
+  switch (t) {
+    case Datatype::kByte: return 1;
+    case Datatype::kInt32: return 4;
+    case Datatype::kFloat32: return 4;
+    case Datatype::kFloat64: return 8;
+  }
+  throw std::invalid_argument("datatype_size: unknown datatype");
+}
+
+MpiComm::MpiComm(std::int32_t size) {
+  if (size <= 0) throw std::invalid_argument("MpiComm: size must be positive");
+  mailbox_.resize(static_cast<std::size_t>(size));
+}
+
+void MpiComm::send(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
+                   const Bytes& payload) {
+  if (source < 0 || source >= size() || dest < 0 || dest >= size())
+    throw std::out_of_range("MpiComm::send: invalid rank");
+  if (tag < 0) throw std::invalid_argument("MpiComm::send: negative tag");
+  if (count * datatype_size(type) != static_cast<std::int64_t>(payload.size()))
+    throw std::invalid_argument("MpiComm::send: count/datatype disagree with payload size");
+  mailbox_[static_cast<std::size_t>(dest)].push_back(
+      Queued{Envelope{source, dest, tag, type, count}, payload});
+  stats_.sends += 1;
+  stats_.wire_bytes += kEnvelopeBytes + static_cast<std::int64_t>(payload.size());
+}
+
+std::optional<std::pair<Envelope, Bytes>> MpiComm::receive(Rank self, Rank source, Tag tag) {
+  if (self < 0 || self >= size()) throw std::out_of_range("MpiComm::receive: invalid rank");
+  auto& queue = mailbox_[static_cast<std::size_t>(self)];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    stats_.matches_scanned += 1;
+    const bool source_ok = source == kAnySource || it->envelope.source == source;
+    const bool tag_ok = tag == kAnyTag || it->envelope.tag == tag;
+    if (source_ok && tag_ok) {
+      auto result = std::make_pair(it->envelope, std::move(it->payload));
+      queue.erase(it);
+      stats_.receives += 1;
+      return result;
+    }
+    stats_.unexpected_enqueued += 1;  // scanned but left for a later receive
+  }
+  return std::nullopt;
+}
+
+std::size_t MpiComm::pending(Rank self) const {
+  return mailbox_.at(static_cast<std::size_t>(self)).size();
+}
+
+}  // namespace spi::mpi

@@ -1,0 +1,99 @@
+#include "sched/assignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dataflow/graph_algos.hpp"
+
+namespace spi::sched {
+
+std::vector<df::ActorId> Assignment::actors_on(Proc p) const {
+  std::vector<df::ActorId> result;
+  for (std::size_t a = 0; a < proc_of_.size(); ++a)
+    if (proc_of_[a] == p) result.push_back(static_cast<df::ActorId>(a));
+  return result;
+}
+
+std::vector<df::EdgeId> Assignment::interprocessor_edges(const df::Graph& g) const {
+  if (g.actor_count() != proc_of_.size())
+    throw std::invalid_argument("Assignment: graph/assignment size mismatch");
+  std::vector<df::EdgeId> result;
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const df::Edge& edge = g.edge(static_cast<df::EdgeId>(e));
+    if (proc_of(edge.src) != proc_of(edge.snk)) result.push_back(static_cast<df::EdgeId>(e));
+  }
+  return result;
+}
+
+namespace {
+
+/// Static b-level (longest path to any sink, counting exec times) over
+/// the zero-delay precedence DAG. Edges with delay >= 1 cross iteration
+/// boundaries and impose no intra-iteration precedence.
+std::vector<std::int64_t> b_levels(const df::Graph& g) {
+  df::WeightedDigraph prec(g.actor_count());
+  for (const df::Edge& e : g.edges())
+    if (e.delay == 0) prec.add_arc(e.src, e.snk, 0);
+  const auto order = df::topological_order(prec);
+  if (!order)
+    throw std::logic_error("list_schedule: zero-delay cycle (graph deadlocks)");
+
+  std::vector<std::int64_t> level(g.actor_count(), 0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const auto u = static_cast<std::size_t>(*it);
+    std::int64_t best = 0;
+    for (const auto& arc : prec.arcs(*it))
+      best = std::max(best, level[static_cast<std::size_t>(arc.to)]);
+    level[u] = best + g.actor(*it).exec_cycles;
+  }
+  return level;
+}
+
+}  // namespace
+
+Assignment list_schedule(const df::Graph& g, std::int32_t proc_count,
+                         const CommCostModel& comm) {
+  Assignment assignment(g.actor_count(), proc_count);
+  if (g.actor_count() == 0) return assignment;
+
+  const std::vector<std::int64_t> level = b_levels(g);
+
+  // Priority order: descending b-level, actor id as deterministic tie-break.
+  std::vector<df::ActorId> order(g.actor_count());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<df::ActorId>(i);
+  std::stable_sort(order.begin(), order.end(), [&](df::ActorId a, df::ActorId b) {
+    return level[static_cast<std::size_t>(a)] > level[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<std::int64_t> proc_ready(static_cast<std::size_t>(proc_count), 0);
+  std::vector<std::int64_t> finish(g.actor_count(), 0);
+
+  for (df::ActorId a : order) {
+    // Earliest finish time on each candidate processor, accounting for
+    // IPC cost from already-placed zero-delay predecessors.
+    Proc best_proc = 0;
+    std::int64_t best_finish = -1;
+    for (Proc p = 0; p < proc_count; ++p) {
+      std::int64_t ready = proc_ready[static_cast<std::size_t>(p)];
+      for (df::EdgeId eid : g.in_edges(a)) {
+        const df::Edge& e = g.edge(eid);
+        if (e.delay > 0) continue;
+        std::int64_t arrival = finish[static_cast<std::size_t>(e.src)];
+        if (assignment.proc_of(e.src) != p)
+          arrival += comm.cost(e.cons.bound() * e.token_bytes);
+        ready = std::max(ready, arrival);
+      }
+      const std::int64_t f = ready + g.actor(a).exec_cycles;
+      if (best_finish < 0 || f < best_finish) {
+        best_finish = f;
+        best_proc = p;
+      }
+    }
+    assignment.assign(a, best_proc);
+    finish[static_cast<std::size_t>(a)] = best_finish;
+    proc_ready[static_cast<std::size_t>(best_proc)] = best_finish;
+  }
+  return assignment;
+}
+
+}  // namespace spi::sched

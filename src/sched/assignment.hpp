@@ -1,0 +1,69 @@
+/// \file assignment.hpp
+/// Actor-to-processor assignment for multiprocessor implementation.
+///
+/// SPI follows the self-timed scheduling model (paper Section 2): actor
+/// assignment and per-processor ordering are fixed at compile time, while
+/// firing *times* are resolved at run time by synchronization. This file
+/// provides the compile-time half: manual assignments (the paper's
+/// experiments hand-partition the applications) plus an HLFET-style list
+/// scheduler for automatic exploration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.hpp"
+
+namespace spi::sched {
+
+using Proc = std::int32_t;
+
+/// Maps every actor of a graph to one of `proc_count` processors.
+class Assignment {
+ public:
+  Assignment(std::size_t actor_count, std::int32_t proc_count)
+      : proc_of_(actor_count, 0), proc_count_(proc_count) {
+    if (proc_count <= 0) throw std::invalid_argument("Assignment: proc_count must be positive");
+  }
+
+  void assign(df::ActorId a, Proc p) {
+    if (p < 0 || p >= proc_count_) throw std::out_of_range("Assignment: invalid processor");
+    proc_of_.at(static_cast<std::size_t>(a)) = p;
+  }
+
+  [[nodiscard]] Proc proc_of(df::ActorId a) const { return proc_of_.at(static_cast<std::size_t>(a)); }
+  [[nodiscard]] std::int32_t proc_count() const { return proc_count_; }
+  [[nodiscard]] std::size_t actor_count() const { return proc_of_.size(); }
+
+  /// Actors mapped to processor p, in actor-id order.
+  [[nodiscard]] std::vector<df::ActorId> actors_on(Proc p) const;
+
+  /// Dataflow edges whose endpoints live on different processors — the
+  /// edges on which SPI inserts send/receive actor pairs.
+  [[nodiscard]] std::vector<df::EdgeId> interprocessor_edges(const df::Graph& g) const;
+
+ private:
+  std::vector<Proc> proc_of_;
+  std::int32_t proc_count_;
+};
+
+/// Per-hop communication cost model used by the list scheduler: cycles to
+/// move one inter-processor token = fixed + per_byte · token_bytes.
+struct CommCostModel {
+  std::int64_t fixed_cycles = 10;
+  std::int64_t cycles_per_byte = 1;
+
+  [[nodiscard]] std::int64_t cost(std::int64_t bytes) const {
+    return fixed_cycles + cycles_per_byte * bytes;
+  }
+};
+
+/// Highest-Level-First-with-Estimated-Times list scheduling over an
+/// acyclic precedence projection of the graph (feedback edges with delay
+/// are relaxed, as is standard). Returns an assignment balancing the
+/// critical path against IPC cost. Deterministic.
+[[nodiscard]] Assignment list_schedule(const df::Graph& g, std::int32_t proc_count,
+                                       const CommCostModel& comm = {});
+
+}  // namespace spi::sched

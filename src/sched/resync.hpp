@@ -1,0 +1,57 @@
+/// \file resync.hpp
+/// Resynchronization (paper Section 4.1).
+///
+/// Certain synchronization operations in a self-timed multiprocessor
+/// implementation are *redundant*: their sequencing requirement is already
+/// ensured by other synchronizations. Resynchronization deliberately adds
+/// a small number of new synchronization edges so that a larger number of
+/// existing ones become redundant, lowering net synchronization cost. The
+/// paper's distributed-memory specialization targets the acknowledgement
+/// edges of SPI_UBS channels: each elided acknowledgement is one fewer
+/// runtime message per graph iteration.
+///
+/// The search is the classic greedy pairwise-cover heuristic (global
+/// resynchronization is NP-hard; Sriram & Bhattacharyya reduce it to set
+/// covering): repeatedly add the feasible candidate edge that makes the
+/// most removable edges redundant, then sweep removals.
+#pragma once
+
+#include <cstddef>
+
+#include "sched/sync_graph.hpp"
+
+namespace spi::sched {
+
+struct ResyncOptions {
+  /// Reject candidates that would raise the maximum cycle mean (i.e.
+  /// lower throughput). Matches "maximum-throughput resynchronization".
+  bool preserve_throughput = true;
+  /// Minimum number of edges a candidate must cover to be worth one new
+  /// synchronization message (2 = strict net win).
+  std::size_t min_cover = 2;
+  /// Safety valve for the greedy loop.
+  std::size_t max_added = 64;
+};
+
+struct ResyncReport {
+  std::size_t edges_added = 0;    ///< kResync edges inserted
+  std::size_t edges_removed = 0;  ///< redundant kAck/kResync edges elided
+  std::size_t acks_before = 0;
+  std::size_t acks_after = 0;
+  double mcm_before = 0.0;  ///< iteration-period bound before
+  double mcm_after = 0.0;   ///< and after (== before when preserved)
+
+  /// Net change in synchronization messages per graph iteration
+  /// (negative = saving).
+  [[nodiscard]] std::ptrdiff_t net_message_delta() const {
+    return static_cast<std::ptrdiff_t>(edges_added) - static_cast<std::ptrdiff_t>(edges_removed);
+  }
+};
+
+/// Runs redundant-edge elimination and greedy resynchronization on g.
+/// Only kAck and kResync edges are ever removed: IPC edges carry data and
+/// sequence edges are the processor schedules themselves. The graph is
+/// left deadlock-free; with preserve_throughput the MCM does not increase.
+ResyncReport resynchronize(SyncGraph& g, const ResyncOptions& options = {});
+
+}  // namespace spi::sched

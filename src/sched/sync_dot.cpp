@@ -1,0 +1,38 @@
+#include "sched/sync_dot.hpp"
+
+#include <sstream>
+
+namespace spi::sched {
+
+std::string to_dot(const SyncGraph& g, bool show_removed) {
+  std::ostringstream out;
+  out << "digraph sync {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  for (Proc p = 0; p < g.proc_count(); ++p) {
+    out << "  subgraph cluster_p" << p << " {\n    label=\"Processor " << p << "\";\n";
+    for (std::size_t t = 0; t < g.task_count(); ++t) {
+      if (g.proc_of(static_cast<std::int32_t>(t)) != p) continue;
+      out << "    t" << t << " [label=\"" << g.task(static_cast<std::int32_t>(t)).name
+          << "\"];\n";
+    }
+    out << "  }\n";
+  }
+
+  for (const SyncEdge& e : g.edges()) {
+    if (e.removed && !show_removed) continue;
+    out << "  t" << e.src << " -> t" << e.snk << " [";
+    switch (e.kind) {
+      case SyncEdgeKind::kSequence: out << "color=black"; break;
+      case SyncEdgeKind::kIpc: out << "color=blue, penwidth=2"; break;
+      case SyncEdgeKind::kAck: out << "color=red, style=dashed"; break;
+      case SyncEdgeKind::kResync: out << "color=darkgreen, style=dashed, penwidth=2"; break;
+    }
+    if (e.delay > 0) out << ", label=\"d=" << e.delay << "\"";
+    if (e.removed) out << ", color=grey, style=dotted, label=\"elided\"";
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace spi::sched

@@ -1,0 +1,18 @@
+/// \file sync_dot.hpp
+/// Graphviz DOT export for synchronization graphs — renders the paper's
+/// figure-3/figure-5 style diagrams: processors as clusters, sequence
+/// edges solid, IPC edges bold, acknowledgement/resynchronization edges
+/// dashed, elided edges grey.
+#pragma once
+
+#include <string>
+
+#include "sched/sync_graph.hpp"
+
+namespace spi::sched {
+
+/// Renders the synchronization graph. When `show_removed` is true,
+/// elided edges are drawn grey-dotted (useful for before/after figures).
+[[nodiscard]] std::string to_dot(const SyncGraph& g, bool show_removed = true);
+
+}  // namespace spi::sched

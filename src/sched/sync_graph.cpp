@@ -1,0 +1,214 @@
+#include "sched/sync_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace spi::sched {
+
+std::size_t SyncGraph::add_edge(SyncEdge e) {
+  if (e.src < 0 || static_cast<std::size_t>(e.src) >= tasks_.size() || e.snk < 0 ||
+      static_cast<std::size_t>(e.snk) >= tasks_.size())
+    throw std::out_of_range("SyncGraph::add_edge: invalid task id");
+  if (e.delay < 0) throw std::invalid_argument("SyncGraph::add_edge: negative delay");
+  edges_.push_back(e);
+  return edges_.size() - 1;
+}
+
+df::WeightedDigraph SyncGraph::digraph(std::optional<std::size_t> exclude) const {
+  df::WeightedDigraph g(tasks_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].removed) continue;
+    if (exclude && *exclude == i) continue;
+    g.add_arc(edges_[i].src, edges_[i].snk, edges_[i].delay);
+  }
+  return g;
+}
+
+bool SyncGraph::is_redundant(std::size_t edge_index) const {
+  const SyncEdge& e = edges_.at(edge_index);
+  if (e.removed) return true;
+  const df::WeightedDigraph g = digraph(edge_index);
+  const auto dist = df::min_delay_from(g, e.src);
+  const std::int64_t d = dist.at(static_cast<std::size_t>(e.snk));
+  return d != df::kUnreachable && d <= e.delay;
+}
+
+std::size_t SyncGraph::remove_redundant(std::initializer_list<SyncEdgeKind> removable_kinds) {
+  // A single ascending pass is complete: removing an edge never *creates*
+  // redundancy elsewhere (it only removes witness paths), and each test
+  // runs against the current graph.
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].removed) continue;
+    const bool removable =
+        std::find(removable_kinds.begin(), removable_kinds.end(), edges_[i].kind) !=
+        removable_kinds.end();
+    if (removable && is_redundant(i)) {
+      edges_[i].removed = true;
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+std::size_t SyncGraph::count_active(SyncEdgeKind kind) const {
+  std::size_t n = 0;
+  for (const SyncEdge& e : edges_)
+    if (!e.removed && e.kind == kind) ++n;
+  return n;
+}
+
+bool SyncGraph::is_deadlock_free() const {
+  df::WeightedDigraph zero(tasks_.size());
+  for (const SyncEdge& e : edges_)
+    if (!e.removed && e.delay == 0) zero.add_arc(e.src, e.snk, 0);
+  return df::topological_order(zero).has_value();
+}
+
+double SyncGraph::max_cycle_mean() const {
+  if (!is_deadlock_free())
+    throw std::logic_error("SyncGraph::max_cycle_mean: zero-delay cycle (deadlock)");
+
+  // Binary search on lambda; a cycle with mean > lambda exists iff the
+  // graph with edge weights exec(src) - lambda*delay has a positive cycle
+  // (Lawler). Node exec times are attributed to outgoing edges.
+  struct Arc {
+    std::int32_t src, snk;
+    std::int64_t delay;
+  };
+  std::vector<Arc> arcs;
+  for (const SyncEdge& e : edges_)
+    if (!e.removed) arcs.push_back(Arc{e.src, e.snk, e.delay});
+  if (arcs.empty()) return 0.0;
+
+  const std::size_t n = tasks_.size();
+  auto has_positive_cycle = [&](double lambda) {
+    std::vector<double> dist(n, 0.0);  // virtual zero-weight source to all
+    for (std::size_t iter = 0; iter < n; ++iter) {
+      bool changed = false;
+      for (const Arc& a : arcs) {
+        const double w = static_cast<double>(tasks_[static_cast<std::size_t>(a.src)].exec_cycles) -
+                         lambda * static_cast<double>(a.delay);
+        const double cand = dist[static_cast<std::size_t>(a.src)] + w;
+        if (cand > dist[static_cast<std::size_t>(a.snk)] + 1e-12) {
+          dist[static_cast<std::size_t>(a.snk)] = cand;
+          changed = true;
+        }
+      }
+      if (!changed) return false;  // converged: no positive cycle
+    }
+    return true;  // still relaxing after n passes
+  };
+
+  double total_exec = 0.0;
+  for (const TaskNode& t : tasks_) total_exec += static_cast<double>(t.exec_cycles);
+  double lo = 0.0, hi = total_exec;
+  if (!has_positive_cycle(0.0)) return 0.0;  // acyclic (in the delay sense)
+  for (int iter = 0; iter < 64 && hi - lo > 1e-9 * std::max(1.0, hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (has_positive_cycle(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+ProcOrder proc_order_from_pass(const HsdfGraph& hsdf,
+                               const std::vector<df::ActorId>& pass_firings,
+                               const Assignment& assignment) {
+  ProcOrder order(static_cast<std::size_t>(assignment.proc_count()));
+  std::vector<std::int32_t> fired(hsdf.first_task.size(), 0);
+  for (df::ActorId a : pass_firings) {
+    const std::int32_t task = hsdf.task_of(a, fired[static_cast<std::size_t>(a)]++);
+    order[static_cast<std::size_t>(assignment.proc_of(a))].push_back(task);
+  }
+  return order;
+}
+
+SyncGraphBuild build_sync_graph(const HsdfGraph& hsdf, const Assignment& assignment,
+                                const ProcOrder& order, const SyncGraphOptions& options) {
+  std::vector<Proc> proc_of_task(hsdf.tasks.size());
+  for (std::size_t t = 0; t < hsdf.tasks.size(); ++t)
+    proc_of_task[t] = assignment.proc_of(hsdf.tasks[t].actor);
+
+  SyncGraph graph(hsdf.tasks, std::move(proc_of_task), assignment.proc_count());
+
+  // (2) sequence edges: zero-delay chain per processor plus the unit-delay
+  // loop-back that models one schedule pass per iteration.
+  std::vector<std::int32_t> position(hsdf.tasks.size(), -1);
+  for (Proc p = 0; p < assignment.proc_count(); ++p) {
+    const auto& tasks = order.at(static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      position[static_cast<std::size_t>(tasks[i])] = static_cast<std::int32_t>(i);
+    for (std::size_t i = 0; i + 1 < tasks.size(); ++i)
+      graph.add_edge(SyncEdge{tasks[i], tasks[i + 1], 0, SyncEdgeKind::kSequence,
+                              df::kInvalidEdge, false});
+    if (!tasks.empty())
+      graph.add_edge(SyncEdge{tasks.back(), tasks.front(), 1, SyncEdgeKind::kSequence,
+                              df::kInvalidEdge, false});
+  }
+
+  // (3) IPC edges for cross-processor arcs; validate that intra-processor
+  // arcs are honoured by the schedule order (admissibility).
+  SyncGraphBuild build{std::move(graph), {}};
+  for (const TaskArc& arc : hsdf.arcs) {
+    const Proc ps = build.graph.proc_of(arc.src);
+    const Proc pk = build.graph.proc_of(arc.snk);
+    if (ps == pk) {
+      const bool src_first = position[static_cast<std::size_t>(arc.src)] <
+                             position[static_cast<std::size_t>(arc.snk)];
+      if (!src_first && arc.delay < 1)
+        throw std::logic_error(
+            "build_sync_graph: schedule order violates zero-delay intra-processor dependency " +
+            hsdf.tasks[static_cast<std::size_t>(arc.src)].name + " -> " +
+            hsdf.tasks[static_cast<std::size_t>(arc.snk)].name);
+      continue;  // enforced by sequence edges
+    }
+    const std::size_t idx = build.graph.add_edge(
+        SyncEdge{arc.src, arc.snk, arc.delay, SyncEdgeKind::kIpc, arc.dataflow_edge, false});
+    build.ipc_edges.emplace_back(idx, SyncProtocol::kUbs);  // classified below
+  }
+
+  // Classify protocols on the ack-free graph: a feedback IPC edge has a
+  // statically bounded buffer (eq. 2) -> BBS; feedforward -> UBS.
+  std::vector<std::int64_t> ack_delay(build.ipc_edges.size(), 0);
+  for (std::size_t i = 0; i < build.ipc_edges.size(); ++i) {
+    auto& [idx, protocol] = build.ipc_edges[i];
+    const auto bound = ipc_buffer_bound_tokens(build.graph, idx);
+    protocol = bound.has_value() ? SyncProtocol::kBbs : SyncProtocol::kUbs;
+    ack_delay[i] = bound.value_or(options.ubs_credit_window);
+  }
+  // Distributed memory: *both* protocols carry acknowledgements (paper
+  // Section 4 — there is no shared read pointer, so the consumer reports
+  // buffer space back). The ack of a BBS edge grants the producer a lead
+  // of B(e) (equation 2) iterations; a UBS ack grants the credit window.
+  // Resynchronization (Section 4.1) later elides every ack whose bound is
+  // already enforced by other synchronization paths — for BBS edges that
+  // is frequently provable, which is exactly the paper's optimization.
+  for (std::size_t i = 0; i < build.ipc_edges.size(); ++i) {
+    const SyncEdge e = build.graph.edge(build.ipc_edges[i].first);
+    build.graph.add_edge(
+        SyncEdge{e.snk, e.src, ack_delay[i], SyncEdgeKind::kAck, e.dataflow_edge, false});
+  }
+  return build;
+}
+
+std::optional<std::int64_t> ipc_buffer_bound_tokens(const SyncGraph& g, std::size_t edge_index) {
+  const SyncEdge& e = g.edges().at(edge_index);
+  if (e.kind != SyncEdgeKind::kIpc)
+    throw std::invalid_argument("ipc_buffer_bound_tokens: not an IPC edge");
+  // Tokens on e cannot exceed delay(e) plus the minimum delay of a
+  // synchronization path from the consumer back to the producer: the
+  // producer can run at most that many iterations ahead (equation 2's
+  // token-count factor; multiply by c(e) of equation 1 for bytes).
+  const df::WeightedDigraph wd = g.digraph(edge_index);
+  const auto dist = df::min_delay_from(wd, e.snk);
+  const std::int64_t back = dist.at(static_cast<std::size_t>(e.src));
+  if (back == df::kUnreachable) return std::nullopt;
+  return e.delay + back;
+}
+
+}  // namespace spi::sched

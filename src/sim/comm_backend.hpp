@@ -1,0 +1,68 @@
+/// \file comm_backend.hpp
+/// Interface between the timed executor and a message-passing protocol.
+///
+/// SPI (src/core) and the generic MPI baseline (src/mpi) both implement
+/// this interface, so protocol overhead comparisons run on an otherwise
+/// identical platform model — the isolation DESIGN.md calls out.
+#pragma once
+
+#include <cstdint>
+
+#include "dataflow/graph.hpp"
+
+namespace spi::sim {
+
+/// Cost breakdown of sending one message.
+///
+/// `pe_block_cycles` occupies the *sending processor* (software stacks
+/// run on the PE; hardware communication actors only charge a small
+/// enqueue cost — the paper's separation of communication from
+/// computation). `offload_cycles` is pipeline work inside the
+/// communication actor that delays wire entry but leaves the PE free.
+/// `wire_bytes` = header + payload. `handshake_roundtrips` are link round
+/// trips that must complete before payload moves (rendezvous protocols).
+struct MessageCost {
+  std::int64_t pe_block_cycles = 0;
+  std::int64_t offload_cycles = 0;
+  std::int64_t wire_bytes = 0;
+  int handshake_roundtrips = 0;
+};
+
+/// Descriptor of the channel a message travels on.
+struct ChannelInfo {
+  df::EdgeId edge = df::kInvalidEdge;
+  bool dynamic = false;  ///< VTS edge (variable-size packed tokens)
+};
+
+/// A message-passing protocol's cost model.
+class CommBackend {
+ public:
+  virtual ~CommBackend() = default;
+
+  /// Cost of a data message carrying `payload_bytes` on `channel`.
+  [[nodiscard]] virtual MessageCost data_message(const ChannelInfo& channel,
+                                                 std::int64_t payload_bytes) const = 0;
+
+  /// Cost of a pure synchronization message (UBS acknowledgement or a
+  /// resynchronization edge's message).
+  [[nodiscard]] virtual MessageCost sync_message(const ChannelInfo& channel) const = 0;
+
+  /// Human-readable protocol name for reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Zero-overhead backend: every cost is zero except the payload on the
+/// wire. Used by tests to isolate executor semantics from protocol cost.
+class IdealBackend final : public CommBackend {
+ public:
+  [[nodiscard]] MessageCost data_message(const ChannelInfo&,
+                                         std::int64_t payload_bytes) const override {
+    return MessageCost{0, 0, payload_bytes, 0};
+  }
+  [[nodiscard]] MessageCost sync_message(const ChannelInfo&) const override {
+    return MessageCost{0, 0, 1, 0};
+  }
+  [[nodiscard]] const char* name() const override { return "ideal"; }
+};
+
+}  // namespace spi::sim

@@ -1,0 +1,32 @@
+#include "sim/event_kernel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace spi::sim {
+
+void EventKernel::schedule_at(SimTime time, Action action) {
+  if (time < now_) throw std::logic_error("EventKernel: scheduling into the past");
+  queue_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+bool EventKernel::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the action must be moved out, so copy
+  // the wrapper (std::function copy) — cheap relative to event granularity.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void EventKernel::run(std::uint64_t max_events) {
+  while (step()) {
+    if (executed_ > max_events)
+      throw std::runtime_error("EventKernel::run: event budget exceeded (livelock?)");
+  }
+}
+
+}  // namespace spi::sim

@@ -1,0 +1,66 @@
+/// \file event_kernel.hpp
+/// Discrete-event simulation kernel (the SystemC-style substrate that
+/// replaces the paper's FPGA testbed — see DESIGN.md, substitution table).
+///
+/// Events are executed in (time, insertion-sequence) order, which makes
+/// every simulation bit-reproducible: ties never depend on container or
+/// allocation nondeterminism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace spi::sim {
+
+/// Simulated time in clock cycles of the modeled platform.
+using SimTime = std::int64_t;
+
+/// Converts cycles to microseconds at a given clock (paper reports µs on
+/// a Virtex-4 that "could not attain" its 500 MHz ceiling; we default to
+/// 100 MHz, a typical achieved System Generator clock).
+struct ClockModel {
+  double mhz = 100.0;
+  [[nodiscard]] double to_microseconds(SimTime cycles) const {
+    return static_cast<double>(cycles) / mhz;
+  }
+};
+
+/// Minimal deterministic event kernel.
+class EventKernel {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  void schedule_at(SimTime time, Action action);
+  void schedule_in(SimTime delta, Action action) { schedule_at(now_ + delta, std::move(action)); }
+
+  /// Executes the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs to quiescence (or until `max_events`, a runaway guard).
+  void run(std::uint64_t max_events = 500'000'000ULL);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace spi::sim

@@ -1,0 +1,92 @@
+#include "sim/fpga_area.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace spi::sim {
+
+const char* resource_class_name(int index) {
+  switch (index) {
+    case 0: return "Slices";
+    case 1: return "Slice FFs";
+    case 2: return "4 input LUTs";
+    case 3: return "Block RAMs";
+    case 4: return "DSP48s";
+    default: throw std::out_of_range("resource_class_name: bad index");
+  }
+}
+
+std::int64_t resource_class_of(const ResourceVector& v, int index) {
+  switch (index) {
+    case 0: return v.slices;
+    case 1: return v.slice_ffs;
+    case 2: return v.lut4;
+    case 3: return v.bram;
+    case 4: return v.dsp48;
+    default: throw std::out_of_range("resource_class_of: bad index");
+  }
+}
+
+FpgaDevice virtex4_sx35() {
+  // XC4VSX35: 15,360 slices / 30,720 slice FFs / 30,720 4-input LUTs /
+  // 192 block RAMs / 192 DSP48 blocks.
+  return FpgaDevice{"Virtex-4 XC4VSX35 (-10)",
+                    ResourceVector{15360, 30720, 30720, 192, 192}};
+}
+
+ResourceVector AreaReport::total() const {
+  ResourceVector t;
+  for (const ComponentArea& c : components_) t += c.area;
+  return t;
+}
+
+ResourceVector AreaReport::spi_total() const {
+  ResourceVector t;
+  for (const ComponentArea& c : components_)
+    if (c.is_spi) t += c.area;
+  return t;
+}
+
+double AreaReport::system_percent_of_device(int resource_class) const {
+  const std::int64_t cap = resource_class_of(device_.capacity, resource_class);
+  if (cap == 0) return 0.0;
+  return 100.0 * static_cast<double>(resource_class_of(total(), resource_class)) /
+         static_cast<double>(cap);
+}
+
+double AreaReport::spi_percent_of_system(int resource_class) const {
+  const std::int64_t sys = resource_class_of(total(), resource_class);
+  if (sys == 0) return 0.0;
+  return 100.0 * static_cast<double>(resource_class_of(spi_total(), resource_class)) /
+         static_cast<double>(sys);
+}
+
+std::string AreaReport::to_table(const std::string& title) const {
+  std::ostringstream out;
+  out << title << " (device: " << device_.name << ")\n";
+  out << std::left << std::setw(38) << "" << std::right;
+  for (int r = 0; r < kResourceClassCount; ++r) out << std::setw(14) << resource_class_name(r);
+  out << "\n" << std::left << std::setw(38) << "Full system (% of device)" << std::right
+      << std::fixed << std::setprecision(2);
+  for (int r = 0; r < kResourceClassCount; ++r)
+    out << std::setw(13) << system_percent_of_device(r) << "%";
+  out << "\n" << std::left << std::setw(38) << "SPI library (relative to full system)"
+      << std::right;
+  for (int r = 0; r < kResourceClassCount; ++r)
+    out << std::setw(13) << spi_percent_of_system(r) << "%";
+  out << "\n";
+  return out.str();
+}
+
+void AreaReport::check_fits() const {
+  const ResourceVector t = total();
+  for (int r = 0; r < kResourceClassCount; ++r) {
+    if (resource_class_of(t, r) > resource_class_of(device_.capacity, r)) {
+      throw std::runtime_error("AreaReport: system exceeds device capacity in " +
+                               std::string(resource_class_name(r)));
+    }
+  }
+}
+
+}  // namespace spi::sim

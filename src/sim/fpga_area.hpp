@@ -1,0 +1,103 @@
+/// \file fpga_area.hpp
+/// Parametric FPGA area model.
+///
+/// Stands in for the Xilinx ISE synthesis reports behind the paper's
+/// Tables 1 and 2 (see DESIGN.md substitution table). Components declare
+/// resource vectors over the Virtex-4 resource classes the paper reports
+/// — slices, slice flip-flops, 4-input LUTs, block RAMs, DSP48s — and the
+/// report aggregates device utilization of the full system plus the SPI
+/// library's share of the system, the two quantities the paper tabulates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spi::sim {
+
+/// Resource usage vector (Virtex-4 resource classes).
+struct ResourceVector {
+  std::int64_t slices = 0;
+  std::int64_t slice_ffs = 0;
+  std::int64_t lut4 = 0;
+  std::int64_t bram = 0;
+  std::int64_t dsp48 = 0;
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    slices += o.slices;
+    slice_ffs += o.slice_ffs;
+    lut4 += o.lut4;
+    bram += o.bram;
+    dsp48 += o.dsp48;
+    return *this;
+  }
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) { return a += b; }
+  friend ResourceVector operator*(ResourceVector v, std::int64_t n) {
+    v.slices *= n;
+    v.slice_ffs *= n;
+    v.lut4 *= n;
+    v.bram *= n;
+    v.dsp48 *= n;
+    return v;
+  }
+};
+
+/// Number of resource classes in ResourceVector (for tabular iteration).
+inline constexpr int kResourceClassCount = 5;
+[[nodiscard]] const char* resource_class_name(int index);
+[[nodiscard]] std::int64_t resource_class_of(const ResourceVector& v, int index);
+
+/// An FPGA device with its capacity vector.
+struct FpgaDevice {
+  std::string name;
+  ResourceVector capacity;
+};
+
+/// Virtex-4 SX35 (a representative DSP-oriented Virtex-4, speed grade -10
+/// matching the paper's target family).
+[[nodiscard]] FpgaDevice virtex4_sx35();
+
+/// One synthesized component of a system.
+struct ComponentArea {
+  std::string name;
+  ResourceVector area;
+  bool is_spi = false;  ///< part of the SPI communication library
+};
+
+/// Aggregated area report for a system on a device.
+class AreaReport {
+ public:
+  explicit AreaReport(FpgaDevice device) : device_(std::move(device)) {}
+
+  void add(ComponentArea component) { components_.push_back(std::move(component)); }
+  void add(std::string name, ResourceVector area, bool is_spi = false) {
+    components_.push_back(ComponentArea{std::move(name), area, is_spi});
+  }
+
+  [[nodiscard]] const FpgaDevice& device() const { return device_; }
+  [[nodiscard]] const std::vector<ComponentArea>& components() const { return components_; }
+  [[nodiscard]] ResourceVector total() const;
+  [[nodiscard]] ResourceVector spi_total() const;
+
+  /// Full-system utilization of the device, percent, per resource class
+  /// (the paper's "Full system" row).
+  [[nodiscard]] double system_percent_of_device(int resource_class) const;
+
+  /// SPI library area relative to the full system, percent (the paper's
+  /// "SPI library (relative to full system)" row). Returns 0 when the
+  /// system uses none of the class.
+  [[nodiscard]] double spi_percent_of_system(int resource_class) const;
+
+  /// Renders the two-row table in the paper's format.
+  [[nodiscard]] std::string to_table(const std::string& title) const;
+
+  /// Throws std::runtime_error when the system exceeds device capacity in
+  /// any class — the paper's "FPGA resources were not enough" situation.
+  void check_fits() const;
+
+ private:
+  FpgaDevice device_;
+  std::vector<ComponentArea> components_;
+};
+
+}  // namespace spi::sim

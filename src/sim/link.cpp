@@ -1,0 +1,83 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace spi::sim {
+
+std::int32_t LinkParams::mesh_hops(std::int32_t src, std::int32_t dst) const {
+  const std::int32_t sx = src % mesh_width, sy = src / mesh_width;
+  const std::int32_t dx = dst % mesh_width, dy = dst / mesh_width;
+  return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+namespace {
+
+/// XY route on the mesh: the sequence of directed hop keys. Hop keys are
+/// encoded as (node, node) pairs of adjacent mesh routers.
+std::vector<std::pair<std::int32_t, std::int32_t>> mesh_route(const LinkParams& params,
+                                                              std::int32_t src,
+                                                              std::int32_t dst) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> hops;
+  const std::int32_t w = params.mesh_width;
+  std::int32_t x = src % w, y = src / w;
+  const std::int32_t dx = dst % w, dy = dst / w;
+  auto node = [w](std::int32_t cx, std::int32_t cy) { return cy * w + cx; };
+  while (x != dx) {  // X first
+    const std::int32_t nx = x + (dx > x ? 1 : -1);
+    hops.emplace_back(node(x, y), node(nx, y));
+    x = nx;
+  }
+  while (y != dy) {  // then Y
+    const std::int32_t ny = y + (dy > y ? 1 : -1);
+    hops.emplace_back(node(x, y), node(x, ny));
+    y = ny;
+  }
+  return hops;
+}
+
+}  // namespace
+
+SimTime LinkNetwork::transfer(EventKernel& kernel, std::int32_t src, std::int32_t dst,
+                              SimTime ready, std::int64_t bytes, int extra_roundtrips,
+                              std::function<void()> deliver) {
+  SimTime arrival = 0;
+  total_bytes_ += bytes;
+
+  if (params_.topology == Topology::kMesh2D && src != dst) {
+    // Wormhole routing: the head flit advances one hop per latency; the
+    // message body streams behind it, occupying each hop link for the
+    // serialization duration. Contention is per directed hop link.
+    const auto route = mesh_route(params_, src, dst);
+    SimTime start = std::max(ready, kernel.now());
+    start += static_cast<SimTime>(extra_roundtrips) * 2 * params_.latency_cycles *
+             static_cast<SimTime>(route.size());
+    const SimTime body = params_.serialization(bytes);
+    SimTime head = start;
+    for (const auto& hop : route) {
+      SimTime& busy = busy_until_[hop];
+      head = std::max(head, busy);
+      busy = head + body;  // the body occupies the hop behind the head
+      head += params_.latency_cycles;
+    }
+    arrival = head + body;
+  } else {
+    // A shared bus is modeled as one pseudo-link all transfers contend
+    // on; point-to-point (and mesh self-messages) use the pair link.
+    const auto key = params_.topology == Topology::kSharedBus
+                         ? std::make_pair(std::int32_t{-1}, std::int32_t{-1})
+                         : std::make_pair(src, dst);
+    SimTime& busy = busy_until_[key];
+    SimTime start = std::max({ready, busy, kernel.now()});
+    start += static_cast<SimTime>(extra_roundtrips) * 2 * params_.latency_cycles;
+    const SimTime done_serializing = start + params_.serialization(bytes);
+    busy = done_serializing;  // link free for the next transfer
+    arrival = done_serializing + params_.latency_cycles;
+  }
+
+  kernel.schedule_at(arrival, std::move(deliver));
+  return arrival;
+}
+
+}  // namespace spi::sim

@@ -1,0 +1,24 @@
+#include "sim/power.hpp"
+
+namespace spi::sim {
+
+EnergyEstimate estimate_energy(const ExecStats& stats, const AreaReport& area,
+                               const PowerParams& params) {
+  EnergyEstimate e;
+  for (std::size_t pe = 0; pe < stats.pe_busy_cycles.size(); ++pe) {
+    const SimTime busy = stats.pe_busy_cycles[pe];
+    const SimTime idle = stats.makespan > busy ? stats.makespan - busy : 0;
+    e.dynamic_compute_nj += static_cast<double>(busy) * params.busy_nj_per_cycle +
+                            static_cast<double>(idle) * params.idle_nj_per_cycle;
+  }
+  e.dynamic_comm_nj =
+      static_cast<double>(stats.wire_bytes) * params.wire_nj_per_byte +
+      static_cast<double>(stats.data_messages + stats.sync_messages) *
+          params.msg_nj_per_message;
+  const double seconds = static_cast<double>(stats.makespan) / (params.clock_mhz * 1e6);
+  e.static_nj = static_cast<double>(area.total().slices) * params.leakage_nw_per_slice *
+                seconds;  // nW * s = nJ
+  return e;
+}
+
+}  // namespace spi::sim

@@ -1,0 +1,48 @@
+/// \file power.hpp
+/// First-order FPGA energy model over execution statistics.
+///
+/// Dynamic energy on an FPGA scales with switching activity: busy PE
+/// cycles, wire traffic and per-message control activity; static
+/// (leakage) power accrues with wall-clock time and the configured area.
+/// The model turns the timed executor's ExecStats plus an AreaReport
+/// into energy estimates — coarse by design, but sufficient to rank
+/// design points (the DSE example reports energy per frame).
+#pragma once
+
+#include "sim/event_kernel.hpp"
+#include "sim/fpga_area.hpp"
+#include "sim/timed_executor.hpp"
+
+namespace spi::sim {
+
+struct PowerParams {
+  double busy_nj_per_cycle = 0.25;    ///< PE switching energy when computing
+  double idle_nj_per_cycle = 0.02;    ///< clock-tree/idle switching per PE
+  double wire_nj_per_byte = 0.08;     ///< interconnect switching
+  double msg_nj_per_message = 1.5;    ///< control/handshake activity
+  double leakage_nw_per_slice = 15.0; ///< static power per occupied slice (nW)
+  double clock_mhz = 100.0;
+};
+
+struct EnergyEstimate {
+  double dynamic_compute_nj = 0.0;
+  double dynamic_comm_nj = 0.0;
+  double static_nj = 0.0;
+
+  [[nodiscard]] double total_nj() const {
+    return dynamic_compute_nj + dynamic_comm_nj + static_nj;
+  }
+  /// Average power over the run, in milliwatts.
+  [[nodiscard]] double average_mw(SimTime makespan_cycles, double clock_mhz) const {
+    if (makespan_cycles <= 0) return 0.0;
+    const double seconds = static_cast<double>(makespan_cycles) / (clock_mhz * 1e6);
+    return total_nj() * 1e-9 / seconds * 1e3;
+  }
+};
+
+/// Estimates the energy of one timed run. The area report supplies the
+/// slice count for leakage; pass the system's own report.
+[[nodiscard]] EnergyEstimate estimate_energy(const ExecStats& stats, const AreaReport& area,
+                                             const PowerParams& params = {});
+
+}  // namespace spi::sim

@@ -1,0 +1,153 @@
+#include "sim/static_executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spi::sim {
+
+namespace {
+
+std::int64_t exec_of(const sched::SyncGraph& g, const WorkloadModel& w, std::int32_t task,
+                     std::int64_t iter) {
+  if (w.exec_cycles) return w.exec_cycles(task, iter);
+  return g.task(task).exec_cycles;
+}
+
+std::int64_t payload_of(const WorkloadModel& w, const sched::SyncEdge& e, std::int64_t iter) {
+  if (w.payload_bytes) return w.payload_bytes(e, iter);
+  return w.default_payload_bytes;
+}
+
+/// Contention-free transport latency of one message.
+SimTime transport(const CommBackend& backend, const LinkParams& link,
+                  const sched::SyncEdge& e, const WorkloadModel& w, std::int64_t iter) {
+  const ChannelInfo channel{e.dataflow_edge, false};
+  const MessageCost cost = e.kind == sched::SyncEdgeKind::kIpc
+                               ? backend.data_message(channel, payload_of(w, e, iter))
+                               : backend.sync_message(channel);
+  return cost.pe_block_cycles + cost.offload_cycles +
+         static_cast<SimTime>(cost.handshake_roundtrips) * 2 * link.latency_cycles +
+         link.serialization(cost.wire_bytes) + link.latency_cycles;
+}
+
+}  // namespace
+
+StaticRunResult run_fully_static(const sched::SyncGraph& graph, const sched::ProcOrder& order,
+                                 const CommBackend& backend, const WorkloadModel& wcet,
+                                 const WorkloadModel& actual,
+                                 const TimedExecutorOptions& options) {
+  if (options.iterations <= 0)
+    throw std::invalid_argument("run_fully_static: iterations must be positive");
+  const std::size_t tasks = graph.task_count();
+  const auto iterations = static_cast<std::size_t>(options.iterations);
+
+  // ---- compile-time phase: scheduled start times under WCET -------------
+  // Fixed-point over the synchronization constraints (equation 3 with
+  // WCET completion times plus contention-free transport for
+  // cross-processor edges, plus the processor sequence implied by order).
+  std::vector<std::vector<SimTime>> start(tasks, std::vector<SimTime>(iterations, 0));
+  std::vector<std::vector<std::size_t>> in_edges(tasks);
+  for (std::size_t i = 0; i < graph.edges().size(); ++i) {
+    const sched::SyncEdge& e = graph.edges()[i];
+    if (e.removed || e.kind == sched::SyncEdgeKind::kSequence) continue;
+    in_edges[static_cast<std::size_t>(e.snk)].push_back(i);
+  }
+  // Evaluate in a global order that respects all constraints: iterate
+  // (iteration, processor position) sweeps until stable. Graphs are
+  // deadlock-free, so a bounded number of sweeps converges; we iterate
+  // until no start time changes.
+  for (int sweep = 0; sweep < 1024; ++sweep) {
+    bool changed = false;
+    for (std::size_t k = 0; k < iterations; ++k) {
+      for (const auto& proc_tasks : order) {
+        SimTime proc_free = 0;
+        for (std::size_t pos = 0; pos < proc_tasks.size(); ++pos) {
+          const std::int32_t t = proc_tasks[pos];
+          const auto ti = static_cast<std::size_t>(t);
+          SimTime ready = 0;
+          // Processor sequence: previous task this iteration, or own
+          // previous iteration via the loop-back.
+          if (pos > 0) {
+            const auto prev = static_cast<std::size_t>(proc_tasks[pos - 1]);
+            ready = start[prev][k] + exec_of(graph, wcet, proc_tasks[pos - 1],
+                                             static_cast<std::int64_t>(k));
+          } else if (k > 0) {
+            const auto last = static_cast<std::size_t>(proc_tasks.back());
+            ready = start[last][k - 1] + exec_of(graph, wcet, proc_tasks.back(),
+                                                 static_cast<std::int64_t>(k) - 1);
+          }
+          ready = std::max(ready, proc_free);
+          // Cross-processor synchronization constraints.
+          for (std::size_t ei : in_edges[ti]) {
+            const sched::SyncEdge& e = graph.edges()[ei];
+            const std::int64_t src_iter = static_cast<std::int64_t>(k) - e.delay;
+            if (src_iter < 0) continue;
+            const auto si = static_cast<std::size_t>(e.src);
+            const SimTime arrival =
+                start[si][static_cast<std::size_t>(src_iter)] +
+                exec_of(graph, wcet, e.src, src_iter) +
+                transport(backend, options.link, e, wcet, src_iter);
+            ready = std::max(ready, arrival);
+          }
+          if (ready != start[ti][k]) {
+            start[ti][k] = std::max(start[ti][k], ready);
+            changed = true;
+          }
+          proc_free = start[ti][k] + exec_of(graph, wcet, t, static_cast<std::int64_t>(k));
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // ---- run-time phase: execute at the scheduled instants ----------------
+  StaticRunResult result;
+  std::vector<std::vector<SimTime>> end(tasks, std::vector<SimTime>(iterations, 0));
+  for (std::size_t t = 0; t < tasks; ++t)
+    for (std::size_t k = 0; k < iterations; ++k)
+      end[t][k] = start[t][k] + exec_of(graph, actual, static_cast<std::int32_t>(t),
+                                        static_cast<std::int64_t>(k));
+
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t k = 0; k < iterations; ++k) {
+      for (std::size_t ei : in_edges[t]) {
+        const sched::SyncEdge& e = graph.edges()[ei];
+        const std::int64_t src_iter = static_cast<std::int64_t>(k) - e.delay;
+        if (src_iter < 0) continue;
+        const SimTime arrival =
+            end[static_cast<std::size_t>(e.src)][static_cast<std::size_t>(src_iter)] +
+            transport(backend, options.link, e, actual, src_iter);
+        if (arrival > start[t][k]) ++result.precedence_violations;
+      }
+      result.stats.makespan = std::max(result.stats.makespan, end[t][k]);
+    }
+  }
+
+  // Padding: processor time the static schedule leaves idle (the WCET
+  // slack self-timed execution would reclaim), summed over processors.
+  for (const auto& proc_tasks : order) {
+    SimTime busy = 0;
+    for (std::int32_t t : proc_tasks)
+      for (std::size_t k = 0; k < iterations; ++k)
+        busy += exec_of(graph, actual, t, static_cast<std::int64_t>(k));
+    if (!proc_tasks.empty() && result.stats.makespan > busy)
+      result.padding_cycles += result.stats.makespan - busy;
+  }
+
+  result.stats.avg_period_cycles =
+      static_cast<double>(result.stats.makespan) / static_cast<double>(iterations);
+  // Steady period of a fully-static schedule is its compile-time period:
+  // slope of the scheduled starts over the second half.
+  if (iterations >= 4 && !order.empty() && !order[0].empty()) {
+    const auto probe = static_cast<std::size_t>(order[0][0]);
+    const std::size_t half = iterations / 2;
+    result.stats.steady_period_cycles =
+        static_cast<double>(start[probe][iterations - 1] - start[probe][half]) /
+        static_cast<double>(iterations - 1 - half);
+  } else {
+    result.stats.steady_period_cycles = result.stats.avg_period_cycles;
+  }
+  return result;
+}
+
+}  // namespace spi::sim

@@ -1,0 +1,44 @@
+/// \file static_executor.hpp
+/// Fully-static (clock-driven) execution — the scheduling model the
+/// paper *rejects* in favour of self-timed scheduling (Section 2), made
+/// runnable so the choice can be evaluated.
+///
+/// Under fully-static scheduling every firing time is fixed at compile
+/// time from worst-case execution times (WCET): processors fire on
+/// schedule whether or not work completed early, so run-time variation
+/// is absorbed as idle padding — and any actual time beyond its WCET
+/// *violates* a precedence (data would be consumed before it arrives).
+/// Self-timed execution instead synchronizes at run time and exploits
+/// early completions, at the cost of the synchronization machinery SPI
+/// then optimizes. `bench/ablation_scheduling_models` quantifies both
+/// effects.
+#pragma once
+
+#include "sim/timed_executor.hpp"
+
+namespace spi::sim {
+
+struct StaticRunResult {
+  ExecStats stats;
+  /// Precedence violations: messages whose data would arrive after the
+  /// consumer's scheduled start (actual time exceeded the WCET budget).
+  /// A correct fully-static deployment requires this to be zero.
+  std::int64_t precedence_violations = 0;
+  /// Idle cycles spent waiting for the schedule despite being ready
+  /// (the throughput self-timed execution recovers).
+  SimTime padding_cycles = 0;
+};
+
+/// Executes a fully-static schedule. The schedule's firing times are
+/// derived from a self-timed run under `wcet` (the compile-time budget);
+/// execution then uses `actual` per-firing times. Message transport is
+/// priced by `backend` without link contention (each channel is a
+/// dedicated wire, the paper's point-to-point assumption).
+[[nodiscard]] StaticRunResult run_fully_static(const sched::SyncGraph& graph,
+                                               const sched::ProcOrder& order,
+                                               const CommBackend& backend,
+                                               const WorkloadModel& wcet,
+                                               const WorkloadModel& actual,
+                                               const TimedExecutorOptions& options);
+
+}  // namespace spi::sim

@@ -1,0 +1,239 @@
+#include "sim/timed_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace spi::sim {
+
+namespace {
+
+/// Mutable run state; the free functions below operate on it through the
+/// event kernel's callbacks.
+struct RunState {
+  const sched::SyncGraph& graph;
+  const sched::ProcOrder& order;
+  const CommBackend& backend;
+  const WorkloadModel& workload;
+  const TimedExecutorOptions& options;
+
+  EventKernel kernel;
+  LinkNetwork links;
+
+  // Per task: completed invocations; started invocations.
+  std::vector<std::int64_t> fired;
+  std::vector<std::int64_t> started;
+  // Per sync-edge index: messages delivered / occupancy tracking.
+  std::vector<std::int64_t> delivered;
+  std::vector<std::int64_t> max_occupancy;
+  // Per task: incoming / outgoing active cross-processor sync edges.
+  std::vector<std::vector<std::size_t>> in_sync;
+  std::vector<std::vector<std::size_t>> out_sync;
+  // Per processor.
+  std::vector<std::size_t> position;     // index into order[p]
+  std::vector<bool> busy;
+  std::vector<SimTime> busy_cycles;
+  std::vector<SimTime> stall_since;      // -1: not stalled
+  std::vector<SimTime> stall_cycles;
+  // Iteration bookkeeping.
+  std::vector<std::int32_t> iter_pending;  // tasks not yet done with iteration k
+  std::vector<SimTime> iter_complete;
+
+  ExecStats stats;
+
+  RunState(const sched::SyncGraph& g, const sched::ProcOrder& ord, const CommBackend& be,
+           const WorkloadModel& wl, const TimedExecutorOptions& opt)
+      : graph(g), order(ord), backend(be), workload(wl), options(opt), links(opt.link),
+        fired(g.task_count(), 0), started(g.task_count(), 0),
+        delivered(g.edges().size(), 0), max_occupancy(g.edges().size(), 0),
+        in_sync(g.task_count()), out_sync(g.task_count()),
+        position(ord.size(), 0), busy(ord.size(), false),
+        busy_cycles(ord.size(), 0), stall_since(ord.size(), -1), stall_cycles(ord.size(), 0),
+        iter_pending(static_cast<std::size_t>(opt.iterations),
+                     static_cast<std::int32_t>(g.task_count())),
+        iter_complete(static_cast<std::size_t>(opt.iterations), 0) {
+    const auto& edges = g.edges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].removed || edges[i].kind == sched::SyncEdgeKind::kSequence) continue;
+      in_sync[static_cast<std::size_t>(edges[i].snk)].push_back(i);
+      out_sync[static_cast<std::size_t>(edges[i].src)].push_back(i);
+    }
+  }
+};
+
+std::int64_t exec_cycles_of(const RunState& s, std::int32_t task, std::int64_t iter) {
+  std::int64_t cycles = s.workload.exec_cycles ? s.workload.exec_cycles(task, iter)
+                                               : s.graph.task(task).exec_cycles;
+  if (!s.options.pe_speed.empty()) {
+    const double speed =
+        s.options.pe_speed.at(static_cast<std::size_t>(s.graph.proc_of(task)));
+    cycles = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::ceil(static_cast<double>(cycles) / speed)));
+  }
+  return cycles;
+}
+
+std::int64_t payload_of(const RunState& s, const sched::SyncEdge& e, std::int64_t iter) {
+  if (s.workload.payload_bytes) return s.workload.payload_bytes(e, iter);
+  return s.workload.default_payload_bytes;
+}
+
+/// Wait condition of equation 3: invocation k of the edge's sink needs
+/// message k+1-delay to have been delivered.
+bool edge_satisfied(const RunState& s, std::size_t edge_index, std::int64_t k) {
+  const sched::SyncEdge& e = s.graph.edges()[edge_index];
+  return s.delivered[edge_index] >= k + 1 - e.delay;
+}
+
+void try_advance(RunState& s, std::int32_t pe);
+
+void complete_firing(RunState& s, std::int32_t pe, std::int32_t task, SimTime started) {
+  const std::int64_t k = s.fired[static_cast<std::size_t>(task)]++;
+
+  if (s.options.trace) {
+    s.options.trace->record_firing(FiringRecord{task, pe, k, started, s.kernel.now(),
+                                                s.graph.task(task).name});
+  }
+
+  // Iteration completion bookkeeping.
+  if (k < s.options.iterations) {
+    auto& pending = s.iter_pending[static_cast<std::size_t>(k)];
+    if (--pending == 0) s.iter_complete[static_cast<std::size_t>(k)] = s.kernel.now();
+  }
+
+  // Emit one message per outgoing cross-processor sync edge. Sends
+  // serialize on the PE for their pe_block cost; the communication actor
+  // (offload + wire) then proceeds without occupying the PE.
+  SimTime pe_time = s.kernel.now();
+  for (std::size_t edge_index : s.out_sync[static_cast<std::size_t>(task)]) {
+    const sched::SyncEdge& e = s.graph.edges()[edge_index];
+    const ChannelInfo channel{e.dataflow_edge, /*dynamic=*/false};
+    MessageCost cost;
+    if (e.kind == sched::SyncEdgeKind::kIpc) {
+      cost = s.backend.data_message(channel, payload_of(s, e, k));
+      ++s.stats.data_messages;
+    } else {
+      cost = s.backend.sync_message(channel);
+      ++s.stats.sync_messages;
+    }
+    pe_time += cost.pe_block_cycles;
+    s.busy_cycles[static_cast<std::size_t>(pe)] += cost.pe_block_cycles;
+    const SimTime wire_ready = pe_time + cost.offload_cycles;
+    const std::int32_t dst_pe = s.graph.proc_of(e.snk);
+    const SimTime arrival = s.links.transfer(
+        s.kernel, pe, dst_pe, wire_ready, cost.wire_bytes,
+        cost.handshake_roundtrips, [&s, edge_index, dst_pe] {
+                       auto& count = s.delivered[edge_index];
+                       ++count;
+                       const sched::SyncEdge& edge = s.graph.edges()[edge_index];
+                       if (edge.kind == sched::SyncEdgeKind::kIpc) {
+                         // Occupancy: delivered minus consumed (consumption
+                         // happens at sink firing start, past the initial
+                         // delay tokens).
+                         const std::int64_t consumed = std::max<std::int64_t>(
+                             0, s.started[static_cast<std::size_t>(edge.snk)] - edge.delay);
+                         s.max_occupancy[edge_index] =
+                             std::max(s.max_occupancy[edge_index], count - consumed);
+                       }
+                       try_advance(s, dst_pe);
+                     });
+    if (s.options.trace) {
+      s.options.trace->record_message(MessageRecord{
+          edge_index, pe, dst_pe, e.kind == sched::SyncEdgeKind::kIpc, pe_time, arrival,
+          cost.wire_bytes});
+    }
+  }
+
+  // The PE stays busy until its send-enqueue work drains.
+  if (pe_time > s.kernel.now()) {
+    s.kernel.schedule_at(pe_time, [&s, pe] {
+      s.busy[static_cast<std::size_t>(pe)] = false;
+      try_advance(s, pe);
+    });
+  } else {
+    s.busy[static_cast<std::size_t>(pe)] = false;
+    try_advance(s, pe);
+  }
+}
+
+void try_advance(RunState& s, std::int32_t pe) {
+  const auto p = static_cast<std::size_t>(pe);
+  if (s.busy[p]) return;
+  const auto& tasks = s.order[p];
+  if (tasks.empty()) return;
+  const std::int32_t task = tasks[s.position[p]];
+  const std::int64_t k = s.fired[static_cast<std::size_t>(task)];
+  if (k >= s.options.iterations) return;  // this PE finished its quota
+
+  for (std::size_t edge_index : s.in_sync[static_cast<std::size_t>(task)]) {
+    if (!edge_satisfied(s, edge_index, k)) {
+      if (s.stall_since[p] < 0) s.stall_since[p] = s.kernel.now();
+      return;  // blocked on synchronization
+    }
+  }
+  if (s.stall_since[p] >= 0) {
+    s.stall_cycles[p] += s.kernel.now() - s.stall_since[p];
+    s.stall_since[p] = -1;
+  }
+
+  s.busy[p] = true;
+  ++s.started[static_cast<std::size_t>(task)];
+  s.position[p] = (s.position[p] + 1) % tasks.size();
+  const std::int64_t exec = exec_cycles_of(s, task, k);
+  s.busy_cycles[p] += exec;
+  const SimTime started = s.kernel.now();
+  s.kernel.schedule_in(exec, [&s, pe, task, started] { complete_firing(s, pe, task, started); });
+}
+
+}  // namespace
+
+ExecStats run_timed(const sched::SyncGraph& graph, const sched::ProcOrder& order,
+                    const CommBackend& backend, const WorkloadModel& workload,
+                    const TimedExecutorOptions& options) {
+  if (options.iterations <= 0)
+    throw std::invalid_argument("run_timed: iterations must be positive");
+  if (order.size() != static_cast<std::size_t>(graph.proc_count()))
+    throw std::invalid_argument("run_timed: order/proc_count mismatch");
+  if (!options.pe_speed.empty()) {
+    if (options.pe_speed.size() != static_cast<std::size_t>(graph.proc_count()))
+      throw std::invalid_argument("run_timed: pe_speed must have one entry per processor");
+    for (double s : options.pe_speed)
+      if (s <= 0.0) throw std::invalid_argument("run_timed: pe_speed entries must be positive");
+  }
+
+  RunState state(graph, order, backend, workload, options);
+  for (std::int32_t pe = 0; pe < graph.proc_count(); ++pe) try_advance(state, pe);
+  state.kernel.run();
+
+  // Deadlock oracle: every task must have completed its quota.
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    if (state.fired[t] < options.iterations) {
+      std::ostringstream msg;
+      msg << "run_timed: deadlock — task '" << graph.task(static_cast<std::int32_t>(t)).name
+          << "' completed " << state.fired[t] << "/" << options.iterations << " iterations";
+      throw std::runtime_error(msg.str());
+    }
+  }
+
+  ExecStats& stats = state.stats;
+  stats.makespan = state.iter_complete.back();
+  stats.avg_period_cycles =
+      static_cast<double>(stats.makespan) / static_cast<double>(options.iterations);
+  const std::size_t half = state.iter_complete.size() / 2;
+  if (state.iter_complete.size() >= 2 && half < state.iter_complete.size() - 1) {
+    stats.steady_period_cycles =
+        static_cast<double>(state.iter_complete.back() - state.iter_complete[half]) /
+        static_cast<double>(state.iter_complete.size() - 1 - half);
+  } else {
+    stats.steady_period_cycles = stats.avg_period_cycles;
+  }
+  stats.wire_bytes = state.links.total_wire_bytes();
+  stats.pe_busy_cycles = std::move(state.busy_cycles);
+  stats.pe_stall_cycles = std::move(state.stall_cycles);
+  stats.max_occupancy = std::move(state.max_occupancy);
+  stats.iteration_complete = std::move(state.iter_complete);
+  return stats;
+}
+
+}  // namespace spi::sim

@@ -1,0 +1,75 @@
+/// \file timed_executor.hpp
+/// Self-timed execution of a synchronization graph on the platform model.
+///
+/// Each processor loops over its compile-time task order (self-timed
+/// scheduling, paper Section 2): task invocation k fires as soon as the
+/// processor is free AND every active incoming synchronization edge
+/// (vj -> vi, delay d) is satisfied, i.e. message k+1-d from vj has been
+/// delivered (equation 3 with messages standing in for end-times).
+/// Firing completion emits one message per outgoing cross-processor sync
+/// edge: data messages on kIpc edges, pure sync messages on kAck/kResync
+/// edges, each priced by the pluggable CommBackend and carried by the
+/// LinkNetwork. The executor is the measurement instrument behind
+/// Figures 6–7 and the resynchronization / SPI-vs-MPI ablations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/sync_graph.hpp"
+#include "sim/comm_backend.hpp"
+#include "sim/event_kernel.hpp"
+#include "sim/link.hpp"
+#include "sim/trace.hpp"
+
+namespace spi::sim {
+
+/// Per-invocation workload hooks. Null members fall back to the static
+/// values recorded in the graphs.
+struct WorkloadModel {
+  /// Firing duration of task `t`, iteration `k` (cycles).
+  std::function<std::int64_t(std::int32_t task, std::int64_t iteration)> exec_cycles;
+  /// Payload bytes of the data message on a kIpc sync edge at iteration
+  /// `k` (dynamic/VTS edges vary per iteration; static edges are fixed).
+  std::function<std::int64_t(const sched::SyncEdge& edge, std::int64_t iteration)> payload_bytes;
+  std::int64_t default_payload_bytes = 4;
+};
+
+/// Execution statistics for one timed run.
+struct ExecStats {
+  SimTime makespan = 0;                 ///< completion time of the last firing
+  double avg_period_cycles = 0.0;       ///< makespan / iterations
+  double steady_period_cycles = 0.0;    ///< slope over the second half (warm-up excluded)
+  std::int64_t data_messages = 0;
+  std::int64_t sync_messages = 0;       ///< acks + resync messages
+  std::int64_t wire_bytes = 0;
+  std::vector<SimTime> pe_busy_cycles;  ///< per processor
+  std::vector<SimTime> pe_stall_cycles; ///< per processor: ready-task-blocked time
+  std::vector<std::int64_t> max_occupancy;  ///< per sync-edge index; kIpc edges only
+  std::vector<SimTime> iteration_complete; ///< time iteration k fully finished
+};
+
+struct TimedExecutorOptions {
+  std::int64_t iterations = 100;
+  LinkParams link;
+  ClockModel clock;
+  /// Optional: record every firing and message for Gantt / Chrome-trace
+  /// rendering (trace.hpp). Not owned; must outlive the run.
+  TraceRecorder* trace = nullptr;
+  /// Heterogeneous platforms (the paper targets FPGAs integrating CPUs
+  /// with fabric): per-processor speed factor applied to firing
+  /// durations — 2.0 halves a PE's execution times, 0.5 doubles them.
+  /// Empty = homogeneous. Must have proc_count entries otherwise.
+  std::vector<double> pe_speed;
+};
+
+/// Runs the synchronization graph to completion of `iterations` graph
+/// iterations. Throws std::runtime_error on deadlock (with the stuck
+/// tasks named) — which a correctly built sync graph cannot produce, so
+/// tests use it as an oracle.
+[[nodiscard]] ExecStats run_timed(const sched::SyncGraph& graph, const sched::ProcOrder& order,
+                                  const CommBackend& backend, const WorkloadModel& workload,
+                                  const TimedExecutorOptions& options);
+
+}  // namespace spi::sim

@@ -1,0 +1,130 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spi::sim {
+
+std::string to_ascii_gantt(const TraceRecorder& trace, std::int32_t pe_count,
+                           SimTime max_cycles, std::size_t width) {
+  if (max_cycles <= 0 || width == 0) return {};
+  std::ostringstream out;
+  const double scale = static_cast<double>(width) / static_cast<double>(max_cycles);
+
+  out << "time 0 .. " << max_cycles << " cycles, '" << '.' << "' = idle\n";
+  for (std::int32_t pe = 0; pe < pe_count; ++pe) {
+    std::string row(width, '.');
+    for (const FiringRecord& f : trace.firings()) {
+      if (f.pe != pe || f.start >= max_cycles) continue;
+      const auto begin = static_cast<std::size_t>(static_cast<double>(f.start) * scale);
+      const auto end = std::min(
+          width, static_cast<std::size_t>(static_cast<double>(std::min(f.end, max_cycles)) *
+                                          scale) +
+                     1);
+      const char mark = f.name.empty() ? '#' : f.name[0];
+      for (std::size_t i = begin; i < end && i < width; ++i) row[i] = mark;
+    }
+    out << "PE" << pe << " |" << row << "|\n";
+  }
+  // Legend: first occurrence of each task name.
+  out << "legend:";
+  std::vector<std::string> seen;
+  for (const FiringRecord& f : trace.firings()) {
+    if (std::find(seen.begin(), seen.end(), f.name) != seen.end()) continue;
+    seen.push_back(f.name);
+    out << " " << (f.name.empty() ? "#" : f.name.substr(0, 1)) << "=" << f.name;
+    if (seen.size() >= 16) break;
+  }
+  out << "\n";
+  return out.str();
+}
+
+namespace {
+
+void append_escaped(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const TraceRecorder& trace, const ClockModel& clock) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const FiringRecord& f : trace.firings()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"";
+    append_escaped(out, f.name);
+    out << "\",\"cat\":\"firing\",\"ph\":\"X\",\"pid\":0,\"tid\":" << f.pe
+        << ",\"ts\":" << clock.to_microseconds(f.start)
+        << ",\"dur\":" << clock.to_microseconds(f.end - f.start) << ",\"args\":{\"iteration\":"
+        << f.iteration << "}}";
+  }
+  for (const MessageRecord& m : trace.messages()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << (m.is_data ? "data" : "sync") << " msg\",\"cat\":\"message\","
+        << "\"ph\":\"X\",\"pid\":1,\"tid\":" << m.src_pe
+        << ",\"ts\":" << clock.to_microseconds(m.send_time)
+        << ",\"dur\":" << clock.to_microseconds(m.arrival_time - m.send_time)
+        << ",\"args\":{\"dst_pe\":" << m.dst_pe << ",\"wire_bytes\":" << m.wire_bytes << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+std::string to_vcd(const TraceRecorder& trace, std::int32_t pe_count) {
+  std::ostringstream out;
+  out << "$timescale 1ns $end\n$scope module spi $end\n";
+  for (std::int32_t pe = 0; pe < pe_count; ++pe) {
+    out << "$var wire 1 b" << pe << " pe" << pe << "_busy $end\n";
+    out << "$var reg 8 t" << pe << " pe" << pe << "_task [7:0] $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  // Merge firing start/end transitions into a time-ordered change list.
+  struct Change {
+    SimTime time;
+    std::int32_t pe;
+    bool start;
+    std::int32_t task;
+  };
+  std::vector<Change> changes;
+  changes.reserve(trace.firings().size() * 2);
+  for (const FiringRecord& f : trace.firings()) {
+    changes.push_back(Change{f.start, f.pe, true, f.task});
+    changes.push_back(Change{f.end, f.pe, false, f.task});
+  }
+  std::sort(changes.begin(), changes.end(), [](const Change& a, const Change& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.start < b.start;  // emit ends before starts at the same instant
+  });
+
+  auto put_task = [&](std::int32_t pe, std::int32_t task) {
+    out << "b";
+    for (int bit = 7; bit >= 0; --bit) out << ((task >> bit) & 1);
+    out << " t" << pe << "\n";
+  };
+
+  out << "#0\n";
+  for (std::int32_t pe = 0; pe < pe_count; ++pe) {
+    out << "0b" << pe << "\n";
+    put_task(pe, 0);
+  }
+  SimTime now = 0;
+  for (const Change& c : changes) {
+    if (c.time != now) {
+      now = c.time;
+      out << "#" << now << "\n";
+    }
+    out << (c.start ? "1b" : "0b") << c.pe << "\n";
+    if (c.start) put_task(c.pe, c.task & 0xFF);
+  }
+  return out.str();
+}
+
+}  // namespace spi::sim

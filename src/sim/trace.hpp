@@ -1,0 +1,73 @@
+/// \file trace.hpp
+/// Execution tracing for the timed executor.
+///
+/// When a TraceRecorder is attached to a run, every task firing and every
+/// message transfer is recorded. Two renderers are provided: an ASCII
+/// Gantt chart (quick terminal inspection of pipelining, stalls and
+/// communication overlap) and Chrome trace-event JSON (open in
+/// chrome://tracing or Perfetto for interactive inspection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_kernel.hpp"
+
+namespace spi::sim {
+
+struct FiringRecord {
+  std::int32_t task = 0;
+  std::int32_t pe = 0;
+  std::int64_t iteration = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::string name;
+};
+
+struct MessageRecord {
+  std::size_t sync_edge = 0;
+  std::int32_t src_pe = 0;
+  std::int32_t dst_pe = 0;
+  bool is_data = true;  ///< data message (kIpc) vs sync message (ack/resync)
+  SimTime send_time = 0;
+  SimTime arrival_time = 0;
+  std::int64_t wire_bytes = 0;
+};
+
+class TraceRecorder {
+ public:
+  void record_firing(FiringRecord r) { firings_.push_back(std::move(r)); }
+  void record_message(MessageRecord r) { messages_.push_back(std::move(r)); }
+  void clear() {
+    firings_.clear();
+    messages_.clear();
+  }
+
+  [[nodiscard]] const std::vector<FiringRecord>& firings() const { return firings_; }
+  [[nodiscard]] const std::vector<MessageRecord>& messages() const { return messages_; }
+
+ private:
+  std::vector<FiringRecord> firings_;
+  std::vector<MessageRecord> messages_;
+};
+
+/// Renders the firings of the first `max_cycles` simulated cycles as an
+/// ASCII Gantt chart, one row per processor, `width` characters wide.
+/// Busy spans show the task's first letter; '.' is idle.
+[[nodiscard]] std::string to_ascii_gantt(const TraceRecorder& trace, std::int32_t pe_count,
+                                         SimTime max_cycles, std::size_t width = 100);
+
+/// Chrome trace-event JSON ("X" duration events per firing, flow-style
+/// instant events per message). Timestamps are emitted in simulated
+/// microseconds at the given clock.
+[[nodiscard]] std::string to_chrome_trace_json(const TraceRecorder& trace,
+                                               const ClockModel& clock = {});
+
+/// IEEE-1364 VCD waveform dump: per processor a 1-bit `busy` wire and an
+/// 8-bit `task` register (the id of the executing task), viewable in
+/// GTKWave — the natural habitat of the paper's FPGA audience. The
+/// timescale is one simulated cycle = 1 ns.
+[[nodiscard]] std::string to_vcd(const TraceRecorder& trace, std::int32_t pe_count);
+
+}  // namespace spi::sim

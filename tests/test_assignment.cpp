@@ -1,0 +1,115 @@
+#include "sched/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spi::sched {
+namespace {
+
+TEST(Assignment, DefaultsToProcessorZero) {
+  const Assignment a(3, 2);
+  for (df::ActorId id = 0; id < 3; ++id) EXPECT_EQ(a.proc_of(id), 0);
+}
+
+TEST(Assignment, AssignAndQuery) {
+  Assignment a(3, 2);
+  a.assign(1, 1);
+  EXPECT_EQ(a.proc_of(1), 1);
+  const auto on0 = a.actors_on(0);
+  const auto on1 = a.actors_on(1);
+  EXPECT_EQ(on0, (std::vector<df::ActorId>{0, 2}));
+  EXPECT_EQ(on1, (std::vector<df::ActorId>{1}));
+}
+
+TEST(Assignment, Validation) {
+  EXPECT_THROW(Assignment(2, 0), std::invalid_argument);
+  Assignment a(2, 2);
+  EXPECT_THROW(a.assign(0, 2), std::out_of_range);
+  EXPECT_THROW(a.assign(0, -1), std::out_of_range);
+  EXPECT_THROW(a.assign(5, 0), std::out_of_range);
+}
+
+TEST(Assignment, InterprocessorEdges) {
+  df::Graph g;
+  const df::ActorId a = g.add_actor("A");
+  const df::ActorId b = g.add_actor("B");
+  const df::ActorId c = g.add_actor("C");
+  const df::EdgeId ab = g.connect_simple(a, b);
+  g.connect_simple(b, c);  // same processor
+  Assignment assignment(3, 2);
+  assignment.assign(a, 0);
+  assignment.assign(b, 1);
+  assignment.assign(c, 1);
+  const auto ipc = assignment.interprocessor_edges(g);
+  ASSERT_EQ(ipc.size(), 1u);
+  EXPECT_EQ(ipc[0], ab);
+
+  Assignment wrong_size(2, 2);
+  EXPECT_THROW(wrong_size.interprocessor_edges(g), std::invalid_argument);
+}
+
+TEST(ListSchedule, SingleProcessorTrivial) {
+  df::Graph g;
+  g.add_actor("A", 10);
+  g.add_actor("B", 10);
+  const Assignment a = list_schedule(g, 1);
+  EXPECT_EQ(a.proc_count(), 1);
+}
+
+TEST(ListSchedule, IndependentChainsSpread) {
+  // Two equal independent chains should land on different processors.
+  df::Graph g;
+  const df::ActorId a1 = g.add_actor("A1", 100);
+  const df::ActorId a2 = g.add_actor("A2", 100);
+  const df::ActorId b1 = g.add_actor("B1", 100);
+  const df::ActorId b2 = g.add_actor("B2", 100);
+  g.connect_simple(a1, b1);
+  g.connect_simple(a2, b2);
+  const Assignment a = list_schedule(g, 2);
+  EXPECT_NE(a.proc_of(a1), a.proc_of(a2));
+  // Chain locality: with IPC cost, each consumer follows its producer.
+  EXPECT_EQ(a.proc_of(a1), a.proc_of(b1));
+  EXPECT_EQ(a.proc_of(a2), a.proc_of(b2));
+}
+
+TEST(ListSchedule, HighIpcCostKeepsChainTogether) {
+  df::Graph g;
+  const df::ActorId a = g.add_actor("A", 10);
+  const df::ActorId b = g.add_actor("B", 10);
+  g.connect(a, df::Rate::fixed(1), b, df::Rate::fixed(1), 0, 4096);
+  CommCostModel expensive;
+  expensive.fixed_cycles = 10000;
+  const Assignment asg = list_schedule(g, 2, expensive);
+  EXPECT_EQ(asg.proc_of(a), asg.proc_of(b));
+}
+
+TEST(ListSchedule, FeedbackDelayRelaxed) {
+  // A cycle with delay must not be treated as a precedence cycle.
+  df::Graph g;
+  const df::ActorId a = g.add_actor("A", 10);
+  const df::ActorId b = g.add_actor("B", 10);
+  g.connect_simple(a, b, 0);
+  g.connect_simple(b, a, 1);
+  EXPECT_NO_THROW(list_schedule(g, 2));
+}
+
+TEST(ListSchedule, ZeroDelayCycleThrows) {
+  df::Graph g;
+  const df::ActorId a = g.add_actor("A");
+  const df::ActorId b = g.add_actor("B");
+  g.connect_simple(a, b, 0);
+  g.connect_simple(b, a, 0);
+  EXPECT_THROW(list_schedule(g, 2), std::logic_error);
+}
+
+TEST(ListSchedule, Deterministic) {
+  df::Graph g;
+  for (int i = 0; i < 8; ++i) g.add_actor("a" + std::to_string(i), 10 + i);
+  for (int i = 0; i + 1 < 8; i += 2)
+    g.connect_simple(static_cast<df::ActorId>(i), static_cast<df::ActorId>(i + 1));
+  const Assignment a1 = list_schedule(g, 3);
+  const Assignment a2 = list_schedule(g, 3);
+  for (df::ActorId id = 0; id < 8; ++id) EXPECT_EQ(a1.proc_of(id), a2.proc_of(id));
+}
+
+}  // namespace
+}  // namespace spi::sched

@@ -1,0 +1,119 @@
+#include "core/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spi::core {
+namespace {
+
+ChannelConfig static_config(std::int64_t payload = 8) {
+  ChannelConfig c;
+  c.edge = 1;
+  c.mode = SpiMode::kStatic;
+  c.protocol = sched::SyncProtocol::kUbs;
+  c.payload_bound_bytes = payload;
+  return c;
+}
+
+ChannelConfig dynamic_bbs_config(std::int64_t b_max = 32, std::int64_t capacity = 2) {
+  ChannelConfig c;
+  c.edge = 2;
+  c.mode = SpiMode::kDynamic;
+  c.protocol = sched::SyncProtocol::kBbs;
+  c.payload_bound_bytes = b_max;
+  c.capacity_messages = capacity;
+  return c;
+}
+
+TEST(SpiChannel, StaticFifoRoundTrip) {
+  SpiChannel ch(static_config());
+  const Bytes a{1, 2, 3, 4, 5, 6, 7, 8};
+  const Bytes b{9, 10, 11, 12, 13, 14, 15, 16};
+  ch.send(a);
+  ch.send(b);
+  EXPECT_EQ(ch.occupancy(), 2);
+  EXPECT_EQ(ch.receive().value(), a);  // FIFO order
+  EXPECT_EQ(ch.receive().value(), b);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(SpiChannel, StaticPayloadSizeEnforced) {
+  SpiChannel ch(static_config(8));
+  EXPECT_THROW(ch.send(Bytes(7)), std::invalid_argument);
+  EXPECT_THROW(ch.send(Bytes(9)), std::invalid_argument);
+}
+
+TEST(SpiChannel, DynamicPayloadsVaryUpToBmax) {
+  SpiChannel ch(dynamic_bbs_config(32, 8));
+  ch.send(Bytes{});
+  ch.send(Bytes(32, 0xAB));
+  EXPECT_EQ(ch.receive().value().size(), 0u);
+  EXPECT_EQ(ch.receive().value().size(), 32u);
+  EXPECT_THROW(ch.send(Bytes(33)), std::length_error);
+}
+
+TEST(SpiChannel, BbsCapacityIsAnInvariant) {
+  SpiChannel ch(dynamic_bbs_config(16, 2));
+  ch.send(Bytes(4));
+  ch.send(Bytes(4));
+  EXPECT_THROW(ch.send(Bytes(4)), std::runtime_error);  // equation-2 violation oracle
+  (void)ch.receive();
+  EXPECT_NO_THROW(ch.send(Bytes(4)));
+}
+
+TEST(SpiChannel, UbsCountsAcksUnlessElided) {
+  ChannelConfig config = static_config();
+  SpiChannel with_acks(config);
+  with_acks.send(Bytes(8));
+  (void)with_acks.receive();
+  EXPECT_EQ(with_acks.stats().acks, 1);
+
+  config.ack_elided = true;
+  SpiChannel elided(config);
+  elided.send(Bytes(8));
+  (void)elided.receive();
+  EXPECT_EQ(elided.stats().acks, 0);
+}
+
+TEST(SpiChannel, BbsNeverCountsAcksOnReceive) {
+  SpiChannel ch(dynamic_bbs_config());
+  ch.send(Bytes(8));
+  (void)ch.receive();
+  EXPECT_EQ(ch.stats().acks, 0);
+}
+
+TEST(SpiChannel, WireBytesIncludeHeaders) {
+  SpiChannel stat(static_config(8));
+  stat.send(Bytes(8));
+  EXPECT_EQ(stat.stats().wire_bytes, 8 + kStaticHeaderBytes);
+
+  SpiChannel dyn(dynamic_bbs_config(32, 4));
+  dyn.send(Bytes(8));
+  EXPECT_EQ(dyn.stats().wire_bytes, 8 + kDynamicHeaderBytes);
+}
+
+TEST(SpiChannel, MaxOccupancyTracked) {
+  SpiChannel ch(dynamic_bbs_config(16, 4));
+  ch.send(Bytes(4));
+  ch.send(Bytes(4));
+  (void)ch.receive();
+  ch.send(Bytes(4));
+  EXPECT_EQ(ch.stats().max_occupancy, 2);
+  EXPECT_EQ(ch.stats().messages, 3);
+}
+
+TEST(SpiChannel, ConfigValidation) {
+  ChannelConfig bad_edge = static_config();
+  bad_edge.edge = -1;
+  EXPECT_THROW(SpiChannel{bad_edge}, std::invalid_argument);
+
+  ChannelConfig bad_bound = static_config();
+  bad_bound.payload_bound_bytes = 0;
+  EXPECT_THROW(SpiChannel{bad_bound}, std::invalid_argument);
+
+  ChannelConfig bbs_without_capacity = dynamic_bbs_config();
+  bbs_without_capacity.capacity_messages = 0;
+  EXPECT_THROW(SpiChannel{bbs_without_capacity}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spi::core

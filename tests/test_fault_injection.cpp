@@ -1,0 +1,132 @@
+/// Fault-injection tests for the SPI wire formats: corrupted, truncated
+/// or reordered frames must be *detected* (throw), never silently
+/// mis-decoded — and the CRC-checked variant must catch payload
+/// corruption the plain formats cannot see.
+#include <gtest/gtest.h>
+
+#include "core/message.hpp"
+#include "dsp/rng.hpp"
+
+namespace spi::core {
+namespace {
+
+Bytes random_payload(std::size_t n, dsp::Rng& rng) {
+  Bytes b(n);
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return b;
+}
+
+TEST(Crc32, KnownVectors) {
+  // The classic check value: CRC-32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  const Bytes data(s.begin(), s.end());
+  EXPECT_EQ(crc32(data), 0xCBF43926U);
+  EXPECT_EQ(crc32(Bytes{}), 0x00000000U);
+}
+
+TEST(CheckedFormat, RoundTrip) {
+  dsp::Rng rng(1);
+  for (std::size_t n : {0u, 1u, 63u, 1024u}) {
+    const Bytes payload = random_payload(n, rng);
+    const Bytes wire = encode_checked(9, payload);
+    EXPECT_EQ(wire.size(), payload.size() + static_cast<std::size_t>(kCheckedHeaderBytes));
+    const Message m = decode_checked(wire);
+    EXPECT_EQ(m.edge, 9);
+    EXPECT_EQ(m.payload, payload);
+  }
+}
+
+TEST(CheckedFormat, Everysingle_BitFlipDetected) {
+  dsp::Rng rng(2);
+  const Bytes payload = random_payload(48, rng);
+  const Bytes wire = encode_checked(3, payload);
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes corrupted = wire;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      bool detected = false;
+      try {
+        const Message m = decode_checked(corrupted);
+        // Header (edge-id) corruption is not CRC-protected by design —
+        // the edge id routes the message, and a wrong route fails the
+        // channel's edge-id check instead. Accept decodes whose edge id
+        // changed; everything else must throw.
+        detected = m.edge != 3;
+      } catch (const std::runtime_error&) {
+        detected = true;
+      }
+      EXPECT_TRUE(detected) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(CheckedFormat, PlainDynamicMissesPayloadCorruption) {
+  // Motivation for the checked variant: flipping a payload bit in the
+  // plain dynamic format decodes "successfully" to wrong data.
+  dsp::Rng rng(3);
+  const Bytes payload = random_payload(32, rng);
+  Bytes wire = encode_dynamic(3, payload);
+  wire[kDynamicHeaderBytes + 5] ^= 0x10;
+  const Message m = decode_dynamic(wire);  // no throw
+  EXPECT_NE(m.payload, payload);           // silent corruption
+}
+
+TEST(CheckedFormat, TruncationDetected) {
+  dsp::Rng rng(4);
+  Bytes wire = encode_checked(1, random_payload(16, rng));
+  while (wire.size() > 1) {
+    wire.pop_back();
+    EXPECT_THROW((void)decode_checked(wire), std::runtime_error);
+    if (wire.size() < 8) break;
+  }
+  EXPECT_THROW((void)decode_checked(Bytes{}), std::runtime_error);
+}
+
+TEST(StaticFormat, WrongLengthAlwaysDetected) {
+  dsp::Rng rng(5);
+  const Bytes wire = encode_static(2, random_payload(24, rng));
+  for (std::int64_t wrong : {0, 8, 23, 25, 1000})
+    EXPECT_THROW((void)decode_static(wire, wrong), std::runtime_error);
+}
+
+TEST(DynamicFormat, SizeFieldCorruptionDetected) {
+  dsp::Rng rng(6);
+  Bytes wire = encode_dynamic(2, random_payload(40, rng));
+  for (int bit = 0; bit < 8; ++bit) {
+    Bytes corrupted = wire;
+    corrupted[4] ^= static_cast<std::uint8_t>(1 << bit);  // size header byte
+    EXPECT_THROW((void)decode_dynamic(corrupted), std::runtime_error);
+  }
+}
+
+class FuzzDecode : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDecode, RandomBytesNeverCrashOnlyThrow) {
+  dsp::Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const Bytes junk = random_payload(static_cast<std::size_t>(rng.uniform_int(0, 64)), rng);
+    // Every decoder must either produce a message or throw a documented
+    // exception type — never crash or hang.
+    try {
+      (void)decode_dynamic(junk);
+    } catch (const std::runtime_error&) {
+    }
+    try {
+      (void)decode_checked(junk);
+    } catch (const std::runtime_error&) {
+    }
+    try {
+      (void)decode_delimited(junk);
+    } catch (const std::runtime_error&) {
+    }
+    try {
+      (void)decode_static(junk, 8);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode, ::testing::Values(10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace spi::core

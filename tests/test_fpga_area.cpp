@@ -1,0 +1,75 @@
+#include "sim/fpga_area.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spi::sim {
+namespace {
+
+TEST(ResourceVector, Arithmetic) {
+  const ResourceVector a{1, 2, 3, 4, 5};
+  const ResourceVector b{10, 20, 30, 40, 50};
+  const ResourceVector sum = a + b;
+  EXPECT_EQ(sum.slices, 11);
+  EXPECT_EQ(sum.dsp48, 55);
+  const ResourceVector scaled = a * 3;
+  EXPECT_EQ(scaled.lut4, 9);
+}
+
+TEST(ResourceClasses, NamesAndAccessors) {
+  const ResourceVector v{1, 2, 3, 4, 5};
+  EXPECT_STREQ(resource_class_name(0), "Slices");
+  EXPECT_STREQ(resource_class_name(4), "DSP48s");
+  EXPECT_EQ(resource_class_of(v, 0), 1);
+  EXPECT_EQ(resource_class_of(v, 3), 4);
+  EXPECT_THROW(resource_class_name(5), std::out_of_range);
+  EXPECT_THROW(resource_class_of(v, -1), std::out_of_range);
+}
+
+TEST(Virtex4, CapacityPlausible) {
+  const FpgaDevice dev = virtex4_sx35();
+  EXPECT_EQ(dev.capacity.slices, 15360);
+  EXPECT_EQ(dev.capacity.bram, 192);
+  EXPECT_EQ(dev.capacity.dsp48, 192);
+}
+
+TEST(AreaReport, AggregationAndPercentages) {
+  AreaReport report(FpgaDevice{"toy", ResourceVector{1000, 2000, 2000, 100, 100}});
+  report.add("compute", ResourceVector{90, 180, 170, 8, 10});
+  report.add("spi", ResourceVector{10, 20, 30, 8, 0}, /*is_spi=*/true);
+
+  EXPECT_EQ(report.total().slices, 100);
+  EXPECT_EQ(report.spi_total().slices, 10);
+  EXPECT_DOUBLE_EQ(report.system_percent_of_device(0), 10.0);
+  EXPECT_DOUBLE_EQ(report.spi_percent_of_system(0), 10.0);
+  EXPECT_DOUBLE_EQ(report.spi_percent_of_system(3), 50.0);
+  EXPECT_DOUBLE_EQ(report.spi_percent_of_system(4), 0.0);
+}
+
+TEST(AreaReport, ZeroUsageIsZeroPercent) {
+  AreaReport report(virtex4_sx35());
+  EXPECT_DOUBLE_EQ(report.system_percent_of_device(0), 0.0);
+  EXPECT_DOUBLE_EQ(report.spi_percent_of_system(0), 0.0);
+}
+
+TEST(AreaReport, TableContainsPaperRows) {
+  AreaReport report(virtex4_sx35());
+  report.add("compute", ResourceVector{100, 100, 100, 10, 0});
+  report.add("spi", ResourceVector{10, 10, 10, 2, 0}, true);
+  const std::string table = report.to_table("Table X");
+  EXPECT_NE(table.find("Full system"), std::string::npos);
+  EXPECT_NE(table.find("SPI library (relative to full system)"), std::string::npos);
+  EXPECT_NE(table.find("Block RAMs"), std::string::npos);
+}
+
+TEST(AreaReport, CapacityCheck) {
+  AreaReport ok(FpgaDevice{"toy", ResourceVector{100, 100, 100, 10, 10}});
+  ok.add("fits", ResourceVector{100, 100, 100, 10, 10});
+  EXPECT_NO_THROW(ok.check_fits());
+
+  AreaReport over(FpgaDevice{"toy", ResourceVector{100, 100, 100, 10, 10}});
+  over.add("too big", ResourceVector{101, 0, 0, 0, 0});
+  EXPECT_THROW(over.check_fits(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spi::sim

@@ -1,0 +1,109 @@
+#include "dataflow/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/dot.hpp"
+
+namespace spi::df {
+namespace {
+
+TEST(Rate, FixedAndDynamic) {
+  const Rate f = Rate::fixed(3);
+  EXPECT_FALSE(f.is_dynamic());
+  EXPECT_EQ(f.value(), 3);
+  EXPECT_EQ(f.bound(), 3);
+
+  const Rate d = Rate::dynamic(10);
+  EXPECT_TRUE(d.is_dynamic());
+  EXPECT_EQ(d.bound(), 10);
+  EXPECT_THROW(d.value(), std::domain_error);
+}
+
+TEST(Rate, RejectsNonPositive) {
+  EXPECT_THROW(Rate::fixed(0), std::invalid_argument);
+  EXPECT_THROW(Rate::fixed(-1), std::invalid_argument);
+  EXPECT_THROW(Rate::dynamic(0), std::invalid_argument);
+}
+
+TEST(Graph, BuildAndQuery) {
+  Graph g("test");
+  const ActorId a = g.add_actor("A", 5);
+  const ActorId b = g.add_actor("B");
+  const EdgeId e = g.connect(a, Rate::fixed(2), b, Rate::fixed(3), 6, 4, "ab");
+
+  EXPECT_EQ(g.actor_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.actor(a).name, "A");
+  EXPECT_EQ(g.actor(a).exec_cycles, 5);
+  EXPECT_EQ(g.edge(e).delay, 6);
+  EXPECT_EQ(g.edge(e).name, "ab");
+  ASSERT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_EQ(g.out_edges(a)[0], e);
+  ASSERT_EQ(g.in_edges(b).size(), 1u);
+  EXPECT_EQ(g.in_edges(b)[0], e);
+  EXPECT_TRUE(g.in_edges(a).empty());
+  EXPECT_TRUE(g.is_sdf());
+}
+
+TEST(Graph, AutoNamesEdges) {
+  Graph g;
+  const ActorId a = g.add_actor("Src");
+  const ActorId b = g.add_actor("Dst");
+  const EdgeId e = g.connect_simple(a, b);
+  EXPECT_EQ(g.edge(e).name, "Src->Dst");
+}
+
+TEST(Graph, DynamicEdgesDetected) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect_simple(a, b);
+  const EdgeId dyn = g.connect(a, Rate::dynamic(8), b, Rate::dynamic(8));
+  EXPECT_FALSE(g.is_sdf());
+  const auto dynamic = g.dynamic_edges();
+  ASSERT_EQ(dynamic.size(), 1u);
+  EXPECT_EQ(dynamic[0], dyn);
+}
+
+TEST(Graph, FindActor) {
+  Graph g;
+  g.add_actor("X");
+  const ActorId y = g.add_actor("Y");
+  EXPECT_EQ(g.find_actor("Y"), y);
+  EXPECT_EQ(g.find_actor("Z"), kInvalidActor);
+}
+
+TEST(Graph, Validation) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  EXPECT_THROW(g.add_actor("bad", 0), std::invalid_argument);
+  EXPECT_THROW(g.connect_simple(a, 7), std::out_of_range);
+  EXPECT_THROW(g.connect(a, Rate::fixed(1), a, Rate::fixed(1), -1), std::invalid_argument);
+  EXPECT_THROW(g.connect(a, Rate::fixed(1), a, Rate::fixed(1), 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)g.actor(5), std::out_of_range);
+  EXPECT_THROW((void)g.edge(0), std::out_of_range);
+}
+
+TEST(Graph, SelfLoopAllowed) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const EdgeId e = g.connect_simple(a, a, 1);
+  EXPECT_EQ(g.edge(e).src, a);
+  EXPECT_EQ(g.edge(e).snk, a);
+}
+
+TEST(Dot, RendersStructure) {
+  Graph g("dotted");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::fixed(2), b, Rate::fixed(1), 3);
+  g.connect(a, Rate::dynamic(10), b, Rate::dynamic(8));
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph \"dotted\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"2:1 d=3\""), std::string::npos);
+  EXPECT_NE(dot.find("<=10:<=8"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spi::df

@@ -1,0 +1,122 @@
+#include "dataflow/graph_algos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spi::df {
+namespace {
+
+WeightedDigraph diamond() {
+  //      1
+  //   0     3,   0->1 (w1), 0->2 (w5), 1->3 (w1), 2->3 (w1)
+  //      2
+  WeightedDigraph g(4);
+  g.add_arc(0, 1, 1);
+  g.add_arc(0, 2, 5);
+  g.add_arc(1, 3, 1);
+  g.add_arc(2, 3, 1);
+  return g;
+}
+
+TEST(MinDelay, ShortestPathsAndUnreachable) {
+  const WeightedDigraph g = diamond();
+  const auto dist = min_delay_from(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 5);
+  EXPECT_EQ(dist[3], 2);
+  const auto from3 = min_delay_from(g, 3);
+  EXPECT_EQ(from3[0], kUnreachable);
+  EXPECT_EQ(from3[3], 0);
+}
+
+TEST(MinDelay, AllPairsMatchesSingleSource) {
+  const WeightedDigraph g = diamond();
+  const auto all = all_pairs_min_delay(g);
+  for (std::int32_t u = 0; u < 4; ++u) EXPECT_EQ(all[static_cast<std::size_t>(u)], min_delay_from(g, u));
+}
+
+TEST(MinDelay, ZeroWeightCycles) {
+  WeightedDigraph g(3);
+  g.add_arc(0, 1, 0);
+  g.add_arc(1, 0, 0);
+  g.add_arc(1, 2, 3);
+  const auto dist = min_delay_from(g, 0);
+  EXPECT_EQ(dist[1], 0);
+  EXPECT_EQ(dist[2], 3);
+}
+
+TEST(WeightedDigraph, RejectsNegativeWeights) {
+  WeightedDigraph g(2);
+  EXPECT_THROW(g.add_arc(0, 1, -1), std::invalid_argument);
+}
+
+TEST(Scc, TwoComponents) {
+  WeightedDigraph g(5);
+  g.add_arc(0, 1, 0);
+  g.add_arc(1, 2, 0);
+  g.add_arc(2, 0, 0);  // {0,1,2}
+  g.add_arc(2, 3, 0);
+  g.add_arc(3, 4, 0);  // {3}, {4} singletons
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 3);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+  EXPECT_NE(scc.component[3], scc.component[4]);
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent) {
+  WeightedDigraph g(2);
+  g.add_arc(0, 0, 1);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 2);
+}
+
+TEST(Scc, LargeChainDoesNotOverflowStack) {
+  constexpr std::int32_t n = 200000;
+  WeightedDigraph g(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i + 1 < n; ++i) g.add_arc(i, i + 1, 0);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, n);  // iterative Tarjan survives deep recursion cases
+}
+
+TEST(Topological, OrderRespectsArcs) {
+  const WeightedDigraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (std::size_t i = 0; i < order->size(); ++i)
+    pos[static_cast<std::size_t>((*order)[i])] = static_cast<int>(i);
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Topological, CycleYieldsNullopt) {
+  WeightedDigraph g(2);
+  g.add_arc(0, 1, 0);
+  g.add_arc(1, 0, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+}
+
+TEST(Reachable, BasicAndSelf) {
+  const WeightedDigraph g = diamond();
+  EXPECT_TRUE(reachable(g, 0, 3));
+  EXPECT_FALSE(reachable(g, 3, 0));
+  EXPECT_TRUE(reachable(g, 2, 2));  // trivially reachable from itself
+}
+
+TEST(FromDataflow, ProjectsDelays) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect_simple(a, b, 7);
+  const WeightedDigraph wd = WeightedDigraph::from_dataflow(g);
+  ASSERT_EQ(wd.arcs(a).size(), 1u);
+  EXPECT_EQ(wd.arcs(a)[0].to, b);
+  EXPECT_EQ(wd.arcs(a)[0].weight, 7);
+}
+
+}  // namespace
+}  // namespace spi::df

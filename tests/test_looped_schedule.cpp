@@ -1,0 +1,162 @@
+#include "dataflow/looped_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/sdf_schedule.hpp"
+#include "dsp/rng.hpp"
+
+namespace spi::df {
+namespace {
+
+TEST(ScheduleNode, ExpansionAndText) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  LoopedSchedule s;
+  s.root = ScheduleNode::loop(
+      2, {ScheduleNode::actor(a), ScheduleNode::loop(3, {ScheduleNode::actor(b)})});
+  EXPECT_EQ(s.firings(), (std::vector<ActorId>{a, b, b, b, a, b, b, b}));
+  EXPECT_EQ(s.appearances(), 2u);
+  EXPECT_EQ(s.str(g), "(2 A (3 B))");
+}
+
+TEST(ScheduleNode, TrivialLoopFolded) {
+  const ScheduleNode n = ScheduleNode::loop(1, {ScheduleNode::actor(5)});
+  EXPECT_TRUE(n.is_actor());
+  EXPECT_EQ(n.actor_id(), 5);
+  EXPECT_THROW(ScheduleNode::loop(0, {}), std::invalid_argument);
+}
+
+TEST(Apgan, TwoActorClassic) {
+  // A --2:3--> B: q = (3, 2); the canonical SAS is (1 (3 A) (2 B)).
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::fixed(2), b, Rate::fixed(3));
+  const Repetitions reps = compute_repetitions(g);
+  const LoopedSchedule s = apgan_schedule(g, reps);
+  EXPECT_TRUE(is_valid_schedule(g, reps, s));
+  EXPECT_EQ(s.appearances(), 2u);  // single appearance
+  const auto bounds = buffer_bounds_under(g, s);
+  EXPECT_EQ(bounds[0], 6);  // all 6 tokens accumulate before B drains them
+}
+
+TEST(Apgan, GcdGroupingPicksTheRightPair) {
+  // Chain A --1:2--> B --3:1--> C : q = (2, 1, 3). gcd(A,B)=1,
+  // gcd(B,C)=1, so grouping order is forced by availability; whatever is
+  // chosen, the result must be a valid SAS.
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  g.connect(a, Rate::fixed(1), b, Rate::fixed(2));
+  g.connect(b, Rate::fixed(3), c, Rate::fixed(1));
+  const Repetitions reps = compute_repetitions(g);
+  const LoopedSchedule s = apgan_schedule(g, reps);
+  EXPECT_TRUE(is_valid_schedule(g, reps, s));
+  EXPECT_EQ(s.appearances(), 3u);
+}
+
+TEST(Apgan, SampleRateConversionChain) {
+  // A multistage rate-conversion chain (the classic CD->DAT-style
+  // benchmark shape for SAS work).
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  const ActorId d = g.add_actor("D");
+  g.connect(a, Rate::fixed(2), b, Rate::fixed(3));
+  g.connect(b, Rate::fixed(4), c, Rate::fixed(7));
+  g.connect(c, Rate::fixed(7), d, Rate::fixed(8));
+  const Repetitions reps = compute_repetitions(g);
+  const LoopedSchedule s = apgan_schedule(g, reps);
+  EXPECT_TRUE(is_valid_schedule(g, reps, s));
+  EXPECT_EQ(s.appearances(), 4u);
+  // A SAS trades buffer memory for code size: the flat min-buffer PASS
+  // can use less memory, never more appearances.
+  const SequentialSchedule flat =
+      build_sequential_schedule(g, reps, SchedulePolicy::kMinBufferDemand);
+  const auto sas_bytes = total_buffer_bytes(g, buffer_bounds_under(g, s));
+  const auto flat_bytes = total_buffer_bytes(g, flat.buffer_bound);
+  EXPECT_GE(sas_bytes, flat_bytes);
+  EXPECT_GT(flat.firings.size(), s.appearances());
+}
+
+TEST(Apgan, DiamondTopology) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  const ActorId d = g.add_actor("D");
+  g.connect(a, Rate::fixed(2), b, Rate::fixed(1));
+  g.connect(a, Rate::fixed(3), c, Rate::fixed(1));
+  g.connect(b, Rate::fixed(1), d, Rate::fixed(2));
+  g.connect(c, Rate::fixed(1), d, Rate::fixed(3));
+  const Repetitions reps = compute_repetitions(g);
+  const LoopedSchedule s = apgan_schedule(g, reps);
+  EXPECT_TRUE(is_valid_schedule(g, reps, s));
+  EXPECT_EQ(s.appearances(), 4u);
+}
+
+TEST(Apgan, DisconnectedComponents) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");  // isolated
+  g.connect(a, Rate::fixed(1), b, Rate::fixed(4));
+  (void)c;
+  const Repetitions reps = compute_repetitions(g);
+  const LoopedSchedule s = apgan_schedule(g, reps);
+  EXPECT_TRUE(is_valid_schedule(g, reps, s));
+}
+
+TEST(Apgan, RejectsCyclesAndDynamic) {
+  Graph cyclic;
+  const ActorId a = cyclic.add_actor("A");
+  const ActorId b = cyclic.add_actor("B");
+  cyclic.connect_simple(a, b, 0);
+  cyclic.connect_simple(b, a, 1);
+  EXPECT_THROW((void)apgan_schedule(cyclic, compute_repetitions(cyclic)),
+               std::invalid_argument);
+
+  Graph dynamic;
+  const ActorId x = dynamic.add_actor("X");
+  const ActorId y = dynamic.add_actor("Y");
+  dynamic.connect(x, Rate::dynamic(2), y, Rate::dynamic(2));
+  Repetitions fake;
+  fake.consistent = true;
+  EXPECT_THROW((void)apgan_schedule(dynamic, fake), std::invalid_argument);
+}
+
+class ApganProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApganProperty, RandomAcyclicGraphsYieldValidSas) {
+  dsp::Rng rng(GetParam());
+  Graph g;
+  const int actors = static_cast<int>(rng.uniform_int(2, 10));
+  std::vector<std::int64_t> hidden;
+  for (int i = 0; i < actors; ++i) {
+    g.add_actor("a" + std::to_string(i));
+    hidden.push_back(rng.uniform_int(1, 5));
+  }
+  // Forward edges only (acyclic by construction).
+  const int edges = static_cast<int>(rng.uniform_int(1, 2 * actors));
+  for (int e = 0; e < edges; ++e) {
+    const auto u = static_cast<ActorId>(rng.uniform_int(0, actors - 2));
+    const auto v = static_cast<ActorId>(rng.uniform_int(u + 1, actors - 1));
+    const std::int64_t k = rng.uniform_int(1, 3);
+    g.connect(u, Rate::fixed(k * hidden[static_cast<std::size_t>(v)]), v,
+              Rate::fixed(k * hidden[static_cast<std::size_t>(u)]), rng.uniform_int(0, 2));
+  }
+  const Repetitions reps = compute_repetitions(g);
+  ASSERT_TRUE(reps.consistent);
+  const LoopedSchedule s = apgan_schedule(g, reps);
+  EXPECT_TRUE(is_valid_schedule(g, reps, s)) << s.str(g);
+  EXPECT_EQ(s.appearances(), g.actor_count());  // single appearance
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApganProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 121, 132));
+
+}  // namespace
+}  // namespace spi::df

@@ -1,0 +1,142 @@
+#include "dsp/lpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace spi::dsp {
+namespace {
+
+/// An AR(2) process the LPC analysis must recover.
+std::vector<double> ar2_signal(std::size_t n, double a1, double a2, Rng& rng, double noise) {
+  std::vector<double> x(n, 0.0);
+  for (std::size_t t = 2; t < n; ++t)
+    x[t] = a1 * x[t - 1] + a2 * x[t - 2] + rng.gaussian(0.0, noise);
+  return x;
+}
+
+TEST(Autocorrelation, LagZeroIsPower) {
+  const std::vector<double> x{1, -1, 1, -1};
+  const auto r = autocorrelation(x, 2);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);         // mean square
+  EXPECT_DOUBLE_EQ(r[1], -0.75);       // alternating signal
+  EXPECT_THROW((void)autocorrelation(x, 4), std::invalid_argument);
+  EXPECT_THROW((void)autocorrelation({}, 0), std::invalid_argument);
+}
+
+TEST(Autocorrelation, SymmetryInLag) {
+  Rng rng(1);
+  std::vector<double> x(128);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto r = autocorrelation(x, 8);
+  // Biased estimator is positive at lag 0 and bounded by it elsewhere.
+  for (std::size_t k = 1; k <= 8; ++k) EXPECT_LE(std::abs(r[k]), r[0] + 1e-12);
+}
+
+TEST(HammingWindow, EndpointsAttenuated) {
+  std::vector<double> w(64, 1.0);
+  hamming_window(w);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+  EXPECT_NEAR(w[63], 0.08, 1e-12);
+  EXPECT_NEAR(w[31], 1.0, 0.01);  // near-unity mid-window
+}
+
+TEST(Lpc, RecoversAr2Coefficients) {
+  Rng rng(42);
+  const std::vector<double> x = ar2_signal(4096, 0.6, -0.2, rng, 0.1);
+  const auto a = lpc_coefficients_lu(x, 2);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_NEAR(a[0], 0.6, 0.05);
+  EXPECT_NEAR(a[1], -0.2, 0.05);
+}
+
+TEST(Lpc, LuAndLevinsonAgree) {
+  Rng rng(7);
+  const std::vector<double> x = ar2_signal(2048, 0.5, 0.3, rng, 0.2);
+  for (std::size_t order : {1u, 2u, 4u, 8u, 12u}) {
+    const auto lu = lpc_coefficients_lu(x, order);
+    const auto lev = lpc_coefficients_levinson(x, order);
+    ASSERT_EQ(lu.size(), lev.size());
+    for (std::size_t k = 0; k < order; ++k)
+      EXPECT_NEAR(lu[k], lev[k], 1e-6) << "order " << order << " tap " << k;
+  }
+}
+
+TEST(Lpc, OrderValidation) {
+  const std::vector<double> x(64, 1.0);
+  EXPECT_THROW((void)lpc_coefficients_lu(x, 0), std::invalid_argument);
+  EXPECT_THROW((void)lpc_coefficients_levinson(x, 0), std::invalid_argument);
+}
+
+TEST(Lpc, SilenceFrameRegularized) {
+  const std::vector<double> silence(256, 0.0);
+  EXPECT_NO_THROW((void)lpc_coefficients_lu(silence, 8));
+  EXPECT_NO_THROW((void)lpc_coefficients_levinson(silence, 8));
+}
+
+TEST(PredictionError, ReducesEnergyOnPredictableSignal) {
+  Rng rng(3);
+  // Near-resonant AR(2): output variance is far above the innovation
+  // variance, so an order-2 predictor yields a large prediction gain.
+  const std::vector<double> x = ar2_signal(2048, 1.5, -0.7, rng, 0.05);
+  const auto a = lpc_coefficients_lu(x, 2);
+  const auto e = prediction_error(x, a, 0, x.size());
+  const double signal_energy = std::inner_product(x.begin(), x.end(), x.begin(), 0.0);
+  const double error_energy = std::inner_product(e.begin(), e.end(), e.begin(), 0.0);
+  EXPECT_LT(error_energy, 0.2 * signal_energy);  // prediction gain > ~7 dB
+}
+
+TEST(PredictionError, SectionsComposeToWhole) {
+  // Computing the error in two overlapped-history sections must equal the
+  // whole-frame computation — exactly the actor-D parallelization.
+  Rng rng(11);
+  const std::vector<double> x = ar2_signal(256, 0.4, 0.1, rng, 0.3);
+  const std::vector<double> a{0.4, 0.1};
+  const auto whole = prediction_error(x, a, 0, x.size());
+  const auto first = prediction_error(x, a, 0, 128);
+  const auto second = prediction_error(x, a, 128, 128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_DOUBLE_EQ(first[i], whole[i]);
+    EXPECT_DOUBLE_EQ(second[i], whole[128 + i]);
+  }
+}
+
+TEST(PredictionError, RangeChecked) {
+  const std::vector<double> x(16, 0.0);
+  const std::vector<double> a{0.5};
+  EXPECT_THROW((void)prediction_error(x, a, 10, 7), std::out_of_range);
+}
+
+TEST(Reconstruct, ExactInverseOfErrorFilter) {
+  Rng rng(13);
+  std::vector<double> x(512);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const std::vector<double> a{0.9, -0.4, 0.1};
+  const auto e = prediction_error(x, a, 0, x.size());
+  const auto rec = lpc_reconstruct(e, a);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(rec[i], x[i], 1e-9);
+}
+
+TEST(SyntheticSpeech, HasShortTimeCorrelation) {
+  Rng rng(2024);
+  const auto x = synthetic_speech(8192, rng);
+  EXPECT_EQ(x.size(), 8192u);
+  const auto r = autocorrelation(x, 1);
+  EXPECT_GT(r[1] / r[0], 0.5);  // strongly correlated at lag 1 — LPC-friendly
+}
+
+TEST(SyntheticSpeech, DeterministicGivenSeed) {
+  Rng a(5), b(5);
+  EXPECT_EQ(synthetic_speech(256, a), synthetic_speech(256, b));
+}
+
+TEST(SnrDb, KnownValuesAndEdges) {
+  const std::vector<double> ref{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(snr_db(ref, ref), 300.0);  // exact match sentinel
+  const std::vector<double> half{0.5, 0.5, 0.5, 0.5};
+  EXPECT_NEAR(snr_db(ref, half), 10.0 * std::log10(4.0 / 1.0), 1e-9);
+  EXPECT_THROW((void)snr_db(ref, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spi::dsp

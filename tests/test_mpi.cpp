@@ -1,0 +1,119 @@
+#include "mpi/mpi_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpi/mpi_backend.hpp"
+
+namespace spi::mpi {
+namespace {
+
+TEST(MpiComm, SendReceiveRoundTrip) {
+  MpiComm comm(2);
+  const Bytes payload{1, 2, 3, 4};
+  comm.send(0, 1, /*tag=*/7, Datatype::kByte, 4, payload);
+  const auto msg = comm.receive(1, 0, 7);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->first.source, 0);
+  EXPECT_EQ(msg->first.tag, 7);
+  EXPECT_EQ(msg->first.count, 4);
+  EXPECT_EQ(msg->second, payload);
+}
+
+TEST(MpiComm, ReceiveBlocksWhenEmpty) {
+  MpiComm comm(2);
+  EXPECT_FALSE(comm.receive(0, kAnySource, kAnyTag).has_value());
+}
+
+TEST(MpiComm, TagMatchingSkipsNonMatching) {
+  MpiComm comm(2);
+  comm.send(0, 1, 1, Datatype::kByte, 1, Bytes{0xAA});
+  comm.send(0, 1, 2, Datatype::kByte, 1, Bytes{0xBB});
+  // Request tag 2 first: the tag-1 message is scanned (unexpected) and
+  // left queued.
+  const auto msg2 = comm.receive(1, 0, 2);
+  ASSERT_TRUE(msg2.has_value());
+  EXPECT_EQ(msg2->second[0], 0xBB);
+  EXPECT_EQ(comm.pending(1), 1u);
+  EXPECT_GT(comm.stats().unexpected_enqueued, 0);
+  const auto msg1 = comm.receive(1, 0, 1);
+  ASSERT_TRUE(msg1.has_value());
+  EXPECT_EQ(msg1->second[0], 0xAA);
+}
+
+TEST(MpiComm, Wildcards) {
+  MpiComm comm(3);
+  comm.send(2, 0, 5, Datatype::kInt32, 1, Bytes{1, 0, 0, 0});
+  const auto any_src = comm.receive(0, kAnySource, 5);
+  ASSERT_TRUE(any_src.has_value());
+  EXPECT_EQ(any_src->first.source, 2);
+
+  comm.send(1, 0, 9, Datatype::kByte, 0, {});
+  const auto any_tag = comm.receive(0, 1, kAnyTag);
+  ASSERT_TRUE(any_tag.has_value());
+  EXPECT_EQ(any_tag->first.tag, 9);
+}
+
+TEST(MpiComm, FifoPerMatchingStream) {
+  MpiComm comm(2);
+  for (std::uint8_t i = 0; i < 5; ++i)
+    comm.send(0, 1, 3, Datatype::kByte, 1, Bytes{i});
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    const auto msg = comm.receive(1, 0, 3);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->second[0], i);
+  }
+}
+
+TEST(MpiComm, EnvelopeOverheadCounted) {
+  MpiComm comm(2);
+  comm.send(0, 1, 1, Datatype::kFloat64, 2, Bytes(16));
+  EXPECT_EQ(comm.stats().wire_bytes, kEnvelopeBytes + 16);
+  EXPECT_EQ(comm.stats().sends, 1);
+}
+
+TEST(MpiComm, DatatypeSizeValidation) {
+  MpiComm comm(2);
+  EXPECT_THROW(comm.send(0, 1, 1, Datatype::kInt32, 2, Bytes(7)), std::invalid_argument);
+  EXPECT_EQ(datatype_size(Datatype::kByte), 1);
+  EXPECT_EQ(datatype_size(Datatype::kInt32), 4);
+  EXPECT_EQ(datatype_size(Datatype::kFloat32), 4);
+  EXPECT_EQ(datatype_size(Datatype::kFloat64), 8);
+}
+
+TEST(MpiComm, RankValidation) {
+  MpiComm comm(2);
+  EXPECT_THROW(comm.send(0, 5, 1, Datatype::kByte, 0, {}), std::out_of_range);
+  EXPECT_THROW(comm.send(-1, 0, 1, Datatype::kByte, 0, {}), std::out_of_range);
+  EXPECT_THROW((void)comm.receive(9, 0, 0), std::out_of_range);
+  EXPECT_THROW(comm.send(0, 1, -3, Datatype::kByte, 0, {}), std::invalid_argument);
+  EXPECT_THROW(MpiComm(0), std::invalid_argument);
+}
+
+TEST(MpiBackend, CostStructure) {
+  const MpiBackend backend;
+  const sim::ChannelInfo channel{0, false};
+  const sim::MessageCost small = backend.data_message(channel, 64);
+  // Software stack runs on the PE and copies the payload.
+  EXPECT_GT(small.pe_block_cycles, 64 / 4);
+  EXPECT_EQ(small.wire_bytes, kEnvelopeBytes + 64);
+  EXPECT_EQ(small.handshake_roundtrips, 0);  // eager
+
+  const sim::MessageCost large = backend.data_message(channel, 8192);
+  EXPECT_EQ(large.handshake_roundtrips, 1);  // rendezvous above the threshold
+
+  const sim::MessageCost sync = backend.sync_message(channel);
+  EXPECT_EQ(sync.wire_bytes, kEnvelopeBytes);  // zero-byte payload, full envelope
+  EXPECT_GT(sync.pe_block_cycles, 0);
+}
+
+TEST(MpiBackend, AlwaysCostlierThanSpiHeaders) {
+  const MpiBackend backend;
+  const sim::ChannelInfo channel{0, true};
+  for (std::int64_t payload : {0, 8, 64, 512, 4096}) {
+    const auto cost = backend.data_message(channel, payload);
+    EXPECT_GE(cost.wire_bytes - payload, 24);  // envelope >= 3x SPI_dynamic header
+  }
+}
+
+}  // namespace
+}  // namespace spi::mpi

@@ -1,0 +1,158 @@
+#include "dsp/particle_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace spi::dsp {
+namespace {
+
+TEST(CrackModel, GrowthIsMonotone) {
+  const CrackModel model;
+  EXPECT_GT(model.growth(1.0), 0.0);
+  EXPECT_GT(model.growth(4.0), model.growth(1.0));  // Paris law accelerates
+}
+
+TEST(CrackModel, StepStaysPhysical) {
+  const CrackModel model;
+  Rng rng(1);
+  double length = 1e-6;
+  for (int i = 0; i < 100; ++i) {
+    length = model.step(length, rng);
+    EXPECT_GT(length, 0.0);
+  }
+}
+
+TEST(CrackModel, LikelihoodPeaksAtObservation) {
+  const CrackModel model;
+  EXPECT_GT(model.likelihood(2.0, 2.0), model.likelihood(2.0, 2.2));
+  EXPECT_GT(model.likelihood(2.0, 2.1), model.likelihood(2.0, 2.5));
+}
+
+TEST(SimulateCrack, TrajectoryGrowsAndObservationsTrack) {
+  const CrackModel model;
+  Rng rng(3);
+  const CrackTrajectory t = simulate_crack(model, 200, rng);
+  ASSERT_EQ(t.truth.size(), 200u);
+  ASSERT_EQ(t.observations.size(), 200u);
+  EXPECT_GT(t.truth.back(), t.truth.front());  // cracks grow
+  EXPECT_NEAR(rmse(t.truth, t.observations), model.obs_noise, model.obs_noise);
+}
+
+TEST(SystematicResample, PreservesCountAndSupport) {
+  const std::vector<double> particles{1, 2, 3, 4};
+  const std::vector<double> weights{0.1, 0.2, 0.3, 0.4};
+  const auto out = systematic_resample(particles, weights, 8, 0.5);
+  EXPECT_EQ(out.size(), 8u);
+  for (double p : out)
+    EXPECT_TRUE(p == 1 || p == 2 || p == 3 || p == 4);
+}
+
+TEST(SystematicResample, HeavyWeightDominates) {
+  const std::vector<double> particles{10, 20};
+  const std::vector<double> weights{0.95, 0.05};
+  const auto out = systematic_resample(particles, weights, 100, 0.25);
+  const auto tens = std::count(out.begin(), out.end(), 10.0);
+  EXPECT_GE(tens, 90);
+}
+
+TEST(SystematicResample, MultiplicityProportionalToWeight) {
+  // Systematic resampling guarantees multiplicity in {floor, ceil} of
+  // N * w_i.
+  const std::vector<double> particles{1, 2, 3};
+  const std::vector<double> weights{0.5, 0.3, 0.2};
+  // u0 = 0.5 keeps every pointer strictly inside a weight interval, so
+  // multiplicities equal N*w_i exactly.
+  const auto out = systematic_resample(particles, weights, 10, 0.5);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 1.0), 5);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 2.0), 3);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 3.0), 2);
+}
+
+TEST(SystematicResample, DeterministicGivenOffset) {
+  const std::vector<double> particles{1, 2, 3};
+  const std::vector<double> weights{1, 1, 1};
+  EXPECT_EQ(systematic_resample(particles, weights, 9, 0.7),
+            systematic_resample(particles, weights, 9, 0.7));
+}
+
+TEST(SystematicResample, Validation) {
+  const std::vector<double> p{1.0};
+  const std::vector<double> w{1.0};
+  EXPECT_THROW((void)systematic_resample(p, std::vector<double>{}, 1, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)systematic_resample(p, w, -1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)systematic_resample(p, w, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)systematic_resample(p, std::vector<double>{0.0}, 1, 0.0),
+               std::domain_error);
+  EXPECT_TRUE(systematic_resample(p, w, 0, 0.0).empty());
+}
+
+TEST(ProportionalTargets, SumsExactlyAndTracksWeights) {
+  const std::vector<double> sums{3.0, 1.0};
+  const auto targets = proportional_targets(sums, 100);
+  EXPECT_EQ(targets[0] + targets[1], 100);
+  EXPECT_EQ(targets[0], 75);
+  EXPECT_EQ(targets[1], 25);
+}
+
+TEST(ProportionalTargets, LargestRemainderResolvesFractions) {
+  const std::vector<double> sums{1.0, 1.0, 1.0};
+  const auto targets = proportional_targets(sums, 10);
+  EXPECT_EQ(std::accumulate(targets.begin(), targets.end(), std::int64_t{0}), 10);
+  for (std::int64_t t : targets) EXPECT_TRUE(t == 3 || t == 4);
+}
+
+TEST(ProportionalTargets, Validation) {
+  EXPECT_THROW((void)proportional_targets(std::vector<double>{}, 10), std::invalid_argument);
+  EXPECT_THROW((void)proportional_targets(std::vector<double>{0.0, 0.0}, 10),
+               std::domain_error);
+}
+
+TEST(ParticleFilter, TracksCrackWithinObservationNoise) {
+  const CrackModel model;
+  Rng rng(11);
+  const CrackTrajectory t = simulate_crack(model, 150, rng);
+  ParticleFilter filter(200, model, 77);
+  std::vector<double> estimates;
+  for (double obs : t.observations) estimates.push_back(filter.step(obs));
+  // The filter must beat raw observations (it fuses the dynamics model).
+  EXPECT_LT(rmse(t.truth, estimates), rmse(t.truth, t.observations));
+}
+
+TEST(ParticleFilter, EssDropsAfterUpdateRecoversAfterResample) {
+  const CrackModel model;
+  ParticleFilter filter(100, model, 5);
+  const double before = filter.effective_sample_size();
+  EXPECT_NEAR(before, 100.0, 1e-9);
+  filter.predict();
+  filter.update(1.0);
+  EXPECT_LT(filter.effective_sample_size(), 100.0);
+  filter.resample();
+  EXPECT_NEAR(filter.effective_sample_size(), 100.0, 1e-9);
+}
+
+TEST(ParticleFilter, DegenerateUpdateResetsUniform) {
+  const CrackModel model;
+  ParticleFilter filter(50, model, 5);
+  filter.predict();
+  filter.update(1e12);  // impossibly far observation: all likelihoods 0
+  double sum = 0;
+  for (double w : filter.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ParticleFilter, Validation) {
+  EXPECT_THROW(ParticleFilter(0, CrackModel{}, 1), std::invalid_argument);
+}
+
+TEST(Rmse, BasicsAndValidation) {
+  EXPECT_DOUBLE_EQ(rmse(std::vector<double>{1, 2}, std::vector<double>{1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(std::vector<double>{0, 0}, std::vector<double>{3, 4}), std::sqrt(12.5));
+  EXPECT_THROW((void)rmse(std::vector<double>{1}, std::vector<double>{1, 2}),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(rmse(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace spi::dsp

@@ -1,0 +1,82 @@
+#include "dataflow/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spi::df {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesNegativeDenominator) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroNumeratorNormalizesDenominator) {
+  const Rational r(0, 17);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+}
+
+TEST(Rational, ComparisonAndEquality) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_NE(Rational(2, 3), Rational(3, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, ToIntegerRequiresIntegrality) {
+  EXPECT_EQ(Rational(8, 4).to_integer(), 2);
+  EXPECT_THROW(Rational(1, 2).to_integer(), std::domain_error);
+}
+
+TEST(Rational, ReciprocalOfZeroThrows) {
+  EXPECT_THROW(Rational(0).reciprocal(), std::domain_error);
+  EXPECT_EQ(Rational(2, 3).reciprocal(), Rational(3, 2));
+}
+
+TEST(Rational, ImplicitFromInteger) {
+  const Rational r = 7;
+  EXPECT_EQ(r.num(), 7);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, StrFormatting) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-3, 9).str(), "-1/3");
+}
+
+TEST(LcmPositive, BasicsAndErrors) {
+  EXPECT_EQ(lcm_positive(4, 6), 12);
+  EXPECT_EQ(lcm_positive(7, 7), 7);
+  EXPECT_THROW(lcm_positive(0, 3), std::invalid_argument);
+  EXPECT_THROW(lcm_positive(3, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spi::df

@@ -1,0 +1,172 @@
+#include "sched/resync.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/sdf_schedule.hpp"
+#include "sched/hsdf.hpp"
+
+namespace spi::sched {
+namespace {
+
+/// Builds the sync graph of an arbitrary (consistent, static) dataflow
+/// graph under a given assignment.
+SyncGraphBuild build(const df::Graph& g, const Assignment& assignment,
+                     const SyncGraphOptions& options = {}) {
+  const df::Repetitions reps = df::compute_repetitions(g);
+  const HsdfGraph hsdf = hsdf_expand(g, reps);
+  const auto pass = df::build_sequential_schedule(g, reps);
+  return build_sync_graph(hsdf, assignment, proc_order_from_pass(hsdf, pass.firings, assignment),
+                          options);
+}
+
+/// The speech-application pattern: host sends to a PE and receives back;
+/// the data round trip through the host's schedule loop makes all three
+/// acknowledgement edges redundant.
+TEST(Resync, HostPeRoundTripElidesAllAcks) {
+  df::Graph g("roundtrip");
+  const df::ActorId send = g.add_actor("Send", 10);
+  const df::ActorId pe = g.add_actor("PE", 50);
+  const df::ActorId recv = g.add_actor("Recv", 10);
+  g.connect_simple(send, pe);
+  g.connect_simple(pe, recv);
+  Assignment assignment(3, 2);
+  assignment.assign(send, 0);
+  assignment.assign(pe, 1);
+  assignment.assign(recv, 0);
+
+  SyncGraphBuild sg = build(g, assignment);
+  EXPECT_EQ(sg.graph.count_active(SyncEdgeKind::kAck), 2u);
+
+  const ResyncReport report = resynchronize(sg.graph);
+  EXPECT_EQ(report.acks_before, 2u);
+  EXPECT_EQ(report.acks_after, 0u);
+  EXPECT_EQ(report.edges_added, 0u);  // pure redundancy, no new edges needed
+  EXPECT_EQ(report.edges_removed, 2u);
+  EXPECT_LE(report.mcm_after, report.mcm_before + 1e-9);
+  EXPECT_TRUE(sg.graph.is_deadlock_free());
+  EXPECT_LT(report.net_message_delta(), 0);
+}
+
+/// A pure feedforward pipeline: the only bound on the producer's lead is
+/// the acknowledgement itself — it must NOT be removed.
+TEST(Resync, PipelineAckIsEssential) {
+  df::Graph g("pipe");
+  const df::ActorId a = g.add_actor("A", 10);
+  const df::ActorId b = g.add_actor("B", 10);
+  g.connect_simple(a, b);
+  Assignment assignment(2, 2);
+  assignment.assign(a, 0);
+  assignment.assign(b, 1);
+
+  SyncGraphBuild sg = build(g, assignment);
+  const ResyncReport report = resynchronize(sg.graph);
+  EXPECT_EQ(report.acks_before, 1u);
+  EXPECT_EQ(report.acks_after, 1u);
+}
+
+/// Two parallel feedforward channels between the same processor pair.
+/// With the minimal credit window (1) no ack can fall without lowering
+/// throughput, and the maximum-throughput resynchronizer must refuse;
+/// with a credit window of 2, one channel's ack covers the other via the
+/// processors' sequence edges and is elided as redundant.
+TEST(Resync, ParallelChannelsShareSynchronization) {
+  df::Graph g("parallel");
+  const df::ActorId a1 = g.add_actor("A1", 10);
+  const df::ActorId a2 = g.add_actor("A2", 10);
+  const df::ActorId b1 = g.add_actor("B1", 10);
+  const df::ActorId b2 = g.add_actor("B2", 10);
+  g.connect_simple(a1, b1);
+  g.connect_simple(a2, b2);
+  Assignment assignment(4, 2);
+  assignment.assign(a1, 0);
+  assignment.assign(a2, 0);
+  assignment.assign(b1, 1);
+  assignment.assign(b2, 1);
+
+  {
+    SyncGraphBuild sg = build(g, assignment);  // credit window 1
+    EXPECT_EQ(sg.graph.count_active(SyncEdgeKind::kAck), 2u);
+    const ResyncReport report = resynchronize(sg.graph);
+    EXPECT_EQ(report.acks_after, 2u);  // nothing removable at full throughput
+    EXPECT_NEAR(report.mcm_after, report.mcm_before, 1e-6);
+  }
+  {
+    SyncGraphOptions options;
+    options.ubs_credit_window = 2;
+    SyncGraphBuild sg = build(g, assignment, options);
+    const ResyncReport report = resynchronize(sg.graph);
+    EXPECT_LT(report.acks_after, report.acks_before);
+    EXPECT_LE(report.net_message_delta(), 0);
+    EXPECT_TRUE(sg.graph.is_deadlock_free());
+  }
+}
+
+/// Removed constraints must remain implied by the surviving graph.
+TEST(Resync, RemovedEdgesStillImplied) {
+  df::Graph g("implied");
+  std::vector<df::ActorId> actors;
+  for (int i = 0; i < 6; ++i) actors.push_back(g.add_actor("t" + std::to_string(i), 5));
+  g.connect_simple(actors[0], actors[3]);
+  g.connect_simple(actors[1], actors[4]);
+  g.connect_simple(actors[2], actors[5]);
+  g.connect_simple(actors[5], actors[0], 2);  // feedback
+  Assignment assignment(6, 2);
+  for (int i = 0; i < 3; ++i) assignment.assign(actors[static_cast<std::size_t>(i)], 0);
+  for (int i = 3; i < 6; ++i) assignment.assign(actors[static_cast<std::size_t>(i)], 1);
+
+  SyncGraphBuild sg = build(g, assignment);
+  const std::vector<SyncEdge> before = sg.graph.edges();
+  resynchronize(sg.graph);
+
+  const df::WeightedDigraph active = sg.graph.digraph();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (!sg.graph.edges()[i].removed) continue;
+    const auto dist = df::min_delay_from(active, before[i].src);
+    ASSERT_NE(dist[static_cast<std::size_t>(before[i].snk)], df::kUnreachable)
+        << "removed constraint unreachable";
+    EXPECT_LE(dist[static_cast<std::size_t>(before[i].snk)], before[i].delay);
+  }
+}
+
+TEST(Resync, ThroughputPreservedWhenRequested) {
+  df::Graph g("tp");
+  const df::ActorId a = g.add_actor("A", 100);
+  const df::ActorId b = g.add_actor("B", 10);
+  const df::ActorId c = g.add_actor("C", 10);
+  g.connect_simple(a, b);
+  g.connect_simple(b, c);
+  g.connect_simple(c, a, 3);
+  Assignment assignment(3, 3);
+  assignment.assign(a, 0);
+  assignment.assign(b, 1);
+  assignment.assign(c, 2);
+
+  SyncGraphBuild sg = build(g, assignment);
+  ResyncOptions options;
+  options.preserve_throughput = true;
+  const ResyncReport report = resynchronize(sg.graph, options);
+  EXPECT_LE(report.mcm_after, report.mcm_before * (1.0 + 1e-9));
+}
+
+TEST(Resync, MaxAddedLimitsGreedyLoop) {
+  df::Graph g("limit");
+  std::vector<df::ActorId> src, dst;
+  for (int i = 0; i < 4; ++i) {
+    src.push_back(g.add_actor("s" + std::to_string(i), 5));
+    dst.push_back(g.add_actor("d" + std::to_string(i), 5));
+    g.connect_simple(src.back(), dst.back());
+  }
+  Assignment assignment(8, 2);
+  for (int i = 0; i < 4; ++i) {
+    assignment.assign(src[static_cast<std::size_t>(i)], 0);
+    assignment.assign(dst[static_cast<std::size_t>(i)], 1);
+  }
+  SyncGraphBuild sg = build(g, assignment);
+  ResyncOptions options;
+  options.max_added = 0;  // phase 2 disabled; only pure redundancy runs
+  const ResyncReport report = resynchronize(sg.graph, options);
+  EXPECT_EQ(report.edges_added, 0u);
+}
+
+}  // namespace
+}  // namespace spi::sched

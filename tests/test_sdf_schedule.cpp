@@ -1,0 +1,171 @@
+#include "dataflow/sdf_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+
+namespace spi::df {
+namespace {
+
+/// Replays a firing sequence and checks it never consumes missing tokens
+/// and completes exactly the repetitions quota — the definition of a
+/// valid PASS.
+void assert_valid_pass(const Graph& g, const Repetitions& reps,
+                       const std::vector<ActorId>& firings) {
+  std::vector<std::int64_t> tokens(g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e) tokens[e] = g.edge(static_cast<EdgeId>(e)).delay;
+  std::vector<std::int64_t> count(g.actor_count(), 0);
+  for (ActorId a : firings) {
+    for (EdgeId e : g.in_edges(a)) {
+      tokens[static_cast<std::size_t>(e)] -= g.edge(e).cons.value();
+      ASSERT_GE(tokens[static_cast<std::size_t>(e)], 0) << "negative tokens on " << g.edge(e).name;
+    }
+    for (EdgeId e : g.out_edges(a)) tokens[static_cast<std::size_t>(e)] += g.edge(e).prod.value();
+    ++count[static_cast<std::size_t>(a)];
+  }
+  for (std::size_t a = 0; a < g.actor_count(); ++a)
+    EXPECT_EQ(count[a], reps.of(static_cast<ActorId>(a)));
+  // One full iteration returns every edge to its initial token count.
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    EXPECT_EQ(tokens[e], g.edge(static_cast<EdgeId>(e)).delay);
+}
+
+TEST(SdfSchedule, MultirateChainSchedules) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::fixed(3), b, Rate::fixed(2));
+  const Repetitions reps = compute_repetitions(g);
+  const SequentialSchedule s = build_sequential_schedule(g, reps);
+  ASSERT_TRUE(s.admissible);
+  EXPECT_EQ(s.firings.size(), 5u);  // q = (2, 3)
+  assert_valid_pass(g, reps, s.firings);
+}
+
+TEST(SdfSchedule, DeadlockDetected) {
+  // Zero-delay cycle cannot start.
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect_simple(a, b, 0);
+  g.connect_simple(b, a, 0);
+  const Repetitions reps = compute_repetitions(g);
+  const SequentialSchedule s = build_sequential_schedule(g, reps);
+  EXPECT_FALSE(s.admissible);
+  EXPECT_TRUE(s.firings.empty());
+  EXPECT_THROW(sdf_buffer_bounds(g), std::logic_error);
+}
+
+TEST(SdfSchedule, CycleWithDelaySchedules) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect_simple(a, b, 0);
+  g.connect_simple(b, a, 1);
+  const Repetitions reps = compute_repetitions(g);
+  const SequentialSchedule s = build_sequential_schedule(g, reps);
+  ASSERT_TRUE(s.admissible);
+  assert_valid_pass(g, reps, s.firings);
+}
+
+TEST(SdfSchedule, BufferBoundsCoverSimulation) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  g.connect(a, Rate::fixed(4), b, Rate::fixed(1));
+  g.connect(b, Rate::fixed(1), c, Rate::fixed(4));
+  const auto bounds = sdf_buffer_bounds(g);
+  ASSERT_EQ(bounds.size(), 2u);
+  // Edge 0 peaks at 4 right after A fires; edge 1 at 4 before C fires.
+  EXPECT_GE(bounds[0], 4);
+  EXPECT_GE(bounds[1], 4);
+}
+
+TEST(SdfSchedule, MinBufferPolicyNoWorseOnChain) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::fixed(1), b, Rate::fixed(4));
+  const Repetitions reps = compute_repetitions(g);
+  const auto first = build_sequential_schedule(g, reps, SchedulePolicy::kFirstFireable);
+  const auto greedy = build_sequential_schedule(g, reps, SchedulePolicy::kMinBufferDemand);
+  ASSERT_TRUE(first.admissible);
+  ASSERT_TRUE(greedy.admissible);
+  EXPECT_LE(greedy.buffer_bound[0], first.buffer_bound[0]);
+}
+
+TEST(SdfSchedule, SelfLoopRequiresDelay) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  g.connect_simple(a, a, 0);
+  const Repetitions reps = compute_repetitions(g);
+  EXPECT_FALSE(build_sequential_schedule(g, reps).admissible);
+
+  Graph g2;
+  const ActorId b = g2.add_actor("B");
+  g2.connect_simple(b, b, 1);
+  const Repetitions reps2 = compute_repetitions(g2);
+  EXPECT_TRUE(build_sequential_schedule(g2, reps2).admissible);
+}
+
+TEST(SdfSchedule, RejectsBadInputs) {
+  Graph dynamic;
+  const ActorId a = dynamic.add_actor("A");
+  const ActorId b = dynamic.add_actor("B");
+  dynamic.connect(a, Rate::dynamic(2), b, Rate::dynamic(2));
+  Repetitions fake;
+  fake.consistent = true;
+  fake.q = {1, 1};
+  EXPECT_THROW(build_sequential_schedule(dynamic, fake), std::logic_error);
+
+  Graph ok;
+  ok.add_actor("A");
+  Repetitions inconsistent;  // consistent == false
+  EXPECT_THROW(build_sequential_schedule(ok, inconsistent), std::logic_error);
+}
+
+TEST(SdfSchedule, TotalBufferBytes) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::fixed(1), b, Rate::fixed(1), 0, 8);
+  EXPECT_EQ(total_buffer_bytes(g, {3}), 24);
+  EXPECT_THROW(total_buffer_bytes(g, {1, 2}), std::invalid_argument);
+}
+
+// Property: random consistent graphs with a source either deadlock or
+// produce a valid PASS under both policies.
+class PassProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PassProperty, SchedulesAreValid) {
+  dsp::Rng rng(GetParam());
+  Graph g;
+  const int actors = static_cast<int>(rng.uniform_int(2, 8));
+  std::vector<std::int64_t> hidden;
+  for (int i = 0; i < actors; ++i) {
+    g.add_actor("a" + std::to_string(i));
+    hidden.push_back(rng.uniform_int(1, 4));
+  }
+  const int edges = static_cast<int>(rng.uniform_int(1, 12));
+  for (int e = 0; e < edges; ++e) {
+    const auto u = static_cast<ActorId>(rng.uniform_int(0, actors - 1));
+    const auto v = static_cast<ActorId>(rng.uniform_int(0, actors - 1));
+    if (u == v) continue;
+    const std::int64_t k = rng.uniform_int(1, 3);
+    g.connect(u, Rate::fixed(k * hidden[static_cast<std::size_t>(v)]), v,
+              Rate::fixed(k * hidden[static_cast<std::size_t>(u)]), rng.uniform_int(0, 4));
+  }
+  const Repetitions reps = compute_repetitions(g);
+  ASSERT_TRUE(reps.consistent);
+  for (SchedulePolicy policy : {SchedulePolicy::kFirstFireable, SchedulePolicy::kMinBufferDemand}) {
+    const SequentialSchedule s = build_sequential_schedule(g, reps, policy);
+    if (s.admissible) assert_valid_pass(g, reps, s.firings);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassProperty,
+                         ::testing::Values(7, 11, 13, 17, 19, 23, 29, 31, 37, 41));
+
+}  // namespace
+}  // namespace spi::df

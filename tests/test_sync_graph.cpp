@@ -1,0 +1,214 @@
+#include "sched/sync_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/sdf_schedule.hpp"
+#include "sched/hsdf.hpp"
+
+namespace spi::sched {
+namespace {
+
+/// Two-processor pipeline A(p0) -> B(p1) used by several tests.
+struct Pipeline {
+  df::Graph g;
+  df::ActorId a, b;
+  Assignment assignment{0, 1};
+  HsdfGraph hsdf;
+  ProcOrder order;
+
+  explicit Pipeline(std::int64_t edge_delay = 0) : g("pipe") {
+    a = g.add_actor("A", 10);
+    b = g.add_actor("B", 20);
+    g.connect_simple(a, b, edge_delay);
+    assignment = Assignment(g.actor_count(), 2);
+    assignment.assign(a, 0);
+    assignment.assign(b, 1);
+    const df::Repetitions reps = df::compute_repetitions(g);
+    hsdf = hsdf_expand(g, reps);
+    const auto pass = df::build_sequential_schedule(g, reps);
+    order = proc_order_from_pass(hsdf, pass.firings, assignment);
+  }
+};
+
+TEST(SyncGraph, PipelineConstruction) {
+  Pipeline p;
+  const SyncGraphBuild build = build_sync_graph(p.hsdf, p.assignment, p.order);
+  const SyncGraph& s = build.graph;
+
+  // One task per actor; per processor a self-loop sequence edge (single
+  // task), one IPC edge, and its acknowledgement.
+  EXPECT_EQ(s.task_count(), 2u);
+  EXPECT_EQ(s.count_active(SyncEdgeKind::kSequence), 2u);
+  EXPECT_EQ(s.count_active(SyncEdgeKind::kIpc), 1u);
+  EXPECT_EQ(s.count_active(SyncEdgeKind::kAck), 1u);
+  ASSERT_EQ(build.ipc_edges.size(), 1u);
+  // Feedforward edge: no data path back from B to A -> UBS.
+  EXPECT_EQ(build.ipc_edges[0].second, SyncProtocol::kUbs);
+}
+
+TEST(SyncGraph, FeedbackEdgeClassifiedBbs) {
+  df::Graph g("loop");
+  const df::ActorId a = g.add_actor("A", 10);
+  const df::ActorId b = g.add_actor("B", 20);
+  g.connect_simple(a, b, 0);
+  g.connect_simple(b, a, 2);  // data feedback bounds the forward buffer
+  Assignment assignment(g.actor_count(), 2);
+  assignment.assign(a, 0);
+  assignment.assign(b, 1);
+  const df::Repetitions reps = df::compute_repetitions(g);
+  const HsdfGraph hsdf = hsdf_expand(g, reps);
+  const auto pass = df::build_sequential_schedule(g, reps);
+  const ProcOrder order = proc_order_from_pass(hsdf, pass.firings, assignment);
+  const SyncGraphBuild build = build_sync_graph(hsdf, assignment, order);
+
+  ASSERT_EQ(build.ipc_edges.size(), 2u);
+  for (const auto& [idx, protocol] : build.ipc_edges) {
+    EXPECT_EQ(protocol, SyncProtocol::kBbs);
+    const auto bound = ipc_buffer_bound_tokens(build.graph, idx);
+    ASSERT_TRUE(bound.has_value());
+    EXPECT_EQ(*bound, 2);  // delay(e) + min-delay return path = 0 + 2 (and 2 + 0)
+  }
+}
+
+TEST(SyncGraph, RedundancyDetection) {
+  // Tasks 0 -> 1 -> 2 with zero-delay edges; an extra direct 0 -> 2 edge
+  // with delay 1 is redundant (the 0-delay path through 1 is stronger).
+  std::vector<TaskNode> tasks(3);
+  for (int i = 0; i < 3; ++i) {
+    tasks[static_cast<std::size_t>(i)].exec_cycles = 1;
+    tasks[static_cast<std::size_t>(i)].name = "t" + std::to_string(i);
+  }
+  SyncGraph s(tasks, {0, 1, 2}, 3);
+  s.add_edge(SyncEdge{0, 1, 0, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  s.add_edge(SyncEdge{1, 2, 0, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  const std::size_t extra =
+      s.add_edge(SyncEdge{0, 2, 1, SyncEdgeKind::kResync, df::kInvalidEdge, false});
+  EXPECT_TRUE(s.is_redundant(extra));
+  EXPECT_FALSE(s.is_redundant(0));
+  EXPECT_FALSE(s.is_redundant(1));
+
+  EXPECT_EQ(s.remove_redundant({SyncEdgeKind::kResync}), 1u);
+  EXPECT_EQ(s.count_active(SyncEdgeKind::kResync), 0u);
+}
+
+TEST(SyncGraph, RemovalPreservesConstraints) {
+  // Property: after removing redundant edges, every removed edge's
+  // constraint is still implied — a path with <= its delay exists.
+  Pipeline p;
+  SyncGraphBuild build = build_sync_graph(p.hsdf, p.assignment, p.order);
+  SyncGraph& s = build.graph;
+  // Capture pre-removal edges.
+  const std::vector<SyncEdge> before = s.edges();
+  s.remove_redundant({SyncEdgeKind::kAck, SyncEdgeKind::kResync});
+  const df::WeightedDigraph active = s.digraph();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (!s.edges()[i].removed) continue;
+    const auto dist = df::min_delay_from(active, before[i].src);
+    ASSERT_NE(dist[static_cast<std::size_t>(before[i].snk)], df::kUnreachable);
+    EXPECT_LE(dist[static_cast<std::size_t>(before[i].snk)], before[i].delay);
+  }
+}
+
+TEST(SyncGraph, DeadlockFreeDetection) {
+  std::vector<TaskNode> tasks(2);
+  SyncGraph s(tasks, {0, 1}, 2);
+  s.add_edge(SyncEdge{0, 1, 0, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  EXPECT_TRUE(s.is_deadlock_free());
+  s.add_edge(SyncEdge{1, 0, 0, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  EXPECT_FALSE(s.is_deadlock_free());
+  EXPECT_THROW(s.max_cycle_mean(), std::logic_error);
+}
+
+TEST(SyncGraph, MaxCycleMeanKnownValue) {
+  // Cycle of two tasks (10 + 20 cycles) with total delay 2 -> MCM = 15.
+  std::vector<TaskNode> tasks(2);
+  tasks[0].exec_cycles = 10;
+  tasks[1].exec_cycles = 20;
+  SyncGraph s(tasks, {0, 1}, 2);
+  s.add_edge(SyncEdge{0, 1, 0, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  s.add_edge(SyncEdge{1, 0, 2, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  EXPECT_NEAR(s.max_cycle_mean(), 15.0, 1e-6);
+}
+
+TEST(SyncGraph, MaxCycleMeanPicksCriticalCycle) {
+  // Two cycles: {0,1} with mean 30/2 = 15 and {0} self-loop 10/1 = 10.
+  std::vector<TaskNode> tasks(2);
+  tasks[0].exec_cycles = 10;
+  tasks[1].exec_cycles = 20;
+  SyncGraph s(tasks, {0, 1}, 2);
+  s.add_edge(SyncEdge{0, 0, 1, SyncEdgeKind::kSequence, df::kInvalidEdge, false});
+  s.add_edge(SyncEdge{0, 1, 0, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  s.add_edge(SyncEdge{1, 0, 2, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  EXPECT_NEAR(s.max_cycle_mean(), 15.0, 1e-6);
+}
+
+TEST(SyncGraph, AcyclicMcmZero) {
+  std::vector<TaskNode> tasks(2);
+  tasks[0].exec_cycles = 5;
+  SyncGraph s(tasks, {0, 1}, 2);
+  s.add_edge(SyncEdge{0, 1, 0, SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  EXPECT_DOUBLE_EQ(s.max_cycle_mean(), 0.0);
+}
+
+TEST(SyncGraph, AdmissibilityValidation) {
+  // A zero-delay intra-processor dependency against the schedule order
+  // must be rejected.
+  df::Graph g;
+  const df::ActorId a = g.add_actor("A");
+  const df::ActorId b = g.add_actor("B");
+  g.connect_simple(a, b, 0);
+  Assignment assignment(2, 1);
+  const df::Repetitions reps = df::compute_repetitions(g);
+  const HsdfGraph hsdf = hsdf_expand(g, reps);
+  ProcOrder reversed{{hsdf.task_of(b, 0), hsdf.task_of(a, 0)}};
+  EXPECT_THROW(build_sync_graph(hsdf, assignment, reversed), std::logic_error);
+}
+
+TEST(SyncGraph, UbsCreditWindowConfigurable) {
+  Pipeline p;
+  SyncGraphOptions options;
+  options.ubs_credit_window = 4;
+  const SyncGraphBuild build = build_sync_graph(p.hsdf, p.assignment, p.order, options);
+  bool found_ack = false;
+  for (const SyncEdge& e : build.graph.edges()) {
+    if (e.kind != SyncEdgeKind::kAck) continue;
+    found_ack = true;
+    EXPECT_EQ(e.delay, 4);
+  }
+  EXPECT_TRUE(found_ack);
+}
+
+TEST(SyncGraph, Equation2RequiresIpcEdge) {
+  Pipeline p;
+  SyncGraphBuild build = build_sync_graph(p.hsdf, p.assignment, p.order);
+  // Find a sequence edge and ask for its buffer bound.
+  for (std::size_t i = 0; i < build.graph.edges().size(); ++i) {
+    if (build.graph.edges()[i].kind == SyncEdgeKind::kSequence) {
+      EXPECT_THROW((void)ipc_buffer_bound_tokens(build.graph, i), std::invalid_argument);
+      break;
+    }
+  }
+}
+
+TEST(SyncGraph, ProcOrderFromPassGroupsByProcessor) {
+  df::Graph g;
+  const df::ActorId a = g.add_actor("A");
+  const df::ActorId b = g.add_actor("B");
+  const df::ActorId c = g.add_actor("C");
+  g.connect_simple(a, b);
+  g.connect_simple(b, c);
+  Assignment assignment(3, 2);
+  assignment.assign(a, 0);
+  assignment.assign(b, 1);
+  assignment.assign(c, 0);
+  const df::Repetitions reps = df::compute_repetitions(g);
+  const HsdfGraph hsdf = hsdf_expand(g, reps);
+  const auto pass = df::build_sequential_schedule(g, reps);
+  const ProcOrder order = proc_order_from_pass(hsdf, pass.firings, assignment);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].size(), 2u);  // A and C
+  EXPECT_EQ(order[1].size(), 1u);  // B
+}
+
+}  // namespace
+}  // namespace spi::sched

@@ -1,0 +1,207 @@
+#include "sim/timed_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/sdf_schedule.hpp"
+#include "sched/hsdf.hpp"
+
+namespace spi::sim {
+namespace {
+
+struct TestSystem {
+  sched::SyncGraphBuild build{sched::SyncGraph({}, {}, 1), {}};
+  sched::ProcOrder order;
+};
+
+/// Two-processor producer/consumer with the given edge delay and an
+/// acknowledgement credit window.
+TestSystem pipeline(std::int64_t exec_a, std::int64_t exec_b, std::int64_t credit) {
+  df::Graph g("pipe");
+  const df::ActorId a = g.add_actor("A", exec_a);
+  const df::ActorId b = g.add_actor("B", exec_b);
+  g.connect_simple(a, b);
+  sched::Assignment assignment(2, 2);
+  assignment.assign(a, 0);
+  assignment.assign(b, 1);
+  const df::Repetitions reps = df::compute_repetitions(g);
+  const sched::HsdfGraph hsdf = sched::hsdf_expand(g, reps);
+  const auto pass = df::build_sequential_schedule(g, reps);
+  sched::SyncGraphOptions options;
+  options.ubs_credit_window = credit;
+  TestSystem s;
+  s.order = sched::proc_order_from_pass(hsdf, pass.firings, assignment);
+  s.build = sched::build_sync_graph(hsdf, assignment, s.order, options);
+  return s;
+}
+
+TEST(TimedExecutor, SteadyPeriodMatchesBottleneck) {
+  // With generous credit, the pipeline's steady period is the slower
+  // stage (B at 100 cycles), not the sum.
+  TestSystem s = pipeline(10, 100, 8);
+  TimedExecutorOptions options;
+  options.iterations = 200;
+  const IdealBackend backend;
+  const ExecStats stats = run_timed(s.build.graph, s.order, backend, {}, options);
+  EXPECT_NEAR(stats.steady_period_cycles, 100.0, 2.0);
+}
+
+TEST(TimedExecutor, CreditWindowOneSerializesRoundTrip) {
+  // Credit 1: A(k+1) waits for B(k)'s ack -> period = exec_a + exec_b +
+  // round-trip transport (2 x (serialization + latency) at default link).
+  TestSystem s = pipeline(10, 100, 1);
+  TimedExecutorOptions options;
+  options.iterations = 200;
+  const IdealBackend backend;
+  const ExecStats stats = run_timed(s.build.graph, s.order, backend, {}, options);
+  EXPECT_GT(stats.steady_period_cycles, 110.0);
+}
+
+TEST(TimedExecutor, MessageCountsPerIteration) {
+  TestSystem s = pipeline(10, 10, 2);
+  TimedExecutorOptions options;
+  options.iterations = 50;
+  const IdealBackend backend;
+  const ExecStats stats = run_timed(s.build.graph, s.order, backend, {}, options);
+  EXPECT_EQ(stats.data_messages, 50);  // one IPC edge
+  EXPECT_EQ(stats.sync_messages, 50);  // its ack
+}
+
+TEST(TimedExecutor, DeterministicAcrossRuns) {
+  TestSystem s = pipeline(13, 29, 2);
+  TimedExecutorOptions options;
+  options.iterations = 100;
+  const IdealBackend backend;
+  const ExecStats first = run_timed(s.build.graph, s.order, backend, {}, options);
+  const ExecStats second = run_timed(s.build.graph, s.order, backend, {}, options);
+  EXPECT_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.iteration_complete, second.iteration_complete);
+  EXPECT_EQ(first.wire_bytes, second.wire_bytes);
+}
+
+TEST(TimedExecutor, OccupancyRespectsEquation2) {
+  // For every IPC edge the observed buffer occupancy must stay within
+  // the equation-2 bound (which includes the ack edge's credit).
+  TestSystem s = pipeline(5, 50, 3);
+  TimedExecutorOptions options;
+  options.iterations = 100;
+  const IdealBackend backend;
+  const ExecStats stats = run_timed(s.build.graph, s.order, backend, {}, options);
+  for (const auto& [idx, protocol] : s.build.ipc_edges) {
+    const auto bound = sched::ipc_buffer_bound_tokens(s.build.graph, idx);
+    ASSERT_TRUE(bound.has_value());  // ack edge bounds it
+    EXPECT_LE(stats.max_occupancy[idx], *bound);
+    EXPECT_GT(stats.max_occupancy[idx], 0);
+  }
+}
+
+TEST(TimedExecutor, WorkloadHooksApplied) {
+  TestSystem s = pipeline(10, 10, 4);
+  TimedExecutorOptions options;
+  options.iterations = 20;
+  const IdealBackend backend;
+  WorkloadModel workload;
+  workload.exec_cycles = [](std::int32_t, std::int64_t) { return 1000; };
+  const ExecStats stats = run_timed(s.build.graph, s.order, backend, workload, options);
+  EXPECT_GE(stats.steady_period_cycles, 1000.0);
+
+  WorkloadModel payloads;
+  payloads.payload_bytes = [](const sched::SyncEdge&, std::int64_t) { return 4096; };
+  const ExecStats big = run_timed(s.build.graph, s.order, backend, payloads, options);
+  EXPECT_GT(big.wire_bytes, stats.wire_bytes);
+}
+
+TEST(TimedExecutor, StallAccounting) {
+  // Consumer B is starved by slow producer A: B's processor must report
+  // stall time.
+  TestSystem s = pipeline(500, 10, 4);
+  TimedExecutorOptions options;
+  options.iterations = 50;
+  const IdealBackend backend;
+  const ExecStats stats = run_timed(s.build.graph, s.order, backend, {}, options);
+  EXPECT_GT(stats.pe_stall_cycles[1], 0);
+  EXPECT_GT(stats.pe_busy_cycles[0], stats.pe_busy_cycles[1]);
+}
+
+TEST(TimedExecutor, DeadlockDiagnosed) {
+  // Hand-built zero-delay cycle across processors.
+  std::vector<sched::TaskNode> tasks(2);
+  tasks[0].name = "T0";
+  tasks[1].name = "T1";
+  tasks[0].exec_cycles = tasks[1].exec_cycles = 1;
+  sched::SyncGraph g(tasks, {0, 1}, 2);
+  g.add_edge(sched::SyncEdge{0, 1, 0, sched::SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  g.add_edge(sched::SyncEdge{1, 0, 0, sched::SyncEdgeKind::kIpc, df::kInvalidEdge, false});
+  sched::ProcOrder order{{0}, {1}};
+  TimedExecutorOptions options;
+  options.iterations = 2;
+  const IdealBackend backend;
+  EXPECT_THROW(run_timed(g, order, backend, {}, options), std::runtime_error);
+}
+
+TEST(TimedExecutor, ValidatesOptions) {
+  TestSystem s = pipeline(1, 1, 1);
+  const IdealBackend backend;
+  TimedExecutorOptions bad;
+  bad.iterations = 0;
+  EXPECT_THROW(run_timed(s.build.graph, s.order, backend, {}, bad), std::invalid_argument);
+  TimedExecutorOptions wrong;
+  wrong.iterations = 1;
+  sched::ProcOrder short_order{{0}};  // proc count mismatch
+  EXPECT_THROW(run_timed(s.build.graph, short_order, backend, {}, wrong), std::invalid_argument);
+}
+
+TEST(TimedExecutor, HeterogeneousPeSpeeds) {
+  // Doubling the bottleneck PE's speed halves the pipeline's period.
+  TestSystem s = pipeline(10, 100, 8);
+  TimedExecutorOptions options;
+  options.iterations = 200;
+  const IdealBackend backend;
+  const ExecStats base = run_timed(s.build.graph, s.order, backend, {}, options);
+  options.pe_speed = {1.0, 2.0};  // PE1 (the 100-cycle consumer) twice as fast
+  const ExecStats fast = run_timed(s.build.graph, s.order, backend, {}, options);
+  EXPECT_NEAR(fast.steady_period_cycles, base.steady_period_cycles / 2.0,
+              0.1 * base.steady_period_cycles);
+
+  options.pe_speed = {1.0};  // wrong size
+  EXPECT_THROW((void)run_timed(s.build.graph, s.order, backend, {}, options),
+               std::invalid_argument);
+  options.pe_speed = {1.0, -1.0};
+  EXPECT_THROW((void)run_timed(s.build.graph, s.order, backend, {}, options),
+               std::invalid_argument);
+}
+
+TEST(TimedExecutor, SlowPeBecomesBottleneck) {
+  TestSystem s = pipeline(50, 50, 8);
+  TimedExecutorOptions options;
+  options.iterations = 200;
+  options.pe_speed = {0.25, 1.0};  // producer runs at quarter speed
+  const IdealBackend backend;
+  const ExecStats stats = run_timed(s.build.graph, s.order, backend, {}, options);
+  EXPECT_NEAR(stats.steady_period_cycles, 200.0, 5.0);  // 50 / 0.25
+}
+
+TEST(TimedExecutor, InitialDelayTokensAllowSlack) {
+  // Edge delay 2 lets the consumer fire twice before any message arrives.
+  df::Graph g;
+  const df::ActorId a = g.add_actor("A", 100);
+  const df::ActorId b = g.add_actor("B", 1);
+  g.connect_simple(a, b, 2);
+  sched::Assignment assignment(2, 2);
+  assignment.assign(a, 0);
+  assignment.assign(b, 1);
+  const df::Repetitions reps = df::compute_repetitions(g);
+  const sched::HsdfGraph hsdf = sched::hsdf_expand(g, reps);
+  const auto pass = df::build_sequential_schedule(g, reps);
+  const auto order = sched::proc_order_from_pass(hsdf, pass.firings, assignment);
+  const auto build = sched::build_sync_graph(hsdf, assignment, order);
+  TimedExecutorOptions options;
+  options.iterations = 3;
+  const IdealBackend backend;
+  const ExecStats stats = run_timed(build.graph, order, backend, {}, options);
+  // B's first two firings complete at cycles 1 and 2 (no wait); only the
+  // third waits for A. Iteration 0 completes when A(0) completes at 100.
+  EXPECT_EQ(stats.iteration_complete[0], 100);
+}
+
+}  // namespace
+}  // namespace spi::sim

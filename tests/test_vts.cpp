@@ -1,0 +1,123 @@
+#include "dataflow/vts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/repetitions.hpp"
+#include "dataflow/sdf_schedule.hpp"
+
+namespace spi::df {
+namespace {
+
+/// The paper's figure-1 example: production rate varies with bound 10,
+/// consumption with bound 8.
+Graph figure1_graph() {
+  Graph g("fig1");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::dynamic(10), b, Rate::dynamic(8), 0, /*token_bytes=*/2);
+  return g;
+}
+
+TEST(Vts, Figure1Conversion) {
+  const VtsResult vts = vts_convert(figure1_graph());
+  ASSERT_TRUE(vts.graph.is_sdf());
+  const Edge& e = vts.graph.edge(0);
+  // Both endpoints become rate 1; the packed token carries the dynamism.
+  EXPECT_EQ(e.prod.value(), 1);
+  EXPECT_EQ(e.cons.value(), 1);
+  ASSERT_EQ(vts.edges.size(), 1u);
+  EXPECT_TRUE(vts.edges[0].converted);
+  EXPECT_EQ(vts.edges[0].raw_token_bytes, 2);
+  // b_max = max(10, 8) raw tokens x 2 bytes.
+  EXPECT_EQ(vts.edges[0].b_max_bytes, 20);
+  EXPECT_EQ(e.token_bytes, 20);
+}
+
+TEST(Vts, StaticEdgesUntouched) {
+  Graph g;
+  const ActorId a = g.add_actor("A", 3);
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::fixed(2), b, Rate::fixed(3), 5, 4);
+  const VtsResult vts = vts_convert(g);
+  const Edge& e = vts.graph.edge(0);
+  EXPECT_FALSE(vts.edges[0].converted);
+  EXPECT_EQ(e.prod.value(), 2);
+  EXPECT_EQ(e.cons.value(), 3);
+  EXPECT_EQ(e.delay, 5);
+  EXPECT_EQ(e.token_bytes, 4);
+  EXPECT_EQ(vts.graph.actor(a).exec_cycles, 3);  // actor metadata preserved
+}
+
+TEST(Vts, MixedGraphBecomesConsistentSdf) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  g.connect(a, Rate::dynamic(16), b, Rate::dynamic(16), 0, 8);
+  g.connect(b, Rate::fixed(2), c, Rate::fixed(1), 0, 4);
+  const VtsResult vts = vts_convert(g);
+  ASSERT_TRUE(vts.graph.is_sdf());
+  const Repetitions reps = compute_repetitions(vts.graph);
+  ASSERT_TRUE(reps.consistent);
+  EXPECT_EQ(reps.of(a), 1);
+  EXPECT_EQ(reps.of(b), 1);
+  EXPECT_EQ(reps.of(c), 2);
+}
+
+TEST(Vts, Equation1Bounds) {
+  // A -> B with delay 1 on the dynamic edge: under the min-buffer PASS the
+  // edge holds at most delay + 1 packed tokens, so c(e) <= 2 * b_max.
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::dynamic(10), b, Rate::dynamic(8), 1, 2);
+  const VtsResult vts = vts_convert(g);
+  const auto c_bytes = packed_buffer_byte_bounds(vts);
+  ASSERT_EQ(c_bytes.size(), 1u);
+  EXPECT_EQ(c_bytes[0] % 20, 0);  // multiple of b_max
+  EXPECT_LE(c_bytes[0], 2 * 20);
+  EXPECT_GE(c_bytes[0], 20);
+}
+
+TEST(Vts, MemoryComparisonFavorsVtsOnMismatchedBounds) {
+  // Without VTS the edge buffer must hold worst-case raw rates on both
+  // sides (10 produced vs 8 consumed repeats until balance), while VTS
+  // packs per firing.
+  const Graph g = figure1_graph();
+  const VtsResult vts = vts_convert(g);
+  const VtsMemoryComparison cmp = compare_vts_memory(g, vts);
+  EXPECT_GT(cmp.vts_bytes, 0);
+  EXPECT_GT(cmp.worst_case_static_bytes, 0);
+  EXPECT_LT(cmp.vts_bytes, cmp.worst_case_static_bytes);
+}
+
+TEST(Vts, DelaysPreserved) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::dynamic(4), b, Rate::dynamic(4), 3, 4);
+  const VtsResult vts = vts_convert(g);
+  EXPECT_EQ(vts.graph.edge(0).delay, 3);
+}
+
+TEST(Vts, DynamicOneSideOnly) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, Rate::fixed(4), b, Rate::dynamic(6), 0, 4);
+  const VtsResult vts = vts_convert(g);
+  const Edge& e = vts.graph.edge(0);
+  EXPECT_EQ(e.prod.value(), 1);
+  EXPECT_EQ(e.cons.value(), 1);
+  EXPECT_EQ(vts.edges[0].b_max_bytes, 6 * 4);  // max endpoint bound x raw bytes
+}
+
+TEST(Vts, ConvertedGraphSchedulable) {
+  const VtsResult vts = vts_convert(figure1_graph());
+  const auto bounds = sdf_buffer_bounds(vts.graph);  // must not throw
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_EQ(bounds[0], 1);  // rate-1/1 edge with no delay holds one packed token
+}
+
+}  // namespace
+}  // namespace spi::df
