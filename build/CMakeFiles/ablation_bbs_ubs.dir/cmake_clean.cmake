@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bbs_ubs.dir/bench/ablation_bbs_ubs.cpp.o"
+  "CMakeFiles/ablation_bbs_ubs.dir/bench/ablation_bbs_ubs.cpp.o.d"
+  "bench/ablation_bbs_ubs"
+  "bench/ablation_bbs_ubs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bbs_ubs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_bbs_ubs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_looped_schedules.dir/bench/ablation_looped_schedules.cpp.o"
+  "CMakeFiles/ablation_looped_schedules.dir/bench/ablation_looped_schedules.cpp.o.d"
+  "bench/ablation_looped_schedules"
+  "bench/ablation_looped_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_looped_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resync.dir/bench/ablation_resync.cpp.o"
+  "CMakeFiles/ablation_resync.dir/bench/ablation_resync.cpp.o.d"
+  "bench/ablation_resync"
+  "bench/ablation_resync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheduling_models.dir/bench/ablation_scheduling_models.cpp.o"
+  "CMakeFiles/ablation_scheduling_models.dir/bench/ablation_scheduling_models.cpp.o.d"
+  "bench/ablation_scheduling_models"
+  "bench/ablation_scheduling_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduling_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

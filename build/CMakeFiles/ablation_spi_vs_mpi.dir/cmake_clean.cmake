@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spi_vs_mpi.dir/bench/ablation_spi_vs_mpi.cpp.o"
+  "CMakeFiles/ablation_spi_vs_mpi.dir/bench/ablation_spi_vs_mpi.cpp.o.d"
+  "bench/ablation_spi_vs_mpi"
+  "bench/ablation_spi_vs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spi_vs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

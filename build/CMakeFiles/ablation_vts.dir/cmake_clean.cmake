@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vts.dir/bench/ablation_vts.cpp.o"
+  "CMakeFiles/ablation_vts.dir/bench/ablation_vts.cpp.o.d"
+  "bench/ablation_vts"
+  "bench/ablation_vts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_resampling.dir/bench/ext_adaptive_resampling.cpp.o"
+  "CMakeFiles/ext_adaptive_resampling.dir/bench/ext_adaptive_resampling.cpp.o.d"
+  "bench/ext_adaptive_resampling"
+  "bench/ext_adaptive_resampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_resampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_beamformer_scaling.dir/bench/ext_beamformer_scaling.cpp.o"
+  "CMakeFiles/ext_beamformer_scaling.dir/bench/ext_beamformer_scaling.cpp.o.d"
+  "bench/ext_beamformer_scaling"
+  "bench/ext_beamformer_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_beamformer_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vectorization.dir/bench/ext_vectorization.cpp.o"
+  "CMakeFiles/ext_vectorization.dir/bench/ext_vectorization.cpp.o.d"
+  "bench/ext_vectorization"
+  "bench/ext_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_speech_errorgen.dir/bench/fig6_speech_errorgen.cpp.o"
+  "CMakeFiles/fig6_speech_errorgen.dir/bench/fig6_speech_errorgen.cpp.o.d"
+  "bench/fig6_speech_errorgen"
+  "bench/fig6_speech_errorgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_speech_errorgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_particle_filter.dir/bench/fig7_particle_filter.cpp.o"
+  "CMakeFiles/fig7_particle_filter.dir/bench/fig7_particle_filter.cpp.o.d"
+  "bench/fig7_particle_filter"
+  "bench/fig7_particle_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_particle_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

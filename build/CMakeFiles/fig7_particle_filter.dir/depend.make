@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_particle_filter.
+# This may be replaced when dependencies are built.

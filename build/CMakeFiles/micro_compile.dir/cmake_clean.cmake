@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compile.dir/bench/micro_compile.cpp.o"
+  "CMakeFiles/micro_compile.dir/bench/micro_compile.cpp.o.d"
+  "bench/micro_compile"
+  "bench/micro_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

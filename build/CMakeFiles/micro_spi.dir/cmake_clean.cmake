@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spi.dir/bench/micro_spi.cpp.o"
+  "CMakeFiles/micro_spi.dir/bench/micro_spi.cpp.o.d"
+  "bench/micro_spi"
+  "bench/micro_spi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

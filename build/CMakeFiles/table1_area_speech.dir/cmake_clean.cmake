@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_area_speech.dir/bench/table1_area_speech.cpp.o"
+  "CMakeFiles/table1_area_speech.dir/bench/table1_area_speech.cpp.o.d"
+  "bench/table1_area_speech"
+  "bench/table1_area_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_area_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

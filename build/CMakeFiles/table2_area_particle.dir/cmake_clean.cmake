@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_area_particle.dir/bench/table2_area_particle.cpp.o"
+  "CMakeFiles/table2_area_particle.dir/bench/table2_area_particle.cpp.o.d"
+  "bench/table2_area_particle"
+  "bench/table2_area_particle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_area_particle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

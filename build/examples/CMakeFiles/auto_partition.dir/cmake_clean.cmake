@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_partition.dir/auto_partition.cpp.o"
+  "CMakeFiles/auto_partition.dir/auto_partition.cpp.o.d"
+  "auto_partition"
+  "auto_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beamformer.dir/beamformer.cpp.o"
+  "CMakeFiles/beamformer.dir/beamformer.cpp.o.d"
+  "beamformer"
+  "beamformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beamformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

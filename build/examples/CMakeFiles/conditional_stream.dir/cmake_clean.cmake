@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_stream.dir/conditional_stream.cpp.o"
+  "CMakeFiles/conditional_stream.dir/conditional_stream.cpp.o.d"
+  "conditional_stream"
+  "conditional_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

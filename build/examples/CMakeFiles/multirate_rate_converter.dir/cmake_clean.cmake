@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirate_rate_converter.dir/multirate_rate_converter.cpp.o"
+  "CMakeFiles/multirate_rate_converter.dir/multirate_rate_converter.cpp.o.d"
+  "multirate_rate_converter"
+  "multirate_rate_converter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirate_rate_converter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_filter_tracking.dir/particle_filter_tracking.cpp.o"
+  "CMakeFiles/particle_filter_tracking.dir/particle_filter_tracking.cpp.o.d"
+  "particle_filter_tracking"
+  "particle_filter_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_filter_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

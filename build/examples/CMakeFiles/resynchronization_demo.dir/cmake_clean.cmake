@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resynchronization_demo.dir/resynchronization_demo.cpp.o"
+  "CMakeFiles/resynchronization_demo.dir/resynchronization_demo.cpp.o.d"
+  "resynchronization_demo"
+  "resynchronization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resynchronization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

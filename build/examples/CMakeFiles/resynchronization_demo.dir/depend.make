@@ -1,0 +1,2 @@
+# Empty dependencies file for resynchronization_demo.
+# This may be replaced when dependencies are built.

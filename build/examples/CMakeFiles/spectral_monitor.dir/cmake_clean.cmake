@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_monitor.dir/spectral_monitor.cpp.o"
+  "CMakeFiles/spectral_monitor.dir/spectral_monitor.cpp.o.d"
+  "spectral_monitor"
+  "spectral_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_compression.dir/speech_compression.cpp.o"
+  "CMakeFiles/speech_compression.dir/speech_compression.cpp.o.d"
+  "speech_compression"
+  "speech_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

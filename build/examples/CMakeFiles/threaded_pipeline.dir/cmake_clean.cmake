@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_pipeline.dir/threaded_pipeline.cpp.o"
+  "CMakeFiles/threaded_pipeline.dir/threaded_pipeline.cpp.o.d"
+  "threaded_pipeline"
+  "threaded_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

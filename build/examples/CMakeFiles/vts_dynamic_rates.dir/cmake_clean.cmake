@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vts_dynamic_rates.dir/vts_dynamic_rates.cpp.o"
+  "CMakeFiles/vts_dynamic_rates.dir/vts_dynamic_rates.cpp.o.d"
+  "vts_dynamic_rates"
+  "vts_dynamic_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vts_dynamic_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/beamformer_app.cpp" "src/apps/CMakeFiles/spi_apps.dir/beamformer_app.cpp.o" "gcc" "src/apps/CMakeFiles/spi_apps.dir/beamformer_app.cpp.o.d"
+  "/root/repo/src/apps/particle_app.cpp" "src/apps/CMakeFiles/spi_apps.dir/particle_app.cpp.o" "gcc" "src/apps/CMakeFiles/spi_apps.dir/particle_app.cpp.o.d"
+  "/root/repo/src/apps/speech_app.cpp" "src/apps/CMakeFiles/spi_apps.dir/speech_app.cpp.o" "gcc" "src/apps/CMakeFiles/spi_apps.dir/speech_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/spi_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/spi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/spi_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

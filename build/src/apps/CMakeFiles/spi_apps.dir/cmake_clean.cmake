@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_apps.dir/beamformer_app.cpp.o"
+  "CMakeFiles/spi_apps.dir/beamformer_app.cpp.o.d"
+  "CMakeFiles/spi_apps.dir/particle_app.cpp.o"
+  "CMakeFiles/spi_apps.dir/particle_app.cpp.o.d"
+  "CMakeFiles/spi_apps.dir/speech_app.cpp.o"
+  "CMakeFiles/spi_apps.dir/speech_app.cpp.o.d"
+  "libspi_apps.a"
+  "libspi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

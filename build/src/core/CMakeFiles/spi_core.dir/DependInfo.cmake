@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/spi_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/functional.cpp" "src/core/CMakeFiles/spi_core.dir/functional.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/functional.cpp.o.d"
+  "/root/repo/src/core/hdl_model.cpp" "src/core/CMakeFiles/spi_core.dir/hdl_model.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/hdl_model.cpp.o.d"
+  "/root/repo/src/core/message.cpp" "src/core/CMakeFiles/spi_core.dir/message.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/message.cpp.o.d"
+  "/root/repo/src/core/packing.cpp" "src/core/CMakeFiles/spi_core.dir/packing.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/packing.cpp.o.d"
+  "/root/repo/src/core/spi_system.cpp" "src/core/CMakeFiles/spi_core.dir/spi_system.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/spi_system.cpp.o.d"
+  "/root/repo/src/core/text_format.cpp" "src/core/CMakeFiles/spi_core.dir/text_format.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/text_format.cpp.o.d"
+  "/root/repo/src/core/threaded_runtime.cpp" "src/core/CMakeFiles/spi_core.dir/threaded_runtime.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/threaded_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/spi_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/spi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_core.dir/channel.cpp.o"
+  "CMakeFiles/spi_core.dir/channel.cpp.o.d"
+  "CMakeFiles/spi_core.dir/functional.cpp.o"
+  "CMakeFiles/spi_core.dir/functional.cpp.o.d"
+  "CMakeFiles/spi_core.dir/hdl_model.cpp.o"
+  "CMakeFiles/spi_core.dir/hdl_model.cpp.o.d"
+  "CMakeFiles/spi_core.dir/message.cpp.o"
+  "CMakeFiles/spi_core.dir/message.cpp.o.d"
+  "CMakeFiles/spi_core.dir/packing.cpp.o"
+  "CMakeFiles/spi_core.dir/packing.cpp.o.d"
+  "CMakeFiles/spi_core.dir/spi_system.cpp.o"
+  "CMakeFiles/spi_core.dir/spi_system.cpp.o.d"
+  "CMakeFiles/spi_core.dir/text_format.cpp.o"
+  "CMakeFiles/spi_core.dir/text_format.cpp.o.d"
+  "CMakeFiles/spi_core.dir/threaded_runtime.cpp.o"
+  "CMakeFiles/spi_core.dir/threaded_runtime.cpp.o.d"
+  "libspi_core.a"
+  "libspi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

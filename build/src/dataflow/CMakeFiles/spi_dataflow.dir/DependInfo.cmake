@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/dot.cpp" "src/dataflow/CMakeFiles/spi_dataflow.dir/dot.cpp.o" "gcc" "src/dataflow/CMakeFiles/spi_dataflow.dir/dot.cpp.o.d"
+  "/root/repo/src/dataflow/graph.cpp" "src/dataflow/CMakeFiles/spi_dataflow.dir/graph.cpp.o" "gcc" "src/dataflow/CMakeFiles/spi_dataflow.dir/graph.cpp.o.d"
+  "/root/repo/src/dataflow/graph_algos.cpp" "src/dataflow/CMakeFiles/spi_dataflow.dir/graph_algos.cpp.o" "gcc" "src/dataflow/CMakeFiles/spi_dataflow.dir/graph_algos.cpp.o.d"
+  "/root/repo/src/dataflow/looped_schedule.cpp" "src/dataflow/CMakeFiles/spi_dataflow.dir/looped_schedule.cpp.o" "gcc" "src/dataflow/CMakeFiles/spi_dataflow.dir/looped_schedule.cpp.o.d"
+  "/root/repo/src/dataflow/repetitions.cpp" "src/dataflow/CMakeFiles/spi_dataflow.dir/repetitions.cpp.o" "gcc" "src/dataflow/CMakeFiles/spi_dataflow.dir/repetitions.cpp.o.d"
+  "/root/repo/src/dataflow/sdf_schedule.cpp" "src/dataflow/CMakeFiles/spi_dataflow.dir/sdf_schedule.cpp.o" "gcc" "src/dataflow/CMakeFiles/spi_dataflow.dir/sdf_schedule.cpp.o.d"
+  "/root/repo/src/dataflow/vts.cpp" "src/dataflow/CMakeFiles/spi_dataflow.dir/vts.cpp.o" "gcc" "src/dataflow/CMakeFiles/spi_dataflow.dir/vts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_dataflow.dir/dot.cpp.o"
+  "CMakeFiles/spi_dataflow.dir/dot.cpp.o.d"
+  "CMakeFiles/spi_dataflow.dir/graph.cpp.o"
+  "CMakeFiles/spi_dataflow.dir/graph.cpp.o.d"
+  "CMakeFiles/spi_dataflow.dir/graph_algos.cpp.o"
+  "CMakeFiles/spi_dataflow.dir/graph_algos.cpp.o.d"
+  "CMakeFiles/spi_dataflow.dir/looped_schedule.cpp.o"
+  "CMakeFiles/spi_dataflow.dir/looped_schedule.cpp.o.d"
+  "CMakeFiles/spi_dataflow.dir/repetitions.cpp.o"
+  "CMakeFiles/spi_dataflow.dir/repetitions.cpp.o.d"
+  "CMakeFiles/spi_dataflow.dir/sdf_schedule.cpp.o"
+  "CMakeFiles/spi_dataflow.dir/sdf_schedule.cpp.o.d"
+  "CMakeFiles/spi_dataflow.dir/vts.cpp.o"
+  "CMakeFiles/spi_dataflow.dir/vts.cpp.o.d"
+  "libspi_dataflow.a"
+  "libspi_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/spi_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/spi_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/spi_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/spi_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/huffman.cpp" "src/dsp/CMakeFiles/spi_dsp.dir/huffman.cpp.o" "gcc" "src/dsp/CMakeFiles/spi_dsp.dir/huffman.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/dsp/CMakeFiles/spi_dsp.dir/linalg.cpp.o" "gcc" "src/dsp/CMakeFiles/spi_dsp.dir/linalg.cpp.o.d"
+  "/root/repo/src/dsp/lpc.cpp" "src/dsp/CMakeFiles/spi_dsp.dir/lpc.cpp.o" "gcc" "src/dsp/CMakeFiles/spi_dsp.dir/lpc.cpp.o.d"
+  "/root/repo/src/dsp/particle_filter.cpp" "src/dsp/CMakeFiles/spi_dsp.dir/particle_filter.cpp.o" "gcc" "src/dsp/CMakeFiles/spi_dsp.dir/particle_filter.cpp.o.d"
+  "/root/repo/src/dsp/quantize.cpp" "src/dsp/CMakeFiles/spi_dsp.dir/quantize.cpp.o" "gcc" "src/dsp/CMakeFiles/spi_dsp.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

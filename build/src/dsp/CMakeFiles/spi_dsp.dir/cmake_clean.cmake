@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_dsp.dir/fft.cpp.o"
+  "CMakeFiles/spi_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/spi_dsp.dir/fir.cpp.o"
+  "CMakeFiles/spi_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/spi_dsp.dir/huffman.cpp.o"
+  "CMakeFiles/spi_dsp.dir/huffman.cpp.o.d"
+  "CMakeFiles/spi_dsp.dir/linalg.cpp.o"
+  "CMakeFiles/spi_dsp.dir/linalg.cpp.o.d"
+  "CMakeFiles/spi_dsp.dir/lpc.cpp.o"
+  "CMakeFiles/spi_dsp.dir/lpc.cpp.o.d"
+  "CMakeFiles/spi_dsp.dir/particle_filter.cpp.o"
+  "CMakeFiles/spi_dsp.dir/particle_filter.cpp.o.d"
+  "CMakeFiles/spi_dsp.dir/quantize.cpp.o"
+  "CMakeFiles/spi_dsp.dir/quantize.cpp.o.d"
+  "libspi_dsp.a"
+  "libspi_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_mpi.dir/mpi_comm.cpp.o"
+  "CMakeFiles/spi_mpi.dir/mpi_comm.cpp.o.d"
+  "libspi_mpi.a"
+  "libspi_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

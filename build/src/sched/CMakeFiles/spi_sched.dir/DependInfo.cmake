@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/assignment.cpp" "src/sched/CMakeFiles/spi_sched.dir/assignment.cpp.o" "gcc" "src/sched/CMakeFiles/spi_sched.dir/assignment.cpp.o.d"
+  "/root/repo/src/sched/hsdf.cpp" "src/sched/CMakeFiles/spi_sched.dir/hsdf.cpp.o" "gcc" "src/sched/CMakeFiles/spi_sched.dir/hsdf.cpp.o.d"
+  "/root/repo/src/sched/resync.cpp" "src/sched/CMakeFiles/spi_sched.dir/resync.cpp.o" "gcc" "src/sched/CMakeFiles/spi_sched.dir/resync.cpp.o.d"
+  "/root/repo/src/sched/sync_dot.cpp" "src/sched/CMakeFiles/spi_sched.dir/sync_dot.cpp.o" "gcc" "src/sched/CMakeFiles/spi_sched.dir/sync_dot.cpp.o.d"
+  "/root/repo/src/sched/sync_graph.cpp" "src/sched/CMakeFiles/spi_sched.dir/sync_graph.cpp.o" "gcc" "src/sched/CMakeFiles/spi_sched.dir/sync_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/spi_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_sched.dir/assignment.cpp.o"
+  "CMakeFiles/spi_sched.dir/assignment.cpp.o.d"
+  "CMakeFiles/spi_sched.dir/hsdf.cpp.o"
+  "CMakeFiles/spi_sched.dir/hsdf.cpp.o.d"
+  "CMakeFiles/spi_sched.dir/resync.cpp.o"
+  "CMakeFiles/spi_sched.dir/resync.cpp.o.d"
+  "CMakeFiles/spi_sched.dir/sync_dot.cpp.o"
+  "CMakeFiles/spi_sched.dir/sync_dot.cpp.o.d"
+  "CMakeFiles/spi_sched.dir/sync_graph.cpp.o"
+  "CMakeFiles/spi_sched.dir/sync_graph.cpp.o.d"
+  "libspi_sched.a"
+  "libspi_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_kernel.cpp" "src/sim/CMakeFiles/spi_sim.dir/event_kernel.cpp.o" "gcc" "src/sim/CMakeFiles/spi_sim.dir/event_kernel.cpp.o.d"
+  "/root/repo/src/sim/fpga_area.cpp" "src/sim/CMakeFiles/spi_sim.dir/fpga_area.cpp.o" "gcc" "src/sim/CMakeFiles/spi_sim.dir/fpga_area.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/spi_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/spi_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/spi_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/spi_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/static_executor.cpp" "src/sim/CMakeFiles/spi_sim.dir/static_executor.cpp.o" "gcc" "src/sim/CMakeFiles/spi_sim.dir/static_executor.cpp.o.d"
+  "/root/repo/src/sim/timed_executor.cpp" "src/sim/CMakeFiles/spi_sim.dir/timed_executor.cpp.o" "gcc" "src/sim/CMakeFiles/spi_sim.dir/timed_executor.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/spi_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/spi_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/spi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/spi_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

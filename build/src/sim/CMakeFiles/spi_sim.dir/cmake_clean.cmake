@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_sim.dir/event_kernel.cpp.o"
+  "CMakeFiles/spi_sim.dir/event_kernel.cpp.o.d"
+  "CMakeFiles/spi_sim.dir/fpga_area.cpp.o"
+  "CMakeFiles/spi_sim.dir/fpga_area.cpp.o.d"
+  "CMakeFiles/spi_sim.dir/link.cpp.o"
+  "CMakeFiles/spi_sim.dir/link.cpp.o.d"
+  "CMakeFiles/spi_sim.dir/power.cpp.o"
+  "CMakeFiles/spi_sim.dir/power.cpp.o.d"
+  "CMakeFiles/spi_sim.dir/static_executor.cpp.o"
+  "CMakeFiles/spi_sim.dir/static_executor.cpp.o.d"
+  "CMakeFiles/spi_sim.dir/timed_executor.cpp.o"
+  "CMakeFiles/spi_sim.dir/timed_executor.cpp.o.d"
+  "CMakeFiles/spi_sim.dir/trace.cpp.o"
+  "CMakeFiles/spi_sim.dir/trace.cpp.o.d"
+  "libspi_sim.a"
+  "libspi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

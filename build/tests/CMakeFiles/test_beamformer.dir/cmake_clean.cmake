@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beamformer.dir/test_beamformer.cpp.o"
+  "CMakeFiles/test_beamformer.dir/test_beamformer.cpp.o.d"
+  "test_beamformer"
+  "test_beamformer.pdb"
+  "test_beamformer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beamformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

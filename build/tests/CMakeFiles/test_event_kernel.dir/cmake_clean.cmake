@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_kernel.dir/test_event_kernel.cpp.o"
+  "CMakeFiles/test_event_kernel.dir/test_event_kernel.cpp.o.d"
+  "test_event_kernel"
+  "test_event_kernel.pdb"
+  "test_event_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fir.dir/test_fir.cpp.o"
+  "CMakeFiles/test_fir.dir/test_fir.cpp.o.d"
+  "test_fir"
+  "test_fir.pdb"
+  "test_fir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

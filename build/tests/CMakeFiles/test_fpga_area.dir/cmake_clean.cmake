@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_area.dir/test_fpga_area.cpp.o"
+  "CMakeFiles/test_fpga_area.dir/test_fpga_area.cpp.o.d"
+  "test_fpga_area"
+  "test_fpga_area.pdb"
+  "test_fpga_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdl_model.dir/test_hdl_model.cpp.o"
+  "CMakeFiles/test_hdl_model.dir/test_hdl_model.cpp.o.d"
+  "test_hdl_model"
+  "test_hdl_model.pdb"
+  "test_hdl_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

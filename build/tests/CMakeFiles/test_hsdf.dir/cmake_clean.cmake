@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsdf.dir/test_hsdf.cpp.o"
+  "CMakeFiles/test_hsdf.dir/test_hsdf.cpp.o.d"
+  "test_hsdf"
+  "test_hsdf.pdb"
+  "test_hsdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

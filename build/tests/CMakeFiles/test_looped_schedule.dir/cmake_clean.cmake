@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_looped_schedule.dir/test_looped_schedule.cpp.o"
+  "CMakeFiles/test_looped_schedule.dir/test_looped_schedule.cpp.o.d"
+  "test_looped_schedule"
+  "test_looped_schedule.pdb"
+  "test_looped_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_looped_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

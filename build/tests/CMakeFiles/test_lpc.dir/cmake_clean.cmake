@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpc.dir/test_lpc.cpp.o"
+  "CMakeFiles/test_lpc.dir/test_lpc.cpp.o.d"
+  "test_lpc"
+  "test_lpc.pdb"
+  "test_lpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

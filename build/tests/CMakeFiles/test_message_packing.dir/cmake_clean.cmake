@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_packing.dir/test_message_packing.cpp.o"
+  "CMakeFiles/test_message_packing.dir/test_message_packing.cpp.o.d"
+  "test_message_packing"
+  "test_message_packing.pdb"
+  "test_message_packing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantize_huffman.dir/test_quantize_huffman.cpp.o"
+  "CMakeFiles/test_quantize_huffman.dir/test_quantize_huffman.cpp.o.d"
+  "test_quantize_huffman"
+  "test_quantize_huffman.pdb"
+  "test_quantize_huffman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantize_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

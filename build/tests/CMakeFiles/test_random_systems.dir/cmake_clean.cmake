@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_systems.dir/test_random_systems.cpp.o"
+  "CMakeFiles/test_random_systems.dir/test_random_systems.cpp.o.d"
+  "test_random_systems"
+  "test_random_systems.pdb"
+  "test_random_systems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repetitions.dir/test_repetitions.cpp.o"
+  "CMakeFiles/test_repetitions.dir/test_repetitions.cpp.o.d"
+  "test_repetitions"
+  "test_repetitions.pdb"
+  "test_repetitions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repetitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

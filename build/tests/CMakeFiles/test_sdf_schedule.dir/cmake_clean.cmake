@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdf_schedule.dir/test_sdf_schedule.cpp.o"
+  "CMakeFiles/test_sdf_schedule.dir/test_sdf_schedule.cpp.o.d"
+  "test_sdf_schedule"
+  "test_sdf_schedule.pdb"
+  "test_sdf_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdf_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

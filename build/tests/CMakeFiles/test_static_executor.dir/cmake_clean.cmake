@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_executor.dir/test_static_executor.cpp.o"
+  "CMakeFiles/test_static_executor.dir/test_static_executor.cpp.o.d"
+  "test_static_executor"
+  "test_static_executor.pdb"
+  "test_static_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threaded_runtime.dir/test_threaded_runtime.cpp.o"
+  "CMakeFiles/test_threaded_runtime.dir/test_threaded_runtime.cpp.o.d"
+  "test_threaded_runtime"
+  "test_threaded_runtime.pdb"
+  "test_threaded_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threaded_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_timed_executor.cpp" "tests/CMakeFiles/test_timed_executor.dir/test_timed_executor.cpp.o" "gcc" "tests/CMakeFiles/test_timed_executor.dir/test_timed_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/spi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/spi_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/spi_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/spi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/spi_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

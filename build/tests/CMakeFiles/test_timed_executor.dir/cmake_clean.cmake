@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_executor.dir/test_timed_executor.cpp.o"
+  "CMakeFiles/test_timed_executor.dir/test_timed_executor.cpp.o.d"
+  "test_timed_executor"
+  "test_timed_executor.pdb"
+  "test_timed_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

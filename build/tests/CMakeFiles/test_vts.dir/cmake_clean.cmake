@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vts.dir/test_vts.cpp.o"
+  "CMakeFiles/test_vts.dir/test_vts.cpp.o.d"
+  "test_vts"
+  "test_vts.pdb"
+  "test_vts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_compile.dir/spi_compile.cpp.o"
+  "CMakeFiles/spi_compile.dir/spi_compile.cpp.o.d"
+  "spi_compile"
+  "spi_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
