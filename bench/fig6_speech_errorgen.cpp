@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/speech_app.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace spi;
@@ -47,5 +48,24 @@ int main() {
   }
   std::printf("\npaper shape check: rows increase left-to-right in size, decrease with n,\n"
               "speedup sublinear (communication/I-O floor).\n");
+
+  // Distribution view of the n=4 steady state at the largest sample
+  // size: per-iteration period histogram (docs/observability.md).
+  {
+    const std::size_t size = sample_sizes.back();
+    const apps::ErrorGenApp app(4, params);
+    const sim::ExecStats stats = app.run_timed(size, params.order, timing, 200);
+    double max_period = 1.0;
+    for (std::size_t k = 1; k < stats.iteration_complete.size(); ++k)
+      max_period = std::max(max_period,
+                            clock.to_microseconds(stats.iteration_complete[k] -
+                                                  stats.iteration_complete[k - 1]));
+    obs::Histogram periods(obs::Histogram::linear_bounds(0.0, max_period / 20.0, 20));
+    for (std::size_t k = 1; k < stats.iteration_complete.size(); ++k)
+      periods.observe(clock.to_microseconds(stats.iteration_complete[k] -
+                                            stats.iteration_complete[k - 1]));
+    std::printf("\nper-iteration period histogram (n=4, %zu samples, warm-up included):\n  %s\n",
+                size, periods.summary("us").c_str());
+  }
   return 0;
 }

@@ -29,6 +29,17 @@ df::SequentialSchedule checked_pass(const df::Graph& g, const df::Repetitions& r
   return s;
 }
 
+/// Runs one compile phase, recording its wall-clock seconds into
+/// `spi_compile_phase_seconds{phase=...}` when a registry is attached.
+template <typename F>
+auto timed_phase(obs::MetricRegistry* registry, const char* phase, F&& f) {
+  if (!registry) return f();
+  obs::ScopedTimer timer(&registry->gauge(
+      "spi_compile_phase_seconds", {{"phase", phase}},
+      "Wall-clock seconds spent in one phase of the SPI compile pipeline"));
+  return f();
+}
+
 }  // namespace
 
 SpiSystem::SpiSystem(const df::Graph& application, sched::Assignment assignment,
@@ -36,17 +47,34 @@ SpiSystem::SpiSystem(const df::Graph& application, sched::Assignment assignment,
     : app_(application),
       assignment_(std::move(assignment)),
       options_(options),
-      vts_(df::vts_convert(app_)),
-      reps_(checked_repetitions(vts_.graph)),
-      pass_(checked_pass(vts_.graph, reps_, options.pass_policy)),
-      hsdf_(sched::hsdf_expand(vts_.graph, reps_)),
-      proc_order_(sched::proc_order_from_pass(hsdf_, pass_.firings, assignment_)),
-      sync_build_(sched::build_sync_graph(hsdf_, assignment_, proc_order_, options_.sync)) {
+      vts_(timed_phase(options.metrics, "vts_convert", [&] { return df::vts_convert(app_); })),
+      reps_(timed_phase(options.metrics, "repetitions",
+                        [&] { return checked_repetitions(vts_.graph); })),
+      pass_(timed_phase(options.metrics, "pass_schedule",
+                        [&] { return checked_pass(vts_.graph, reps_, options.pass_policy); })),
+      hsdf_(timed_phase(options.metrics, "hsdf_expand",
+                        [&] { return sched::hsdf_expand(vts_.graph, reps_); })),
+      proc_order_(timed_phase(options.metrics, "proc_order",
+                              [&] {
+                                return sched::proc_order_from_pass(hsdf_, pass_.firings,
+                                                                   assignment_);
+                              })),
+      sync_build_(timed_phase(options.metrics, "sync_graph", [&] {
+        return sched::build_sync_graph(hsdf_, assignment_, proc_order_, options_.sync);
+      })) {
   if (assignment_.actor_count() != app_.actor_count())
     throw std::invalid_argument("SpiSystem: assignment size does not match the graph");
 
   if (options_.resynchronize)
-    resync_report_ = sched::resynchronize(sync_build_.graph, options_.resync);
+    resync_report_ = timed_phase(options_.metrics, "resynchronize", [&] {
+      return sched::resynchronize(sync_build_.graph, options_.resync);
+    });
+
+  obs::ScopedTimer plan_timer(
+      options_.metrics ? &options_.metrics->gauge(
+                             "spi_compile_phase_seconds", {{"phase", "channel_plan"}},
+                             "Wall-clock seconds spent in one phase of the SPI compile pipeline")
+                       : nullptr);
 
   // --- channel plan (one per interprocessor dataflow edge) --------------
   const std::vector<std::int64_t> c_bytes = df::packed_buffer_byte_bounds(vts_);
@@ -100,6 +128,88 @@ SpiSystem::SpiSystem(const df::Graph& application, sched::Assignment assignment,
   std::unordered_set<df::EdgeId> dynamic_edges;
   for (df::EdgeId e : app_.dynamic_edges()) dynamic_edges.insert(e);
   backend_ = std::make_unique<SpiBackend>(options_.costs, std::move(dynamic_edges));
+
+  if (options_.metrics) {
+    options_.metrics
+        ->gauge("spi_compile_total_seconds", {},
+                "Wall-clock seconds of the whole SPI compile pipeline")
+        .set(static_cast<double>(obs::monotonic_ns() - compile_start_ns_) * 1e-9);
+    publish_plan_metrics(*options_.metrics);
+  }
+}
+
+void SpiSystem::publish_plan_metrics(obs::MetricRegistry& registry) const {
+  static constexpr const char* kModes[] = {"static", "dynamic"};
+  static constexpr const char* kProtocols[] = {"bbs", "ubs"};
+  // Zero-initialize the full mode x protocol matrix so exports always
+  // carry every combination.
+  for (const char* mode : kModes)
+    for (const char* protocol : kProtocols)
+      registry
+          .gauge("spi_plan_channels", {{"mode", mode}, {"protocol", protocol}},
+                 "Interprocessor channels in the compiled plan by SPI mode and sync protocol")
+          .set(0.0);
+
+  std::int64_t acks_total = 0, acks_elided = 0, eq1_bytes = 0, eq2_bytes = 0;
+  for (const ChannelPlan& plan : channels_) {
+    const char* mode = plan.mode == SpiMode::kDynamic ? "dynamic" : "static";
+    const char* protocol = plan.protocol == sched::SyncProtocol::kBbs ? "bbs" : "ubs";
+    registry.gauge("spi_plan_channels", {{"mode", mode}, {"protocol", protocol}}).add(1.0);
+
+    const obs::Labels channel{{"channel", plan.name}};
+    registry
+        .gauge("spi_plan_channel_acks", channel,
+               "UBS acknowledgement edges created for one channel")
+        .set(static_cast<double>(plan.acks_total));
+    registry
+        .gauge("spi_plan_channel_acks_elided", channel,
+               "Acknowledgement edges removed from one channel by resynchronization")
+        .set(static_cast<double>(plan.acks_elided));
+    registry
+        .gauge("spi_plan_channel_b_max_bytes", channel,
+               "Maximum bytes of one message payload (VTS bound)")
+        .set(static_cast<double>(plan.b_max_bytes));
+    registry
+        .gauge("spi_plan_channel_c_bytes", channel,
+               "Equation-1 static buffer bytes c_sdf(e) * b_max(e)")
+        .set(static_cast<double>(plan.c_bytes));
+    if (plan.bbs_capacity_bytes)
+      registry
+          .gauge("spi_plan_channel_bbs_capacity_bytes", channel,
+                 "Equation-2 statically guaranteed BBS buffer bound in bytes")
+          .set(static_cast<double>(*plan.bbs_capacity_bytes));
+    acks_total += static_cast<std::int64_t>(plan.acks_total);
+    acks_elided += static_cast<std::int64_t>(plan.acks_elided);
+    eq1_bytes += plan.c_bytes;
+    eq2_bytes += plan.bbs_capacity_bytes.value_or(0);
+  }
+
+  registry.gauge("spi_plan_acks", {}, "UBS acknowledgement edges created across all channels")
+      .set(static_cast<double>(acks_total));
+  registry
+      .gauge("spi_plan_acks_elided", {},
+             "Acknowledgement edges removed across all channels by resynchronization")
+      .set(static_cast<double>(acks_elided));
+  registry.gauge("spi_plan_eq1_buffer_bytes", {}, "Sum of equation-1 buffer bounds in bytes")
+      .set(static_cast<double>(eq1_bytes));
+  registry
+      .gauge("spi_plan_eq2_buffer_bytes", {},
+             "Sum of equation-2 (BBS) statically guaranteed buffer bounds in bytes")
+      .set(static_cast<double>(eq2_bytes));
+  registry
+      .gauge("spi_plan_messages_per_iteration", {},
+             "Synchronization messages per graph iteration under the compiled plan")
+      .set(static_cast<double>(messages_per_iteration()));
+  if (resync_report_) {
+    registry.gauge("spi_plan_resync_acks_before", {}, "Ack edges before resynchronization")
+        .set(static_cast<double>(resync_report_->acks_before));
+    registry.gauge("spi_plan_resync_acks_after", {}, "Ack edges after resynchronization")
+        .set(static_cast<double>(resync_report_->acks_after));
+    registry.gauge("spi_plan_resync_mcm_before", {}, "Maximum cycle mean before resynchronization")
+        .set(resync_report_->mcm_before);
+    registry.gauge("spi_plan_resync_mcm_after", {}, "Maximum cycle mean after resynchronization")
+        .set(resync_report_->mcm_after);
+  }
 }
 
 const ChannelPlan& SpiSystem::channel_for(df::EdgeId edge) const {

@@ -28,6 +28,7 @@
 #include "core/channel.hpp"
 #include "core/spi_backend.hpp"
 #include "dataflow/graph.hpp"
+#include "obs/metrics.hpp"
 #include "dataflow/repetitions.hpp"
 #include "dataflow/sdf_schedule.hpp"
 #include "dataflow/vts.hpp"
@@ -49,6 +50,12 @@ struct SpiSystemOptions {
   /// sends before any receive) by choosing actor creation order;
   /// kMinBufferDemand greedily minimizes buffer occupancy instead.
   df::SchedulePolicy pass_policy = df::SchedulePolicy::kMinBufferDemand;
+  /// Optional observability sink (docs/observability.md). When set, the
+  /// constructor records per-phase wall-clock timings
+  /// (`spi_compile_phase_seconds{phase=...}`) and publishes the
+  /// plan-level gauges on completion. Not owned; must outlive the
+  /// SpiSystem.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Compile-time plan for one interprocessor dataflow edge.
@@ -118,12 +125,22 @@ class SpiSystem {
   /// (`spi_compile --json`).
   [[nodiscard]] std::string plan_json() const;
 
+  /// Publishes the compile-time plan as gauges: channel counts by
+  /// mode/protocol, per-channel and aggregate ack/elision counts, and
+  /// the equation-1 / equation-2 buffer-byte bounds. Called
+  /// automatically on the registry in SpiSystemOptions::metrics;
+  /// callable explicitly for any other registry.
+  void publish_plan_metrics(obs::MetricRegistry& registry) const;
+
  private:
   void install_default_payloads(sim::WorkloadModel& workload) const;
 
   df::Graph app_;
   sched::Assignment assignment_;
   SpiSystemOptions options_;
+  /// Stamped before the analysis members construct — the compile
+  /// pipeline's wall-clock origin for spi_compile_total_seconds.
+  std::int64_t compile_start_ns_ = obs::monotonic_ns();
   df::VtsResult vts_;
   df::Repetitions reps_;
   df::SequentialSchedule pass_;

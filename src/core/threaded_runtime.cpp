@@ -17,12 +17,14 @@ struct Aborted : std::runtime_error {
 void ThreadedRuntime::BlockingChannel::push(Bytes token) {
   std::unique_lock lock(mutex_);
   if (queue_.size() >= capacity_) {
-    ++producer_blocks;
+    counters_.producer_blocks->inc();
+    const std::int64_t t0 = obs::monotonic_ns();
     not_full_.wait(lock, [&] { return queue_.size() < capacity_ || abort_.load(); });
+    counters_.producer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
   }
   if (abort_.load()) throw Aborted{};
-  messages += 1;
-  payload_bytes += static_cast<std::int64_t>(token.size());
+  counters_.messages->inc();
+  counters_.payload_bytes->inc(static_cast<std::int64_t>(token.size()));
   queue_.push_back(std::move(token));
   not_empty_.notify_one();
 }
@@ -30,8 +32,10 @@ void ThreadedRuntime::BlockingChannel::push(Bytes token) {
 Bytes ThreadedRuntime::BlockingChannel::pop() {
   std::unique_lock lock(mutex_);
   if (queue_.empty()) {
-    ++consumer_blocks;
+    counters_.consumer_blocks->inc();
+    const std::int64_t t0 = obs::monotonic_ns();
     not_empty_.wait(lock, [&] { return !queue_.empty() || abort_.load(); });
+    counters_.consumer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
   }
   if (abort_.load() && queue_.empty()) throw Aborted{};
   Bytes token = std::move(queue_.front());
@@ -46,9 +50,11 @@ void ThreadedRuntime::BlockingChannel::interrupt() {
   not_empty_.notify_all();
 }
 
-ThreadedRuntime::ThreadedRuntime(const SpiSystem& system)
+ThreadedRuntime::ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics)
     : system_(system),
       graph_(system.vts().graph),
+      owned_registry_(metrics ? nullptr : std::make_unique<obs::MetricRegistry>()),
+      registry_(metrics ? metrics : owned_registry_.get()),
       compute_(graph_.actor_count()),
       local_fifo_(graph_.edge_count()),
       fired_(graph_.actor_count(), 0) {
@@ -62,9 +68,32 @@ ThreadedRuntime::ThreadedRuntime(const SpiSystem& system)
     const std::int64_t per_iter = e.prod.value() * system.repetitions().of(e.src);
     const std::int64_t window = plan.bbs_capacity_tokens.value_or(1);
     const std::int64_t capacity = window * per_iter + e.delay;
+
+    const obs::Labels labels{{"channel", plan.name}};
+    ChannelCounters counters;
+    counters.messages = &registry_->counter(
+        "spi_threaded_messages_total", labels,
+        "Interprocessor tokens moved through one blocking SPI channel");
+    counters.payload_bytes = &registry_->counter(
+        "spi_threaded_payload_bytes_total", labels,
+        "Payload bytes moved through one blocking SPI channel");
+    counters.producer_blocks =
+        &registry_->counter("spi_threaded_producer_blocks_total", labels,
+                            "Times a sender hit the channel's capacity and waited");
+    counters.consumer_blocks =
+        &registry_->counter("spi_threaded_consumer_blocks_total", labels,
+                            "Times a receiver found the channel empty and waited");
+    counters.producer_block_micros =
+        &registry_->counter("spi_threaded_producer_block_micros_total", labels,
+                            "Wall-clock microseconds senders spent blocked on the channel");
+    counters.consumer_block_micros =
+        &registry_->counter("spi_threaded_consumer_block_micros_total", labels,
+                            "Wall-clock microseconds receivers spent blocked on the channel");
+    channel_counters_.push_back(counters);
+
     channels_.emplace(plan.edge, std::make_unique<BlockingChannel>(
                                      static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)),
-                                     abort_));
+                                     abort_, counters));
   }
 
   // Initial tokens.
@@ -91,8 +120,22 @@ void ThreadedRuntime::set_compute(df::ActorId actor, ComputeFn fn) {
   compute_.at(static_cast<std::size_t>(actor)) = std::move(fn);
 }
 
-void ThreadedRuntime::fire(df::ActorId actor) {
+ThreadedRunStats ThreadedRuntime::counter_totals() const {
+  ThreadedRunStats totals;
+  for (const ChannelCounters& c : channel_counters_) {
+    totals.messages += c.messages->value();
+    totals.payload_bytes += c.payload_bytes->value();
+    totals.producer_blocks += c.producer_blocks->value();
+    totals.consumer_blocks += c.consumer_blocks->value();
+    totals.producer_block_micros += c.producer_block_micros->value();
+    totals.consumer_block_micros += c.consumer_block_micros->value();
+  }
+  return totals;
+}
+
+void ThreadedRuntime::fire(df::ActorId actor, std::int32_t proc, std::int64_t iteration) {
   const auto a = static_cast<std::size_t>(actor);
+  const std::int64_t span_start_us = trace_ ? trace_->now_us() : 0;
   FiringContext ctx;
   ctx.actor = actor;
   ctx.invocation = fired_[a]++;
@@ -145,13 +188,17 @@ void ThreadedRuntime::fire(df::ActorId actor) {
         local_fifo_[static_cast<std::size_t>(eid)].push_back(std::move(token));
     }
   }
+
+  if (trace_)
+    trace_->record({graph_.actor(actor).name, "firing", proc, span_start_us, trace_->now_us(),
+                    iteration});
 }
 
 void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
   try {
     const auto& order = proc_firing_order_[static_cast<std::size_t>(proc)];
     for (std::int64_t iter = 0; iter < iterations && !abort_.load(); ++iter)
-      for (df::ActorId actor : order) fire(actor);
+      for (df::ActorId actor : order) fire(actor, proc, iter);
   } catch (const Aborted&) {
     // Unwound by another worker's failure; nothing to record.
   } catch (...) {
@@ -168,6 +215,10 @@ void ThreadedRuntime::run(std::int64_t iterations) {
   if (iterations < 0) throw std::invalid_argument("ThreadedRuntime::run: negative iterations");
   abort_.store(false);
   first_error_ = nullptr;
+  // Reset at entry, aggregate on every exit path: stats() is never stale
+  // from a previous run, even when this run throws.
+  stats_ = ThreadedRunStats{};
+  const ThreadedRunStats base = counter_totals();
 
   std::vector<std::thread> threads;
   threads.reserve(proc_firing_order_.size());
@@ -175,13 +226,13 @@ void ThreadedRuntime::run(std::int64_t iterations) {
     threads.emplace_back([this, p, iterations] { worker(static_cast<std::int32_t>(p), iterations); });
   for (std::thread& t : threads) t.join();
 
-  stats_ = ThreadedRunStats{};
-  for (const auto& [edge, channel] : channels_) {
-    stats_.messages += channel->messages;
-    stats_.payload_bytes += channel->payload_bytes;
-    stats_.producer_blocks += channel->producer_blocks;
-    stats_.consumer_blocks += channel->consumer_blocks;
-  }
+  const ThreadedRunStats now = counter_totals();
+  stats_.messages = now.messages - base.messages;
+  stats_.payload_bytes = now.payload_bytes - base.payload_bytes;
+  stats_.producer_blocks = now.producer_blocks - base.producer_blocks;
+  stats_.consumer_blocks = now.consumer_blocks - base.consumer_blocks;
+  stats_.producer_block_micros = now.producer_block_micros - base.producer_block_micros;
+  stats_.consumer_block_micros = now.consumer_block_micros - base.consumer_block_micros;
   if (first_error_) std::rethrow_exception(first_error_);
 }
 

@@ -16,6 +16,14 @@
 /// Actor compute functions are the same ComputeFn used by
 /// FunctionalRuntime, so an application wires up once and runs on either
 /// engine.
+///
+/// Observability (docs/observability.md): every channel feeds lock-free
+/// counters in a MetricRegistry — messages, payload bytes, block counts
+/// and block *durations* per side — either a registry the caller
+/// provides (shared with the compile pipeline) or a private one.
+/// Attach a RuntimeTraceRecorder to get wall-clock Chrome trace JSON of
+/// every firing, diffable in Perfetto against the timed simulator's
+/// trace of the same system.
 #pragma once
 
 #include <atomic>
@@ -26,20 +34,31 @@
 #include <mutex>
 
 #include "core/functional.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runtime_trace.hpp"
 
 namespace spi::core {
 
+/// Aggregated channel statistics of one run() (see
+/// ThreadedRuntime::stats). Derived from the registry counters: the
+/// difference between their values at run() entry and exit.
 struct ThreadedRunStats {
   std::int64_t messages = 0;         ///< interprocessor tokens moved
   std::int64_t payload_bytes = 0;
   std::int64_t producer_blocks = 0;  ///< times a sender hit a full channel
   std::int64_t consumer_blocks = 0;  ///< times a receiver waited for data
+  std::int64_t producer_block_micros = 0;  ///< wall-clock µs senders spent blocked
+  std::int64_t consumer_block_micros = 0;  ///< wall-clock µs receivers spent blocked
 };
 
 /// Multithreaded execution engine for a compiled SpiSystem.
 class ThreadedRuntime {
  public:
-  explicit ThreadedRuntime(const SpiSystem& system);
+  /// `metrics`: registry receiving the per-channel counters
+  /// (spi_threaded_* — see docs/observability.md). Not owned; must
+  /// outlive the runtime. Null = the runtime owns a private registry,
+  /// reachable through metrics().
+  explicit ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics = nullptr);
 
   /// Registers an actor's computation (same contract as
   /// FunctionalRuntime::set_compute; must be called before run()).
@@ -48,30 +67,49 @@ class ThreadedRuntime {
   /// synchronization.
   void set_compute(df::ActorId actor, ComputeFn fn);
 
+  /// Attaches a wall-clock trace recorder: every firing is recorded as a
+  /// span (tid = processor). Not owned; must outlive run(). Null
+  /// detaches.
+  void set_trace(obs::RuntimeTraceRecorder* trace) { trace_ = trace; }
+
   /// Runs `iterations` graph iterations across proc_count() threads and
   /// joins them. Exceptions thrown by compute functions are rethrown on
   /// the caller thread (first one wins); other threads are unblocked and
-  /// wound down.
+  /// wound down. stats() is reset on entry and aggregated on every exit
+  /// path — after a throw it reflects the partial run.
   void run(std::int64_t iterations);
 
-  /// Aggregated channel statistics of the last run().
+  /// Aggregated channel statistics of the last run() (partial if it
+  /// threw).
   [[nodiscard]] const ThreadedRunStats& stats() const { return stats_; }
 
+  /// The registry the channel counters live in (the caller-provided one,
+  /// or the runtime's own). Counters are cumulative across runs and
+  /// include initial-token placement at construction.
+  [[nodiscard]] obs::MetricRegistry& metrics() { return *registry_; }
+  [[nodiscard]] const obs::MetricRegistry& metrics() const { return *registry_; }
+
  private:
+  /// Lock-free registry handles of one channel's counters.
+  struct ChannelCounters {
+    obs::Counter* messages = nullptr;
+    obs::Counter* payload_bytes = nullptr;
+    obs::Counter* producer_blocks = nullptr;
+    obs::Counter* consumer_blocks = nullptr;
+    obs::Counter* producer_block_micros = nullptr;
+    obs::Counter* consumer_block_micros = nullptr;
+  };
+
   /// Thread-safe bounded FIFO of raw tokens for one interprocessor edge.
   class BlockingChannel {
    public:
-    BlockingChannel(std::size_t capacity_tokens, std::atomic<bool>& abort)
-        : capacity_(capacity_tokens), abort_(abort) {}
+    BlockingChannel(std::size_t capacity_tokens, std::atomic<bool>& abort,
+                    ChannelCounters counters)
+        : capacity_(capacity_tokens), abort_(abort), counters_(counters) {}
 
     void push(Bytes token);
     [[nodiscard]] Bytes pop();
     void interrupt();  ///< wake all waiters (used on abort)
-
-    std::int64_t messages = 0;  // guarded by mutex_
-    std::int64_t payload_bytes = 0;
-    std::int64_t producer_blocks = 0;
-    std::int64_t consumer_blocks = 0;
 
    private:
     std::mutex mutex_;
@@ -80,18 +118,24 @@ class ThreadedRuntime {
     std::deque<Bytes> queue_;
     std::size_t capacity_;
     std::atomic<bool>& abort_;
+    ChannelCounters counters_;
   };
 
   void worker(std::int32_t proc, std::int64_t iterations);
-  void fire(df::ActorId actor);
+  void fire(df::ActorId actor, std::int32_t proc, std::int64_t iteration);
+  [[nodiscard]] ThreadedRunStats counter_totals() const;
 
   const SpiSystem& system_;
   const df::Graph& graph_;  ///< the VTS-converted graph
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;  ///< when none was provided
+  obs::MetricRegistry* registry_ = nullptr;
+  obs::RuntimeTraceRecorder* trace_ = nullptr;
   std::vector<ComputeFn> compute_;
   /// Per-edge local FIFOs (touched only by the owning processor's
   /// thread) and cross-processor blocking channels.
   std::vector<std::deque<Bytes>> local_fifo_;
   std::map<df::EdgeId, std::unique_ptr<BlockingChannel>> channels_;
+  std::vector<ChannelCounters> channel_counters_;  ///< for stats aggregation
   /// Per-processor firing sequence for one iteration (actor ids; an
   /// actor appears once per firing, from the PASS).
   std::vector<std::vector<df::ActorId>> proc_firing_order_;

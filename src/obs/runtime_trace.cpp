@@ -1,0 +1,70 @@
+#include "obs/runtime_trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace spi::obs {
+
+namespace {
+
+void append_escaped(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+RuntimeTraceRecorder::RuntimeTraceRecorder() : epoch_ns_(monotonic_ns()) {}
+
+std::int64_t RuntimeTraceRecorder::now_us() const {
+  return (monotonic_ns() - epoch_ns_) / 1000;
+}
+
+void RuntimeTraceRecorder::record(RuntimeSpan span) {
+  span.end_us = std::max(span.end_us, span.start_us);
+  std::lock_guard lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+void RuntimeTraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+}
+
+std::vector<RuntimeSpan> RuntimeTraceRecorder::spans() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+std::string RuntimeTraceRecorder::to_chrome_trace_json() const {
+  std::vector<RuntimeSpan> spans = this->spans();
+  // Chrome's viewer copes with any order, but a time-sorted trace is
+  // stable for diffing and for the monotonicity tests.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const RuntimeSpan& a, const RuntimeSpan& b) {
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.tid < b.tid;
+                   });
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const RuntimeSpan& s : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"";
+    append_escaped(out, s.name);
+    out << "\",\"cat\":\"";
+    append_escaped(out, s.category);
+    out << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << s.tid << ",\"ts\":" << s.start_us
+        << ",\"dur\":" << (s.end_us - s.start_us) << ",\"args\":{\"iteration\":" << s.iteration
+        << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+}  // namespace spi::obs

@@ -1,0 +1,61 @@
+/// \file runtime_trace.hpp
+/// Wall-clock execution tracing for the threaded runtime (and any other
+/// real-time component).
+///
+/// The timed simulator already emits Chrome trace-event JSON
+/// (sim/trace.hpp) in simulated time; RuntimeTraceRecorder emits the
+/// *same* event shape in real microseconds, so a simulated run and a
+/// threaded run of one system load side by side in Perfetto /
+/// chrome://tracing and can be compared span for span.
+///
+/// Recording is thread-safe (one mutex around an append-only vector;
+/// spans are recorded at firing granularity, far off the token hot
+/// path). Timestamps come from the recorder's steady-clock epoch, so a
+/// trace always starts near t=0.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spi::obs {
+
+/// One completed wall-clock span (a firing, a blocking wait, a phase).
+struct RuntimeSpan {
+  std::string name;       ///< actor or phase name
+  std::string category;   ///< "firing", "block", "phase", ...
+  std::int32_t tid = 0;   ///< processor / worker-thread index
+  std::int64_t start_us = 0;  ///< microseconds since the recorder epoch
+  std::int64_t end_us = 0;
+  std::int64_t iteration = -1;  ///< graph iteration (-1 = not applicable)
+};
+
+class RuntimeTraceRecorder {
+ public:
+  RuntimeTraceRecorder();
+
+  /// Microseconds elapsed since this recorder was constructed
+  /// (monotonic; use for span start/end stamps).
+  [[nodiscard]] std::int64_t now_us() const;
+
+  /// Thread-safe append. end_us < start_us is clamped to start_us.
+  void record(RuntimeSpan span);
+
+  void clear();
+
+  /// Snapshot copy of everything recorded so far.
+  [[nodiscard]] std::vector<RuntimeSpan> spans() const;
+
+  /// Chrome trace-event JSON — "X" duration events, pid 0, tid = the
+  /// span's tid, same shape as sim::to_chrome_trace_json so the two are
+  /// diffable in Perfetto.
+  [[nodiscard]] std::string to_chrome_trace_json() const;
+
+ private:
+  std::int64_t epoch_ns_;
+  mutable std::mutex mutex_;
+  std::vector<RuntimeSpan> spans_;
+};
+
+}  // namespace spi::obs

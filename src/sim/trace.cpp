@@ -7,34 +7,37 @@ namespace spi::sim {
 
 std::string to_ascii_gantt(const TraceRecorder& trace, std::int32_t pe_count,
                            SimTime max_cycles, std::size_t width) {
-  if (max_cycles <= 0 || width == 0) return {};
+  if (pe_count <= 0 || width == 0) return {};
   std::ostringstream out;
-  const double scale = static_cast<double>(width) / static_cast<double>(max_cycles);
+  // A zero-firing trace has makespan 0; clamp so the chart stays
+  // well-formed (all-idle rows) instead of degenerating.
+  const SimTime span = std::max<SimTime>(1, max_cycles);
+  const double scale = static_cast<double>(width) / static_cast<double>(span);
+  std::vector<std::string> drawn;  // legend: tasks actually on the chart
 
-  out << "time 0 .. " << max_cycles << " cycles, '" << '.' << "' = idle\n";
+  out << "time 0 .. " << std::max<SimTime>(0, max_cycles) << " cycles, '" << '.' << "' = idle\n";
   for (std::int32_t pe = 0; pe < pe_count; ++pe) {
     std::string row(width, '.');
     for (const FiringRecord& f : trace.firings()) {
-      if (f.pe != pe || f.start >= max_cycles) continue;
+      if (f.pe != pe || f.start >= span || f.start < 0) continue;
       const auto begin = static_cast<std::size_t>(static_cast<double>(f.start) * scale);
       const auto end = std::min(
-          width, static_cast<std::size_t>(static_cast<double>(std::min(f.end, max_cycles)) *
+          width, static_cast<std::size_t>(static_cast<double>(std::min(f.end, span)) *
                                           scale) +
                      1);
       const char mark = f.name.empty() ? '#' : f.name[0];
       for (std::size_t i = begin; i < end && i < width; ++i) row[i] = mark;
+      if (std::find(drawn.begin(), drawn.end(), f.name) == drawn.end() && drawn.size() < 16)
+        drawn.push_back(f.name);
     }
     out << "PE" << pe << " |" << row << "|\n";
   }
-  // Legend: first occurrence of each task name.
+  // Legend: first occurrence of each drawn task name. Firings on PEs
+  // outside [0, pe_count) or past the window never appear here, matching
+  // the rows above.
   out << "legend:";
-  std::vector<std::string> seen;
-  for (const FiringRecord& f : trace.firings()) {
-    if (std::find(seen.begin(), seen.end(), f.name) != seen.end()) continue;
-    seen.push_back(f.name);
-    out << " " << (f.name.empty() ? "#" : f.name.substr(0, 1)) << "=" << f.name;
-    if (seen.size() >= 16) break;
-  }
+  for (const std::string& name : drawn)
+    out << " " << (name.empty() ? "#" : name.substr(0, 1)) << "=" << name;
   out << "\n";
   return out.str();
 }
@@ -96,6 +99,9 @@ std::string to_vcd(const TraceRecorder& trace, std::int32_t pe_count) {
   std::vector<Change> changes;
   changes.reserve(trace.firings().size() * 2);
   for (const FiringRecord& f : trace.firings()) {
+    // Firings on PEs without a declared wire (recorder saw more PEs than
+    // the caller asked for) would corrupt the dump — skip them.
+    if (f.pe < 0 || f.pe >= pe_count) continue;
     changes.push_back(Change{f.start, f.pe, true, f.task});
     changes.push_back(Change{f.end, f.pe, false, f.task});
   }

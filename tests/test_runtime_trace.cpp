@@ -1,0 +1,152 @@
+#include "obs/runtime_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spi_system.hpp"
+#include "core/threaded_runtime.hpp"
+#include "obs/metrics.hpp"
+
+namespace spi::obs {
+namespace {
+
+/// Extracts every `"key":<int>` value in order of appearance.
+std::vector<std::int64_t> json_int_fields(const std::string& json, const std::string& key) {
+  std::vector<std::int64_t> values;
+  const std::string needle = "\"" + key + "\":";
+  for (std::size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + 1))
+    values.push_back(std::stoll(json.substr(pos + needle.size())));
+  return values;
+}
+
+TEST(RuntimeTrace, JsonParseableAndMonotonic) {
+  RuntimeTraceRecorder recorder;
+  // Recorded out of order on purpose; the exporter sorts by start time.
+  recorder.record({"beta", "firing", 1, 50, 70, 1});
+  recorder.record({"alpha", "firing", 0, 10, 30, 0});
+  recorder.record({"gamma", "phase", 0, 30, 30, -1});
+  const std::string json = recorder.to_chrome_trace_json();
+
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  std::size_t opens = 0, closes = 0;
+  for (char c : json) {
+    if (c == '{') ++opens;
+    if (c == '}') ++closes;
+  }
+  EXPECT_EQ(opens, closes);
+
+  const std::vector<std::int64_t> ts = json_int_fields(json, "ts");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));  // monotonic timestamps
+  for (std::int64_t dur : json_int_fields(json, "dur")) EXPECT_GE(dur, 0);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(RuntimeTrace, ClockIsMonotonicAndSpansClamped) {
+  RuntimeTraceRecorder recorder;
+  std::int64_t last = recorder.now_us();
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t now = recorder.now_us();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  recorder.record({"backwards", "firing", 0, 100, 40, 0});  // end < start
+  ASSERT_EQ(recorder.spans().size(), 1u);
+  EXPECT_EQ(recorder.spans()[0].end_us, 100);  // clamped to start
+  recorder.clear();
+  EXPECT_TRUE(recorder.spans().empty());
+  EXPECT_EQ(recorder.to_chrome_trace_json().find("{\"name\""), std::string::npos);
+}
+
+TEST(RuntimeTrace, ConcurrentRecordingLosesNothing) {
+  RuntimeTraceRecorder recorder;
+  constexpr int kThreads = 4, kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::int64_t now = recorder.now_us();
+        recorder.record({"span", "firing", t, now, now, i});
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.spans().size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+/// One single-rate pipeline over 3 processors: the system both engines
+/// execute for the parity and trace assertions below.
+struct PipelineFixture {
+  df::Graph g{"parity"};
+  df::ActorId a, b, c;
+  sched::Assignment assignment{3, 3};
+  static constexpr std::int64_t kIterations = 40;
+
+  PipelineFixture() {
+    a = g.add_actor("Alpha", 10);
+    b = g.add_actor("Beta", 20);
+    c = g.add_actor("Gamma", 5);
+    g.connect_simple(a, b, 0, 16);
+    g.connect_simple(b, c, 0, 16);
+    assignment.assign(b, 1);
+    assignment.assign(c, 2);
+  }
+};
+
+TEST(RuntimeTrace, ThreadedRegistryCountersMatchSimulatorMessages) {
+  PipelineFixture f;
+  const core::SpiSystem system(f.g, f.assignment);
+
+  // Simulated execution: data messages of the timed platform model.
+  sim::TimedExecutorOptions options;
+  options.iterations = PipelineFixture::kIterations;
+  const sim::ExecStats sim_stats = system.run_timed(options);
+
+  // Real-thread execution of the same system and iteration count.
+  MetricRegistry registry;
+  core::ThreadedRuntime runtime(system, &registry);
+  runtime.run(PipelineFixture::kIterations);
+
+  EXPECT_EQ(registry.counter_total("spi_threaded_messages_total"), sim_stats.data_messages);
+  EXPECT_EQ(registry.counter_total("spi_threaded_messages_total"), runtime.stats().messages);
+  EXPECT_GT(registry.counter_total("spi_threaded_payload_bytes_total"), 0);
+  // Per-channel series carry the channel label.
+  EXPECT_EQ(registry.counter_value("spi_threaded_messages_total",
+                                   {{"channel", f.g.edge(df::EdgeId{0}).name}}),
+            PipelineFixture::kIterations);
+}
+
+TEST(RuntimeTrace, ThreadedRuntimeEmitsOneSpanPerFiring) {
+  PipelineFixture f;
+  const core::SpiSystem system(f.g, f.assignment);
+  core::ThreadedRuntime runtime(system);
+  RuntimeTraceRecorder recorder;
+  runtime.set_trace(&recorder);
+  runtime.run(PipelineFixture::kIterations);
+
+  const std::vector<RuntimeSpan> spans = recorder.spans();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(3 * PipelineFixture::kIterations));
+  for (const RuntimeSpan& s : spans) {
+    EXPECT_GE(s.end_us, s.start_us);
+    EXPECT_GE(s.tid, 0);
+    EXPECT_LT(s.tid, 3);
+    EXPECT_GE(s.iteration, 0);
+    EXPECT_LT(s.iteration, PipelineFixture::kIterations);
+    EXPECT_EQ(s.category, "firing");
+  }
+  // The JSON the acceptance flow writes via --trace-out: parseable and
+  // time-sorted.
+  const std::string json = recorder.to_chrome_trace_json();
+  const std::vector<std::int64_t> ts = json_int_fields(json, "ts");
+  EXPECT_EQ(ts.size(), spans.size());
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+}  // namespace
+}  // namespace spi::obs

@@ -133,6 +133,30 @@ TEST(ThreadedRuntime, BmaxViolationSurfaces) {
   EXPECT_THROW(runtime.run(2), std::length_error);
 }
 
+TEST(ThreadedRuntime, StatsAggregatedWhenRunThrows) {
+  Fixture f;
+  const SpiSystem system(f.g, f.assignment);
+  ThreadedRuntime runtime(system);
+
+  // A full successful run first, so stale stats would be detectable.
+  runtime.run(50);
+  const std::int64_t full_messages = runtime.stats().messages;
+  ASSERT_GT(full_messages, 0);
+
+  runtime.set_compute(f.mid, [](FiringContext& ctx) {
+    if (ctx.invocation == 52) throw std::runtime_error("injected failure");
+    ctx.outputs[0] = {Bytes(8, 0)};
+  });
+  EXPECT_THROW(runtime.run(50), std::runtime_error);
+  // stats() was reset at run entry and aggregated on the throw path: it
+  // reflects the partial run, not the previous successful one.
+  EXPECT_GT(runtime.stats().messages, 0);
+  EXPECT_LT(runtime.stats().messages, full_messages);
+  // The registry keeps the cumulative total across both runs.
+  EXPECT_EQ(runtime.metrics().counter_total("spi_threaded_messages_total"),
+            full_messages + runtime.stats().messages);
+}
+
 TEST(ThreadedRuntime, RepeatedRunsAccumulateInvocations) {
   Fixture f;
   const SpiSystem system(f.g, f.assignment);

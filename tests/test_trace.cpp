@@ -81,7 +81,53 @@ TEST(Trace, AsciiGanttShapes) {
   // Every row has exactly the requested width between the pipes.
   const std::size_t row_start = gantt.find("PE0 |") + 5;
   EXPECT_EQ(gantt.find('|', row_start) - row_start, 80u);
-  EXPECT_TRUE(to_ascii_gantt(run.trace, 3, 0, 80).empty());
+  // Degenerate time windows still render a well-formed (all idle) chart.
+  const std::string zero_window = to_ascii_gantt(run.trace, 3, 0, 80);
+  EXPECT_NE(zero_window.find("PE0 |"), std::string::npos);
+  EXPECT_NE(zero_window.find("legend:"), std::string::npos);
+  EXPECT_TRUE(to_ascii_gantt(run.trace, 3, run.stats.makespan, 0).empty());
+  EXPECT_TRUE(to_ascii_gantt(run.trace, 0, run.stats.makespan, 80).empty());
+}
+
+TEST(Trace, EmptyTraceRendersWellFormed) {
+  const TraceRecorder empty;
+  const std::string gantt = to_ascii_gantt(empty, 4, 0, 40);
+  EXPECT_NE(gantt.find("PE0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("PE3 |"), std::string::npos);
+  EXPECT_NE(gantt.find("legend:\n"), std::string::npos);  // no tasks drawn
+  // Every row is pure idle at the requested width.
+  const std::size_t row_start = gantt.find("PE0 |") + 5;
+  EXPECT_EQ(gantt.substr(row_start, 40), std::string(40, '.'));
+
+  const std::string vcd = to_vcd(empty, 4);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 b3 pe3_busy $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_EQ(vcd.find("\n1b"), std::string::npos);  // no busy edges at all
+}
+
+TEST(Trace, PeCountLargerThanRecordedPes) {
+  TracedRun run;  // records PEs 0..2
+  const std::string gantt = to_ascii_gantt(run.trace, 6, run.stats.makespan, 60);
+  EXPECT_NE(gantt.find("PE5 |"), std::string::npos);
+  const std::size_t row_start = gantt.find("PE5 |") + 5;
+  EXPECT_EQ(gantt.substr(row_start, 60), std::string(60, '.'));  // idle extra row
+  const std::string vcd = to_vcd(run.trace, 6);
+  EXPECT_NE(vcd.find("$var wire 1 b5 pe5_busy $end"), std::string::npos);
+}
+
+TEST(Trace, VcdSkipsFiringsOnUndeclaredPes) {
+  TraceRecorder trace;
+  trace.record_firing(FiringRecord{1, 0, 0, 0, 5, "A"});
+  trace.record_firing(FiringRecord{2, 7, 0, 2, 9, "B"});  // PE 7 not declared below
+  const std::string vcd = to_vcd(trace, 2);
+  EXPECT_NE(vcd.find("1b0"), std::string::npos);            // declared PE toggles
+  EXPECT_EQ(vcd.find("1b7"), std::string::npos);            // undeclared PE skipped
+  EXPECT_EQ(vcd.find("$var wire 1 b7"), std::string::npos);
+  // The gantt also confines itself to declared rows.
+  const std::string gantt = to_ascii_gantt(trace, 2, 10, 20);
+  EXPECT_EQ(gantt.find("B=B"), std::string::npos);  // not drawn, not in legend
+  EXPECT_NE(gantt.find("A=A"), std::string::npos);
 }
 
 TEST(Trace, ChromeJsonWellFormedEnough) {

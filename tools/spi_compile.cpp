@@ -3,17 +3,27 @@
 /// system description (see core/text_format.hpp) from a file or stdin,
 /// compiles it (VTS, schedules, sync graph, protocols, buffer bounds,
 /// resynchronization) and reports the channel plan. Optionally renders
-/// DOT and runs the timed simulation.
+/// DOT, exports observability metrics, runs the timed simulation or the
+/// real-thread runtime, and writes Chrome trace JSON.
 ///
 ///   spi_compile system.spi                      # compile + report
 ///   spi_compile --dot system.spi                # application-graph DOT
 ///   spi_compile --sync-dot system.spi           # synchronization graph DOT
 ///   spi_compile --json system.spi               # machine-readable channel plan
 ///   spi_compile --no-resync system.spi          # keep every ack edge
+///   spi_compile --metrics=prom system.spi       # Prometheus text exposition
+///   spi_compile --metrics=json system.spi       # same registry as JSON
 ///   spi_compile --run 500 system.spi            # timed run, 500 iterations
 ///   spi_compile --run 500 --mpi system.spi      # ... under the MPI baseline
+///   spi_compile --run-threads 500 system.spi    # real-thread run (default computes)
+///   spi_compile --run 500 --trace-out t.json s  # Chrome trace (Perfetto) of the run
 ///   cat system.spi | spi_compile -              # read from stdin
+///
+/// With --metrics the human-readable report and run summaries move to
+/// stderr so stdout is exactly one machine-readable document.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,24 +32,51 @@
 
 #include "core/spi_system.hpp"
 #include "core/text_format.hpp"
+#include "core/threaded_runtime.hpp"
 #include "dataflow/dot.hpp"
 #include "mpi/mpi_backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runtime_trace.hpp"
 #include "sched/sync_dot.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: spi_compile [--dot] [--sync-dot] [--json] [--no-resync] [--run N] [--mpi] "
-               "<file | ->\n");
+               "usage: spi_compile [--dot] [--sync-dot] [--json] [--no-resync]\n"
+               "                   [--metrics[=json|prom]] [--trace-out FILE]\n"
+               "                   [--run N] [--run-threads N] [--mpi] <file | ->\n");
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "spi_compile: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+/// Positive integer or -1; --run/--run-threads reject anything else.
+std::int64_t parse_iterations(const char* text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0) return -1;
+  return value;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool dot = false, sync_dot = false, resync = true, use_mpi = false, json = false;
+  bool metrics = false;
+  std::string metrics_format = "prom";
+  std::string trace_out;
   std::int64_t run_iterations = 0;
+  std::int64_t thread_iterations = 0;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -54,9 +91,22 @@ int main(int argc, char** argv) {
       resync = false;
     } else if (arg == "--mpi") {
       use_mpi = true;
-    } else if (arg == "--run") {
+    } else if (arg == "--metrics" || arg.starts_with("--metrics=")) {
+      metrics = true;
+      if (arg.starts_with("--metrics=")) metrics_format = arg.substr(std::strlen("--metrics="));
+      if (metrics_format != "json" && metrics_format != "prom") return usage();
+    } else if (arg == "--trace-out") {
       if (++i >= argc) return usage();
-      run_iterations = std::atoll(argv[i]);
+      trace_out = argv[i];
+    } else if (arg == "--run" || arg == "--run-threads") {
+      if (++i >= argc) return usage();
+      const std::int64_t n = parse_iterations(argv[i]);
+      if (n < 0) {
+        std::fprintf(stderr, "spi_compile: %s needs a positive iteration count, got '%s'\n",
+                     arg.c_str(), argv[i]);
+        return 2;
+      }
+      (arg == "--run" ? run_iterations : thread_iterations) = n;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return usage();
     } else {
@@ -65,6 +115,10 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+  if (!trace_out.empty() && run_iterations <= 0 && thread_iterations <= 0) {
+    std::fprintf(stderr, "spi_compile: --trace-out needs --run N or --run-threads N\n");
+    return 2;
+  }
 
   std::string text;
   if (path == "-") {
@@ -82,14 +136,20 @@ int main(int argc, char** argv) {
     text = buffer.str();
   }
 
+  // Human-oriented output goes to stdout normally, to stderr when a
+  // machine-readable metrics document owns stdout.
+  std::FILE* report_out = metrics ? stderr : stdout;
+
   try {
     spi::core::ParsedSystem parsed = spi::core::parse_system(text);
     if (dot) {
       std::printf("%s", spi::df::to_dot(parsed.graph).c_str());
       return 0;
     }
+    spi::obs::MetricRegistry registry;
     spi::core::SpiSystemOptions options;
     options.resynchronize = resync;
+    options.metrics = &registry;
     const spi::core::SpiSystem system(parsed.graph, parsed.assignment, options);
     if (sync_dot) {
       std::printf("%s", spi::sched::to_dot(system.sync_graph()).c_str());
@@ -99,29 +159,75 @@ int main(int argc, char** argv) {
       std::printf("%s", system.plan_json().c_str());
       return 0;
     }
-    std::printf("%s", system.report().c_str());
+    std::fprintf(report_out, "%s", system.report().c_str());
+
     if (run_iterations > 0) {
+      spi::sim::TraceRecorder trace;
       spi::sim::TimedExecutorOptions run;
       run.iterations = run_iterations;
+      if (!trace_out.empty() && thread_iterations <= 0) run.trace = &trace;
       const spi::mpi::MpiBackend mpi_backend;
       const spi::sim::ExecStats stats =
           use_mpi ? system.run_timed_with(mpi_backend, run) : system.run_timed(run);
-      std::printf("\ntimed run (%s backend, %lld iterations):\n",
-                  use_mpi ? "MPI-generic" : "SPI", static_cast<long long>(run_iterations));
-      std::printf("  makespan        : %lld cycles\n", static_cast<long long>(stats.makespan));
-      std::printf("  steady period   : %.1f cycles (%.3f us @ %.0f MHz)\n",
-                  stats.steady_period_cycles,
-                  run.clock.to_microseconds(
-                      static_cast<spi::sim::SimTime>(stats.steady_period_cycles)),
-                  run.clock.mhz);
-      std::printf("  data messages   : %lld\n", static_cast<long long>(stats.data_messages));
-      std::printf("  sync messages   : %lld\n", static_cast<long long>(stats.sync_messages));
-      std::printf("  wire bytes      : %lld\n", static_cast<long long>(stats.wire_bytes));
+      std::fprintf(report_out, "\ntimed run (%s backend, %lld iterations):\n",
+                   use_mpi ? "MPI-generic" : "SPI", static_cast<long long>(run_iterations));
+      std::fprintf(report_out, "  makespan        : %lld cycles\n",
+                   static_cast<long long>(stats.makespan));
+      std::fprintf(report_out, "  steady period   : %.1f cycles (%.3f us @ %.0f MHz)\n",
+                   stats.steady_period_cycles,
+                   run.clock.to_microseconds(
+                       static_cast<spi::sim::SimTime>(stats.steady_period_cycles)),
+                   run.clock.mhz);
+      std::fprintf(report_out, "  data messages   : %lld\n",
+                   static_cast<long long>(stats.data_messages));
+      std::fprintf(report_out, "  sync messages   : %lld\n",
+                   static_cast<long long>(stats.sync_messages));
+      std::fprintf(report_out, "  wire bytes      : %lld\n",
+                   static_cast<long long>(stats.wire_bytes));
       for (std::size_t pe = 0; pe < stats.pe_busy_cycles.size(); ++pe)
-        std::printf("  PE%zu busy/stall : %lld / %lld cycles\n", pe,
-                    static_cast<long long>(stats.pe_busy_cycles[pe]),
-                    static_cast<long long>(stats.pe_stall_cycles[pe]));
+        std::fprintf(report_out, "  PE%zu busy/stall : %lld / %lld cycles\n", pe,
+                     static_cast<long long>(stats.pe_busy_cycles[pe]),
+                     static_cast<long long>(stats.pe_stall_cycles[pe]));
+      // Simulator-side message counters into the shared registry, so the
+      // exporters carry both executions.
+      registry
+          .gauge("spi_sim_data_messages", {},
+                 "Data messages of the last timed simulation run")
+          .set(static_cast<double>(stats.data_messages));
+      registry
+          .gauge("spi_sim_sync_messages", {},
+                 "Synchronization messages of the last timed simulation run")
+          .set(static_cast<double>(stats.sync_messages));
+      registry.gauge("spi_sim_makespan_cycles", {}, "Makespan of the last timed simulation run")
+          .set(static_cast<double>(stats.makespan));
+      if (run.trace && !write_file(trace_out, spi::sim::to_chrome_trace_json(trace, run.clock)))
+        return 1;
     }
+
+    if (thread_iterations > 0) {
+      spi::core::ThreadedRuntime runtime(system, &registry);
+      spi::obs::RuntimeTraceRecorder recorder;
+      if (!trace_out.empty()) runtime.set_trace(&recorder);
+      runtime.run(thread_iterations);
+      const spi::core::ThreadedRunStats& ts = runtime.stats();
+      std::fprintf(report_out,
+                   "\nthreaded run (%lld iterations, default computes):\n"
+                   "  messages        : %lld\n  payload bytes   : %lld\n"
+                   "  producer blocks : %lld (%lld us)\n  consumer blocks : %lld (%lld us)\n",
+                   static_cast<long long>(thread_iterations),
+                   static_cast<long long>(ts.messages),
+                   static_cast<long long>(ts.payload_bytes),
+                   static_cast<long long>(ts.producer_blocks),
+                   static_cast<long long>(ts.producer_block_micros),
+                   static_cast<long long>(ts.consumer_blocks),
+                   static_cast<long long>(ts.consumer_block_micros));
+      if (!trace_out.empty() && !write_file(trace_out, recorder.to_chrome_trace_json()))
+        return 1;
+    }
+
+    if (metrics)
+      std::printf("%s", metrics_format == "json" ? registry.to_json().c_str()
+                                                 : registry.to_prometheus().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "spi_compile: %s\n", e.what());
