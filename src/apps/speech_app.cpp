@@ -196,15 +196,10 @@ ErrorGenApp::Section ErrorGenApp::section(std::int32_t pe, std::size_t sample_co
   return s;
 }
 
-std::vector<double> ErrorGenApp::compute_errors_parallel(std::span<const double> frame,
-                                                         std::span<const double> coeffs) const {
-  if (frame.size() > params_.max_frame_size)
-    throw std::length_error("ErrorGenApp: frame exceeds the declared bound");
-  if (coeffs.size() > params_.max_order)
-    throw std::length_error("ErrorGenApp: order exceeds the declared bound");
-
-  core::FunctionalRuntime runtime(*system_);
-  auto result = std::make_shared<std::vector<double>>(frame.size(), 0.0);
+template <class Runtime>
+void ErrorGenApp::wire_error_gen(Runtime& runtime, std::span<const double> frame,
+                                 std::span<const double> coeffs,
+                                 const std::shared_ptr<std::vector<double>>& result) const {
   const std::vector<double> frame_copy(frame.begin(), frame.end());
   const std::vector<double> coeff_copy(coeffs.begin(), coeffs.end());
 
@@ -231,6 +226,8 @@ std::vector<double> ErrorGenApp::compute_errors_parallel(std::span<const double>
           dsp::prediction_error(samples, coeffs_in, sec.history, sec.count);
       ctx.outputs[ctx.output_index(err_edge_[idx])] = {pack_f64(errors)};
     });
+    // All RecvErr actors live on processor 0, so `result` is written by
+    // one thread; the runtime's join orders the writes before the read.
     runtime.set_compute(recv_err_[idx], [this, idx, sec, result](core::FiringContext& ctx) {
       const std::vector<double> errors =
           unpack_f64(ctx.inputs[ctx.input_index(err_edge_[idx])][0]);
@@ -238,7 +235,34 @@ std::vector<double> ErrorGenApp::compute_errors_parallel(std::span<const double>
                 result->begin() + static_cast<std::ptrdiff_t>(sec.begin));
     });
   }
+}
 
+std::vector<double> ErrorGenApp::compute_errors_parallel(std::span<const double> frame,
+                                                         std::span<const double> coeffs) const {
+  if (frame.size() > params_.max_frame_size)
+    throw std::length_error("ErrorGenApp: frame exceeds the declared bound");
+  if (coeffs.size() > params_.max_order)
+    throw std::length_error("ErrorGenApp: order exceeds the declared bound");
+
+  core::FunctionalRuntime runtime(*system_);
+  auto result = std::make_shared<std::vector<double>>(frame.size(), 0.0);
+  wire_error_gen(runtime, frame, coeffs, result);
+  runtime.run(1);
+  return std::move(*result);
+}
+
+std::vector<double> ErrorGenApp::compute_errors_threaded(std::span<const double> frame,
+                                                         std::span<const double> coeffs,
+                                                         core::ReliabilityOptions reliability,
+                                                         obs::MetricRegistry* metrics) const {
+  if (frame.size() > params_.max_frame_size)
+    throw std::length_error("ErrorGenApp: frame exceeds the declared bound");
+  if (coeffs.size() > params_.max_order)
+    throw std::length_error("ErrorGenApp: order exceeds the declared bound");
+
+  core::ThreadedRuntime runtime(*system_, reliability, metrics);
+  auto result = std::make_shared<std::vector<double>>(frame.size(), 0.0);
+  wire_error_gen(runtime, frame, coeffs, result);
   runtime.run(1);
   return std::move(*result);
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/spi_system.hpp"
+#include "core/threaded_runtime.hpp"
 #include "dsp/huffman.hpp"
 #include "dsp/quantize.hpp"
 #include "sim/fpga_area.hpp"
@@ -120,6 +121,17 @@ class ErrorGenApp {
   [[nodiscard]] std::vector<double> compute_errors_parallel(std::span<const double> frame,
                                                             std::span<const double> coeffs) const;
 
+  /// Same computation on real host threads (one per modeled processor)
+  /// over the reliable transport: sequenced CRC-checked frames, bounded
+  /// retry/backoff, optionally under `reliability.faults`. Because fault
+  /// decisions are keyed by (edge, sequence, attempt), the result is
+  /// bit-identical to compute_errors_parallel whenever the plan's retry
+  /// budget suffices; a persistent fault surfaces sim::ChannelError.
+  /// `metrics` (optional) receives the spi_reliable_* counters.
+  [[nodiscard]] std::vector<double> compute_errors_threaded(
+      std::span<const double> frame, std::span<const double> coeffs,
+      core::ReliabilityOptions reliability = {}, obs::MetricRegistry* metrics = nullptr) const;
+
   /// Figure 6: timed execution at a given run-time sample size and
   /// predictor order; returns per-iteration statistics. `backend`
   /// defaults to this system's SPI backend (pass an MpiBackend for the
@@ -149,6 +161,14 @@ class ErrorGenApp {
   [[nodiscard]] static sim::AreaReport full_hardware_area(std::int32_t pipelines);
 
  private:
+  /// Registers the four per-PE compute functions on either execution
+  /// engine (FunctionalRuntime or ThreadedRuntime — same ComputeFn
+  /// contract). `result` collects the error values by section.
+  template <class Runtime>
+  void wire_error_gen(Runtime& runtime, std::span<const double> frame,
+                      std::span<const double> coeffs,
+                      const std::shared_ptr<std::vector<double>>& result) const;
+
   std::int32_t pe_count_;
   SpeechParams params_;
   std::vector<df::ActorId> send_frame_, send_coeff_, recv_err_, pe_;

@@ -1,0 +1,136 @@
+#include "core/reliable_link.hpp"
+
+#include <stdexcept>
+
+namespace spi::core {
+
+namespace {
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t offset) {
+  return static_cast<std::uint32_t>(in[offset]) |
+         (static_cast<std::uint32_t>(in[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[offset + 3]) << 24);
+}
+
+}  // namespace
+
+Bytes encode_sequenced(df::EdgeId edge, std::uint32_t seq,
+                       std::span<const std::uint8_t> payload) {
+  if (edge < 0) throw std::invalid_argument("encode_sequenced: invalid edge id");
+  Bytes wire;
+  wire.reserve(static_cast<std::size_t>(kSequencedOverheadBytes) + payload.size());
+  put_u32(wire, seq);
+  put_u32(wire, static_cast<std::uint32_t>(edge));
+  put_u32(wire, static_cast<std::uint32_t>(payload.size()));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  put_u32(wire, crc32(wire));  // covers seq + edge + size + payload
+  return wire;
+}
+
+SequencedMessage decode_sequenced(std::span<const std::uint8_t> wire) {
+  if (wire.size() < static_cast<std::size_t>(kSequencedOverheadBytes))
+    throw std::runtime_error("decode_sequenced: truncated frame");
+  const std::uint32_t stored = get_u32(wire, wire.size() - 4);
+  if (crc32(wire.first(wire.size() - 4)) != stored)
+    throw std::runtime_error("decode_sequenced: CRC mismatch (frame corrupted)");
+  SequencedMessage m;
+  m.seq = get_u32(wire, 0);
+  m.edge = static_cast<df::EdgeId>(get_u32(wire, 4));
+  const std::uint32_t size = get_u32(wire, 8);
+  if (wire.size() != static_cast<std::size_t>(kSequencedOverheadBytes) + size)
+    throw std::runtime_error("decode_sequenced: size header disagrees with wire length");
+  m.payload.assign(wire.begin() + 12, wire.end() - 4);
+  return m;
+}
+
+TransmitScript ReliableSender::plan_transmit(std::span<const std::uint8_t> payload) {
+  return plan_with(plan_, payload);
+}
+
+TransmitScript ReliableSender::plan_transmit_faultless(std::span<const std::uint8_t> payload) {
+  return plan_with(nullptr, payload);
+}
+
+TransmitScript ReliableSender::plan_with(const sim::FaultPlan* plan,
+                                         std::span<const std::uint8_t> payload) {
+  TransmitScript script;
+  script.seq = next_seq_++;
+  const Bytes frame = encode_sequenced(edge_, script.seq, payload);
+
+  const int budget = plan ? policy_.attempts : 1;
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    const sim::FaultOutcome outcome =
+        plan ? plan->outcome(edge_, static_cast<std::int64_t>(script.seq), attempt)
+             : sim::FaultOutcome{};
+
+    TransmitStep step;
+    step.duplicate = outcome.duplicate;
+    step.delay_us = outcome.delay_us;
+    switch (outcome.kind) {
+      case sim::FaultOutcome::Kind::kDrop:
+        ++script.dropped;
+        break;  // step.frame stays empty
+      case sim::FaultOutcome::Kind::kCorrupt: {
+        // Flip one byte, position and mask drawn from the outcome's
+        // entropy; the XOR mask is never zero so the frame always
+        // changes and the whole-frame CRC always catches it.
+        step.frame = frame;
+        const std::size_t pos = static_cast<std::size_t>(outcome.entropy % frame.size());
+        const auto mask = static_cast<std::uint8_t>(1 + (outcome.entropy >> 32) % 255);
+        step.frame[pos] ^= mask;
+        step.corrupted = true;
+        ++script.corrupted;
+        break;
+      }
+      case sim::FaultOutcome::Kind::kDeliver:
+        step.frame = frame;
+        script.delivered = true;
+        break;
+    }
+
+    if (!script.delivered && attempt + 1 < budget) {
+      step.backoff_us = policy_.backoff_us(
+          attempt + 1,
+          plan ? plan->jitter_key(edge_, static_cast<std::int64_t>(script.seq), attempt) : 0);
+      script.total_backoff_us += step.backoff_us;
+    }
+    script.steps.push_back(std::move(step));
+    if (script.delivered) break;
+  }
+  return script;
+}
+
+ReliableReceiver::Result ReliableReceiver::accept(std::span<const std::uint8_t> frame) {
+  Result result;
+  SequencedMessage m;
+  try {
+    m = decode_sequenced(frame);
+  } catch (const std::runtime_error&) {
+    result.verdict = Verdict::kCorrupt;
+    return result;
+  }
+  if (m.edge != edge_) {
+    // A frame routed to the wrong channel: indistinguishable from
+    // corruption that survived by landing on another edge's queue.
+    result.verdict = Verdict::kCorrupt;
+    return result;
+  }
+  if (m.seq < expected_seq_) {
+    result.verdict = Verdict::kDuplicate;
+    return result;
+  }
+  expected_seq_ = m.seq + 1;
+  result.verdict = Verdict::kAccept;
+  result.payload = std::move(m.payload);
+  return result;
+}
+
+}  // namespace spi::core

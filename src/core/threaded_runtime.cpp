@@ -1,5 +1,6 @@
 #include "core/threaded_runtime.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -12,9 +13,25 @@ struct Aborted : std::runtime_error {
   Aborted() : std::runtime_error("ThreadedRuntime: aborted") {}
 };
 
+void sleep_us(std::int64_t micros) {
+  if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
 }  // namespace
 
-void ThreadedRuntime::BlockingChannel::push(Bytes token) {
+ThreadedRuntime::BlockingChannel::BlockingChannel(df::EdgeId edge, std::size_t capacity_tokens,
+                                                  std::atomic<bool>& abort,
+                                                  ChannelCounters counters)
+    : edge_(edge), capacity_(capacity_tokens), abort_(abort), counters_(counters) {}
+
+void ThreadedRuntime::BlockingChannel::enable_reliability(const sim::FaultPlan* plan,
+                                                          const sim::RetryPolicy& policy) {
+  policy_ = &policy;
+  sender_ = std::make_unique<ReliableSender>(edge_, plan, policy);
+  receiver_ = std::make_unique<ReliableReceiver>(edge_);
+}
+
+void ThreadedRuntime::BlockingChannel::enqueue(Bytes frame) {
   std::unique_lock lock(mutex_);
   if (queue_.size() >= capacity_) {
     counters_.producer_blocks->inc();
@@ -23,25 +40,102 @@ void ThreadedRuntime::BlockingChannel::push(Bytes token) {
     counters_.producer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
   }
   if (abort_.load()) throw Aborted{};
-  counters_.messages->inc();
-  counters_.payload_bytes->inc(static_cast<std::int64_t>(token.size()));
-  queue_.push_back(std::move(token));
+  queue_.push_back(std::move(frame));
   not_empty_.notify_one();
 }
 
-Bytes ThreadedRuntime::BlockingChannel::pop() {
+Bytes ThreadedRuntime::BlockingChannel::dequeue() {
   std::unique_lock lock(mutex_);
   if (queue_.empty()) {
     counters_.consumer_blocks->inc();
     const std::int64_t t0 = obs::monotonic_ns();
-    not_empty_.wait(lock, [&] { return !queue_.empty() || abort_.load(); });
-    counters_.consumer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
+    if (policy_) {
+      // Reliable mode: an empty channel past the deadline means the
+      // peer is lost (or the wire eats everything) — degrade with a
+      // typed error instead of hanging the worker forever.
+      const bool signaled =
+          not_empty_.wait_for(lock, std::chrono::microseconds(policy_->timeout_us),
+                              [&] { return !queue_.empty() || abort_.load(); });
+      counters_.consumer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
+      if (!signaled) {
+        counters_.timeouts->inc();
+        throw sim::ChannelError(sim::ChannelErrorKind::kReceiveTimeout, edge_, 0,
+                                "no frame within " + std::to_string(policy_->timeout_us) +
+                                    "us");
+      }
+    } else {
+      not_empty_.wait(lock, [&] { return !queue_.empty() || abort_.load(); });
+      counters_.consumer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
+    }
   }
   if (abort_.load() && queue_.empty()) throw Aborted{};
-  Bytes token = std::move(queue_.front());
+  Bytes frame = std::move(queue_.front());
   queue_.pop_front();
   not_full_.notify_one();
-  return token;
+  return frame;
+}
+
+void ThreadedRuntime::BlockingChannel::execute(const TransmitScript& script,
+                                               std::int64_t payload_bytes) {
+  for (const TransmitStep& step : script.steps) {
+    sleep_us(step.delay_us);
+    if (!step.dropped()) {
+      enqueue(step.frame);
+      if (step.duplicate) enqueue(step.frame);
+    }
+    if (step.backoff_us > 0) {
+      sleep_us(step.backoff_us);
+      counters_.backoff_histogram->observe(static_cast<double>(step.backoff_us));
+    }
+  }
+  if (script.retries() > 0) counters_.retries->inc(script.retries());
+  if (script.dropped > 0) counters_.dropped_frames->inc(script.dropped);
+  if (script.total_backoff_us > 0) counters_.backoff_micros->inc(script.total_backoff_us);
+  if (!script.delivered) {
+    counters_.send_failures->inc();
+    throw sim::ChannelError(sim::ChannelErrorKind::kRetriesExhausted, edge_, script.attempts(),
+                            "every transmission dropped or corrupted");
+  }
+  counters_.messages->inc();
+  counters_.payload_bytes->inc(payload_bytes);
+}
+
+void ThreadedRuntime::BlockingChannel::push(Bytes token) {
+  if (!sender_) {
+    counters_.messages->inc();
+    counters_.payload_bytes->inc(static_cast<std::int64_t>(token.size()));
+    enqueue(std::move(token));
+    return;
+  }
+  const auto payload_bytes = static_cast<std::int64_t>(token.size());
+  execute(sender_->plan_transmit(token), payload_bytes);
+}
+
+void ThreadedRuntime::BlockingChannel::push_faultless(Bytes token) {
+  if (!sender_) {
+    push(std::move(token));
+    return;
+  }
+  const auto payload_bytes = static_cast<std::int64_t>(token.size());
+  execute(sender_->plan_transmit_faultless(token), payload_bytes);
+}
+
+Bytes ThreadedRuntime::BlockingChannel::pop() {
+  if (!receiver_) return dequeue();
+  for (;;) {
+    const Bytes frame = dequeue();
+    ReliableReceiver::Result result = receiver_->accept(frame);
+    switch (result.verdict) {
+      case ReliableReceiver::Verdict::kAccept:
+        return std::move(result.payload);
+      case ReliableReceiver::Verdict::kCorrupt:
+        counters_.crc_failures->inc();
+        break;  // the sender already scheduled a retransmission
+      case ReliableReceiver::Verdict::kDuplicate:
+        counters_.duplicates->inc();
+        break;
+    }
+  }
 }
 
 void ThreadedRuntime::BlockingChannel::interrupt() {
@@ -51,13 +145,23 @@ void ThreadedRuntime::BlockingChannel::interrupt() {
 }
 
 ThreadedRuntime::ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics)
+    : ThreadedRuntime(system, ReliabilityOptions{}, metrics) {}
+
+ThreadedRuntime::ThreadedRuntime(const SpiSystem& system, ReliabilityOptions reliability,
+                                 obs::MetricRegistry* metrics)
     : system_(system),
       graph_(system.vts().graph),
+      reliability_(reliability),
       owned_registry_(metrics ? nullptr : std::make_unique<obs::MetricRegistry>()),
       registry_(metrics ? metrics : owned_registry_.get()),
       compute_(graph_.actor_count()),
       local_fifo_(graph_.edge_count()),
       fired_(graph_.actor_count(), 0) {
+  if (reliability_.enabled) reliability_.policy().validate();
+  init(system);
+}
+
+void ThreadedRuntime::init(const SpiSystem& system) {
   const sched::Assignment& assignment = system.assignment();
 
   // Bounded channels for every interprocessor edge. Capacity: the BBS
@@ -89,14 +193,44 @@ ThreadedRuntime::ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* m
     counters.consumer_block_micros =
         &registry_->counter("spi_threaded_consumer_block_micros_total", labels,
                             "Wall-clock microseconds receivers spent blocked on the channel");
+    if (reliability_.enabled) {
+      counters.retries = &registry_->counter(
+          "spi_reliable_retries_total", labels,
+          "Retransmissions after a dropped or corrupted attempt");
+      counters.dropped_frames = &registry_->counter(
+          "spi_reliable_dropped_frames_total", labels,
+          "Transmission attempts the faulty wire swallowed");
+      counters.crc_failures = &registry_->counter(
+          "spi_reliable_crc_failures_total", labels,
+          "Frames the receiver rejected on CRC or framing");
+      counters.duplicates = &registry_->counter(
+          "spi_reliable_duplicates_total", labels,
+          "Stale-sequence frames the receiver discarded");
+      counters.timeouts = &registry_->counter(
+          "spi_reliable_timeouts_total", labels,
+          "Receive deadlines that expired on an empty channel");
+      counters.send_failures = &registry_->counter(
+          "spi_reliable_send_failures_total", labels,
+          "Messages whose retry budget was exhausted (typed failure)");
+      counters.backoff_micros = &registry_->counter(
+          "spi_reliable_backoff_micros_total", labels,
+          "Wall-clock microseconds senders spent in retry backoff");
+      counters.backoff_histogram = &registry_->histogram(
+          "spi_reliable_backoff_micros", obs::Histogram::exponential_bounds(50.0, 2.0, 10),
+          labels, "Distribution of individual retry backoff pauses (microseconds)");
+    }
     channel_counters_.push_back(counters);
 
-    channels_.emplace(plan.edge, std::make_unique<BlockingChannel>(
-                                     static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)),
-                                     abort_, counters));
+    auto channel = std::make_unique<BlockingChannel>(
+        plan.edge, static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)), abort_,
+        counters);
+    if (reliability_.enabled)
+      channel->enable_reliability(reliability_.faults, reliability_.policy());
+    channels_.emplace(plan.edge, std::move(channel));
   }
 
-  // Initial tokens.
+  // Initial tokens. Placed through the faultless path: delay tokens are
+  // part of the compiled system, not traffic the fault plan may eat.
   for (std::size_t i = 0; i < graph_.edge_count(); ++i) {
     const df::Edge& e = graph_.edge(static_cast<df::EdgeId>(i));
     const bool dynamic = system_.vts().edges[i].converted;
@@ -104,7 +238,7 @@ ThreadedRuntime::ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* m
       Bytes token = dynamic ? Bytes{} : Bytes(static_cast<std::size_t>(e.token_bytes), 0);
       const auto it = channels_.find(static_cast<df::EdgeId>(i));
       if (it != channels_.end())
-        it->second->push(std::move(token));
+        it->second->push_faultless(std::move(token));
       else
         local_fifo_[i].push_back(std::move(token));
     }
@@ -129,6 +263,14 @@ ThreadedRunStats ThreadedRuntime::counter_totals() const {
     totals.consumer_blocks += c.consumer_blocks->value();
     totals.producer_block_micros += c.producer_block_micros->value();
     totals.consumer_block_micros += c.consumer_block_micros->value();
+    if (c.retries) {
+      totals.retries += c.retries->value();
+      totals.dropped_frames += c.dropped_frames->value();
+      totals.crc_failures += c.crc_failures->value();
+      totals.duplicates += c.duplicates->value();
+      totals.timeouts += c.timeouts->value();
+      totals.backoff_micros += c.backoff_micros->value();
+    }
   }
   return totals;
 }
@@ -220,10 +362,25 @@ void ThreadedRuntime::run(std::int64_t iterations) {
   stats_ = ThreadedRunStats{};
   const ThreadedRunStats base = counter_totals();
 
+  // Every spawned worker is joined on every exit path. Channel or
+  // compute failures unwind inside worker() (abort flag + interrupt),
+  // so the join loop below always terminates; if spawning itself fails
+  // partway, the already-running workers are aborted and joined before
+  // the exception leaves — no detached or leaked threads, which is also
+  // what makes the TSan job's reports trustworthy.
   std::vector<std::thread> threads;
   threads.reserve(proc_firing_order_.size());
-  for (std::size_t p = 0; p < proc_firing_order_.size(); ++p)
-    threads.emplace_back([this, p, iterations] { worker(static_cast<std::int32_t>(p), iterations); });
+  try {
+    for (std::size_t p = 0; p < proc_firing_order_.size(); ++p)
+      threads.emplace_back(
+          [this, p, iterations] { worker(static_cast<std::int32_t>(p), iterations); });
+  } catch (...) {
+    abort_.store(true);
+    for (auto& [edge, channel] : channels_) channel->interrupt();
+    for (std::thread& t : threads)
+      if (t.joinable()) t.join();
+    throw;
+  }
   for (std::thread& t : threads) t.join();
 
   const ThreadedRunStats now = counter_totals();
@@ -233,6 +390,12 @@ void ThreadedRuntime::run(std::int64_t iterations) {
   stats_.consumer_blocks = now.consumer_blocks - base.consumer_blocks;
   stats_.producer_block_micros = now.producer_block_micros - base.producer_block_micros;
   stats_.consumer_block_micros = now.consumer_block_micros - base.consumer_block_micros;
+  stats_.retries = now.retries - base.retries;
+  stats_.dropped_frames = now.dropped_frames - base.dropped_frames;
+  stats_.crc_failures = now.crc_failures - base.crc_failures;
+  stats_.duplicates = now.duplicates - base.duplicates;
+  stats_.timeouts = now.timeouts - base.timeouts;
+  stats_.backoff_micros = now.backoff_micros - base.backoff_micros;
   if (first_error_) std::rethrow_exception(first_error_);
 }
 

@@ -17,13 +17,23 @@
 /// FunctionalRuntime, so an application wires up once and runs on either
 /// engine.
 ///
+/// Reliability (docs/reliability.md): construct with ReliabilityOptions
+/// and every interprocessor channel becomes a reliable link over an
+/// (optionally faulty) wire — sequenced CRC-checked frames, bounded
+/// retry with exponential backoff + deterministic jitter, duplicate
+/// suppression, receive timeouts. Because the FaultPlan is keyed by
+/// (edge, sequence, attempt), a lossy run delivers exactly the payloads
+/// of a lossless run; persistent faults surface a typed
+/// sim::ChannelError from run() instead of hanging.
+///
 /// Observability (docs/observability.md): every channel feeds lock-free
 /// counters in a MetricRegistry — messages, payload bytes, block counts
-/// and block *durations* per side — either a registry the caller
-/// provides (shared with the compile pipeline) or a private one.
-/// Attach a RuntimeTraceRecorder to get wall-clock Chrome trace JSON of
-/// every firing, diffable in Perfetto against the timed simulator's
-/// trace of the same system.
+/// and block *durations* per side, and under reliability the
+/// retry/drop/CRC/duplicate/timeout counters plus a backoff histogram —
+/// either a registry the caller provides (shared with the compile
+/// pipeline) or a private one. Attach a RuntimeTraceRecorder to get
+/// wall-clock Chrome trace JSON of every firing, diffable in Perfetto
+/// against the timed simulator's trace of the same system.
 #pragma once
 
 #include <atomic>
@@ -34,10 +44,28 @@
 #include <mutex>
 
 #include "core/functional.hpp"
+#include "core/reliable_link.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime_trace.hpp"
+#include "sim/fault.hpp"
 
 namespace spi::core {
+
+/// Turns the runtime's interprocessor channels into reliable links.
+struct ReliabilityOptions {
+  bool enabled = false;
+  /// Deterministic fault injection on every interprocessor wire. Not
+  /// owned; must outlive the runtime. Null = perfect wire (the protocol
+  /// still frames, sequences and CRC-checks every message).
+  const sim::FaultPlan* faults = nullptr;
+  /// Retry/backoff/timeout knobs. When `faults` is set its embedded
+  /// retry() policy wins, so one fault-plan file configures everything.
+  sim::RetryPolicy retry;
+
+  [[nodiscard]] const sim::RetryPolicy& policy() const {
+    return faults ? faults->retry() : retry;
+  }
+};
 
 /// Aggregated channel statistics of one run() (see
 /// ThreadedRuntime::stats). Derived from the registry counters: the
@@ -49,6 +77,13 @@ struct ThreadedRunStats {
   std::int64_t consumer_blocks = 0;  ///< times a receiver waited for data
   std::int64_t producer_block_micros = 0;  ///< wall-clock µs senders spent blocked
   std::int64_t consumer_block_micros = 0;  ///< wall-clock µs receivers spent blocked
+  // Reliability protocol (all zero when reliability is off):
+  std::int64_t retries = 0;          ///< retransmissions after a failed attempt
+  std::int64_t dropped_frames = 0;   ///< attempts the faulty wire swallowed
+  std::int64_t crc_failures = 0;     ///< corrupted frames rejected by the receiver
+  std::int64_t duplicates = 0;       ///< stale-sequence frames discarded
+  std::int64_t timeouts = 0;         ///< receive deadlines that expired
+  std::int64_t backoff_micros = 0;   ///< wall-clock µs senders spent backing off
 };
 
 /// Multithreaded execution engine for a compiled SpiSystem.
@@ -59,6 +94,12 @@ class ThreadedRuntime {
   /// outlive the runtime. Null = the runtime owns a private registry,
   /// reachable through metrics().
   explicit ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics = nullptr);
+
+  /// Reliable-transport variant: interprocessor channels speak the
+  /// sequenced retry protocol (spi_reliable_* counters), optionally over
+  /// the fault plan in `reliability`.
+  ThreadedRuntime(const SpiSystem& system, ReliabilityOptions reliability,
+                  obs::MetricRegistry* metrics = nullptr);
 
   /// Registers an actor's computation (same contract as
   /// FunctionalRuntime::set_compute; must be called before run()).
@@ -73,15 +114,20 @@ class ThreadedRuntime {
   void set_trace(obs::RuntimeTraceRecorder* trace) { trace_ = trace; }
 
   /// Runs `iterations` graph iterations across proc_count() threads and
-  /// joins them. Exceptions thrown by compute functions are rethrown on
-  /// the caller thread (first one wins); other threads are unblocked and
-  /// wound down. stats() is reset on entry and aggregated on every exit
-  /// path — after a throw it reflects the partial run.
+  /// joins them — every spawned thread is joined on every exit path,
+  /// including mid-run channel or compute failures (no detached or
+  /// leaked workers). Exceptions thrown by compute functions or by the
+  /// reliable transport (sim::ChannelError) are rethrown on the caller
+  /// thread (first one wins); other threads are unblocked and wound
+  /// down. stats() is reset on entry and aggregated on every exit path —
+  /// after a throw it reflects the partial run.
   void run(std::int64_t iterations);
 
   /// Aggregated channel statistics of the last run() (partial if it
   /// threw).
   [[nodiscard]] const ThreadedRunStats& stats() const { return stats_; }
+
+  [[nodiscard]] const ReliabilityOptions& reliability() const { return reliability_; }
 
   /// The registry the channel counters live in (the caller-provided one,
   /// or the runtime's own). Counters are cumulative across runs and
@@ -90,7 +136,8 @@ class ThreadedRuntime {
   [[nodiscard]] const obs::MetricRegistry& metrics() const { return *registry_; }
 
  private:
-  /// Lock-free registry handles of one channel's counters.
+  /// Lock-free registry handles of one channel's counters. Reliability
+  /// pointers are null when the protocol is off.
   struct ChannelCounters {
     obs::Counter* messages = nullptr;
     obs::Counter* payload_bytes = nullptr;
@@ -98,20 +145,42 @@ class ThreadedRuntime {
     obs::Counter* consumer_blocks = nullptr;
     obs::Counter* producer_block_micros = nullptr;
     obs::Counter* consumer_block_micros = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* dropped_frames = nullptr;
+    obs::Counter* crc_failures = nullptr;
+    obs::Counter* duplicates = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* send_failures = nullptr;
+    obs::Counter* backoff_micros = nullptr;
+    obs::Histogram* backoff_histogram = nullptr;
   };
 
-  /// Thread-safe bounded FIFO of raw tokens for one interprocessor edge.
+  /// Thread-safe bounded FIFO for one interprocessor edge. In plain mode
+  /// it moves raw tokens; in reliable mode it moves sequenced frames
+  /// produced/consumed by the per-edge protocol state machines (each
+  /// touched only by its single producing / consuming thread).
   class BlockingChannel {
    public:
-    BlockingChannel(std::size_t capacity_tokens, std::atomic<bool>& abort,
-                    ChannelCounters counters)
-        : capacity_(capacity_tokens), abort_(abort), counters_(counters) {}
+    BlockingChannel(df::EdgeId edge, std::size_t capacity_tokens, std::atomic<bool>& abort,
+                    ChannelCounters counters);
+
+    /// Enables the reliable protocol. `plan` may be null (perfect wire);
+    /// `policy` must outlive the channel.
+    void enable_reliability(const sim::FaultPlan* plan, const sim::RetryPolicy& policy);
 
     void push(Bytes token);
+    /// Initial-token placement: sequenced framing without fault
+    /// injection, so construction cannot fail under a hostile plan.
+    void push_faultless(Bytes token);
     [[nodiscard]] Bytes pop();
     void interrupt();  ///< wake all waiters (used on abort)
 
    private:
+    void enqueue(Bytes frame);  ///< capacity-blocking raw enqueue
+    [[nodiscard]] Bytes dequeue();  ///< blocking raw dequeue (timeout in reliable mode)
+    void execute(const TransmitScript& script, std::int64_t payload_bytes);
+
+    df::EdgeId edge_;
     std::mutex mutex_;
     std::condition_variable not_full_;
     std::condition_variable not_empty_;
@@ -119,14 +188,23 @@ class ThreadedRuntime {
     std::size_t capacity_;
     std::atomic<bool>& abort_;
     ChannelCounters counters_;
+    // Reliable mode (null/empty otherwise). Sender state is touched only
+    // by the edge's producing thread, receiver state only by its
+    // consuming thread — dataflow edges are single-producer,
+    // single-consumer by construction.
+    std::unique_ptr<ReliableSender> sender_;
+    std::unique_ptr<ReliableReceiver> receiver_;
+    const sim::RetryPolicy* policy_ = nullptr;
   };
 
+  void init(const SpiSystem& system);
   void worker(std::int32_t proc, std::int64_t iterations);
   void fire(df::ActorId actor, std::int32_t proc, std::int64_t iteration);
   [[nodiscard]] ThreadedRunStats counter_totals() const;
 
   const SpiSystem& system_;
   const df::Graph& graph_;  ///< the VTS-converted graph
+  ReliabilityOptions reliability_;
   std::unique_ptr<obs::MetricRegistry> owned_registry_;  ///< when none was provided
   obs::MetricRegistry* registry_ = nullptr;
   obs::RuntimeTraceRecorder* trace_ = nullptr;

@@ -19,17 +19,91 @@ MpiComm::MpiComm(std::int32_t size) {
   mailbox_.resize(static_cast<std::size_t>(size));
 }
 
-void MpiComm::send(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
-                   const Bytes& payload) {
+void MpiComm::validate_send(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
+                            const Bytes& payload) const {
   if (source < 0 || source >= size() || dest < 0 || dest >= size())
     throw std::out_of_range("MpiComm::send: invalid rank");
   if (tag < 0) throw std::invalid_argument("MpiComm::send: negative tag");
   if (count * datatype_size(type) != static_cast<std::int64_t>(payload.size()))
     throw std::invalid_argument("MpiComm::send: count/datatype disagree with payload size");
+}
+
+void MpiComm::deliver(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
+                      Bytes payload) {
   mailbox_[static_cast<std::size_t>(dest)].push_back(
-      Queued{Envelope{source, dest, tag, type, count}, payload});
+      Queued{Envelope{source, dest, tag, type, count}, std::move(payload)});
+}
+
+void MpiComm::send(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
+                   const Bytes& payload) {
+  validate_send(source, dest, tag, type, count, payload);
   stats_.sends += 1;
   stats_.wire_bytes += kEnvelopeBytes + static_cast<std::int64_t>(payload.size());
+  if (!faults_) {
+    deliver(source, dest, tag, type, count, payload);
+    return;
+  }
+
+  const std::int64_t seq = next_seq_[{dest, tag}]++;
+  const sim::FaultOutcome outcome = faults_->outcome(static_cast<df::EdgeId>(tag), seq, 0);
+  if (outcome.kind == sim::FaultOutcome::Kind::kDrop) {
+    stats_.dropped += 1;  // generic MPI: the loss is silent
+    return;
+  }
+  Bytes delivered = payload;
+  if (outcome.kind == sim::FaultOutcome::Kind::kCorrupt && !delivered.empty()) {
+    // No envelope CRC in the generic baseline: the flipped byte reaches
+    // the application undetected (the contrast SPI's checked transport
+    // exists to make).
+    delivered[static_cast<std::size_t>(outcome.entropy % delivered.size())] ^=
+        static_cast<std::uint8_t>(1 + (outcome.entropy >> 32) % 255);
+    stats_.corrupted += 1;
+  }
+  deliver(source, dest, tag, type, count, delivered);
+  if (outcome.duplicate) {
+    stats_.duplicated += 1;
+    stats_.wire_bytes += kEnvelopeBytes + static_cast<std::int64_t>(payload.size());
+    deliver(source, dest, tag, type, count, std::move(delivered));
+  }
+}
+
+void MpiComm::send_reliable(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
+                            const Bytes& payload) {
+  validate_send(source, dest, tag, type, count, payload);
+  if (!faults_) {
+    send(source, dest, tag, type, count, payload);
+    return;
+  }
+
+  const auto edge = static_cast<df::EdgeId>(tag);
+  const std::int64_t seq = next_seq_[{dest, tag}]++;
+  const sim::RetryPolicy& policy = faults_->retry();
+  for (int attempt = 0; attempt < policy.attempts; ++attempt) {
+    stats_.sends += 1;
+    stats_.wire_bytes += kEnvelopeBytes + static_cast<std::int64_t>(payload.size());
+    const sim::FaultOutcome outcome = faults_->outcome(edge, seq, attempt);
+    if (outcome.kind == sim::FaultOutcome::Kind::kDeliver) {
+      deliver(source, dest, tag, type, count, payload);
+      if (outcome.duplicate) {
+        stats_.duplicated += 1;
+        stats_.wire_bytes += kEnvelopeBytes + static_cast<std::int64_t>(payload.size());
+        deliver(source, dest, tag, type, count, payload);
+      }
+      return;
+    }
+    // Dropped or corrupted: the acknowledged transfer detects it and
+    // retries; the damaged copy is never surfaced to the receiver.
+    if (outcome.kind == sim::FaultOutcome::Kind::kDrop)
+      stats_.dropped += 1;
+    else
+      stats_.corrupted += 1;
+    if (attempt + 1 < policy.attempts) {
+      stats_.retransmissions += 1;
+      stats_.backoff_us += policy.backoff_us(attempt + 1, faults_->jitter_key(edge, seq, attempt));
+    }
+  }
+  throw sim::ChannelError(sim::ChannelErrorKind::kRetriesExhausted, edge, policy.attempts,
+                          "MpiComm::send_reliable: every attempt dropped or corrupted");
 }
 
 std::optional<std::pair<Envelope, Bytes>> MpiComm::receive(Rank self, Rank source, Tag tag) {

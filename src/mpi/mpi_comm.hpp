@@ -16,7 +16,10 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
+
+#include "sim/fault.hpp"
 
 namespace spi::mpi {
 
@@ -53,6 +56,12 @@ struct MpiStats {
   std::int64_t wire_bytes = 0;
   std::int64_t matches_scanned = 0;   ///< envelopes examined during matching
   std::int64_t unexpected_enqueued = 0;
+  // Fault-plan effects (zero without set_faults):
+  std::int64_t dropped = 0;          ///< messages the wire swallowed
+  std::int64_t corrupted = 0;        ///< payloads delivered with flipped bits
+  std::int64_t duplicated = 0;       ///< extra copies delivered
+  std::int64_t retransmissions = 0;  ///< send_reliable retries
+  std::int64_t backoff_us = 0;       ///< modeled backoff time of send_reliable
 };
 
 /// In-process mailbox fabric connecting `size` ranks.
@@ -63,11 +72,30 @@ class MpiComm {
   [[nodiscard]] std::int32_t size() const { return static_cast<std::int32_t>(mailbox_.size()); }
   [[nodiscard]] const MpiStats& stats() const { return stats_; }
 
+  /// Attaches a deterministic fault plan to the fabric (null detaches).
+  /// The plan is keyed by message *tag* (the MPI analogue of SPI's edge
+  /// id) and the per-(dest, tag) send sequence, so lossy runs are
+  /// reproducible. Not owned; must outlive the comm.
+  void set_faults(const sim::FaultPlan* plan) { faults_ = plan; }
+
   /// Non-blocking-style send: the message (envelope + payload copy) is
   /// queued at the destination. `count` elements of `type` must match
   /// payload.size().
+  ///
+  /// Under a fault plan this is the *unprotected* baseline path: dropped
+  /// messages vanish, corrupted payloads are delivered silently (generic
+  /// MPI carries no integrity check — the contrast to SPI's CRC-checked
+  /// reliable transport), duplicates arrive twice. Stats record each.
   void send(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
             const Bytes& payload);
+
+  /// Acknowledged transfer: retries dropped/corrupted attempts under the
+  /// plan's RetryPolicy (backoff is accounted in stats, not slept — the
+  /// fabric is a single-threaded model). Exactly one intact copy is
+  /// delivered, plus any duplicates. Throws sim::ChannelError when the
+  /// retry budget is exhausted. Without a fault plan it equals send().
+  void send_reliable(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
+                     const Bytes& payload);
 
   /// Matching receive: returns the oldest queued message whose envelope
   /// matches (source, tag), where kAnySource / kAnyTag are wildcards.
@@ -84,8 +112,17 @@ class MpiComm {
     Envelope envelope;
     Bytes payload;
   };
+
+  void validate_send(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
+                     const Bytes& payload) const;
+  void deliver(Rank source, Rank dest, Tag tag, Datatype type, std::int64_t count,
+               Bytes payload);
+
   std::vector<std::deque<Queued>> mailbox_;
   MpiStats stats_;
+  const sim::FaultPlan* faults_ = nullptr;
+  /// Per-(dest, tag) message sequence feeding the fault plan's draws.
+  std::map<std::pair<Rank, Tag>, std::int64_t> next_seq_;
 };
 
 }  // namespace spi::mpi

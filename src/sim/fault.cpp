@@ -1,0 +1,264 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace spi::sim {
+
+namespace {
+
+/// splitmix64 — the standard 64-bit finalizer; full avalanche, so
+/// consecutive (edge, seq, attempt) keys produce independent draws.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t draw_key(std::uint64_t seed, df::EdgeId edge, std::int64_t seq, int attempt,
+                       std::uint64_t purpose) {
+  std::uint64_t h = mix64(seed ^ 0xA0761D6478BD642FULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(edge));
+  h = mix64(h ^ static_cast<std::uint64_t>(seq));
+  h = mix64(h ^ (static_cast<std::uint64_t>(attempt) | (purpose << 32)));
+  return h;
+}
+
+/// Uniform double in [0, 1) from 53 high bits.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument(std::string("FaultPlan: ") + what + " must be in [0,1]");
+}
+
+void validate_spec(const EdgeFaultSpec& spec) {
+  check_probability(spec.drop, "drop");
+  check_probability(spec.corrupt, "corrupt");
+  check_probability(spec.duplicate, "duplicate");
+  check_probability(spec.delay_prob, "delay_prob");
+  if (spec.delay_us < 0) throw std::invalid_argument("FaultPlan: delay_us must be >= 0");
+}
+
+}  // namespace
+
+std::int64_t RetryPolicy::backoff_us(int attempt, std::uint64_t jitter_key) const {
+  double backoff = static_cast<double>(backoff_base_us) *
+                   std::pow(backoff_multiplier, static_cast<double>(std::max(0, attempt - 1)));
+  backoff = std::min(backoff, static_cast<double>(backoff_max_us));
+  const double scale = 1.0 - jitter + 2.0 * jitter * to_unit(mix64(jitter_key));
+  return static_cast<std::int64_t>(backoff * scale);
+}
+
+void RetryPolicy::validate() const {
+  if (attempts < 1) throw std::invalid_argument("RetryPolicy: attempts must be >= 1");
+  if (backoff_base_us < 0) throw std::invalid_argument("RetryPolicy: backoff_base_us < 0");
+  if (backoff_multiplier < 1.0)
+    throw std::invalid_argument("RetryPolicy: backoff_multiplier must be >= 1");
+  if (backoff_max_us < backoff_base_us)
+    throw std::invalid_argument("RetryPolicy: backoff_max_us < backoff_base_us");
+  if (!(jitter >= 0.0 && jitter <= 1.0))
+    throw std::invalid_argument("RetryPolicy: jitter must be in [0,1]");
+  if (timeout_us <= 0) throw std::invalid_argument("RetryPolicy: timeout_us must be positive");
+}
+
+const EdgeFaultSpec& FaultPlan::spec_for(df::EdgeId edge) const {
+  const auto it = per_edge_.find(edge);
+  return it == per_edge_.end() ? default_ : it->second;
+}
+
+bool FaultPlan::faultless() const {
+  if (!default_.faultless()) return false;
+  return std::all_of(per_edge_.begin(), per_edge_.end(),
+                     [](const auto& kv) { return kv.second.faultless(); });
+}
+
+FaultOutcome FaultPlan::outcome(df::EdgeId edge, std::int64_t seq, int attempt) const {
+  const EdgeFaultSpec& spec = spec_for(edge);
+  FaultOutcome out;
+  out.entropy = draw_key(seed_, edge, seq, attempt, 4);
+  if (to_unit(draw_key(seed_, edge, seq, attempt, 0)) < spec.drop) {
+    out.kind = FaultOutcome::Kind::kDrop;
+    return out;  // a dropped frame cannot also be duplicated or delayed
+  }
+  if (to_unit(draw_key(seed_, edge, seq, attempt, 1)) < spec.corrupt)
+    out.kind = FaultOutcome::Kind::kCorrupt;
+  out.duplicate = to_unit(draw_key(seed_, edge, seq, attempt, 2)) < spec.duplicate;
+  if (to_unit(draw_key(seed_, edge, seq, attempt, 3)) < spec.delay_prob)
+    out.delay_us = spec.delay_us;
+  return out;
+}
+
+std::optional<int> FaultPlan::attempts_to_deliver(df::EdgeId edge, std::int64_t seq,
+                                                  int max_attempts) const {
+  for (int attempt = 0; attempt < max_attempts; ++attempt)
+    if (outcome(edge, seq, attempt).kind == FaultOutcome::Kind::kDeliver) return attempt + 1;
+  return std::nullopt;
+}
+
+std::uint64_t FaultPlan::jitter_key(df::EdgeId edge, std::int64_t seq, int attempt) const {
+  return draw_key(seed_, edge, seq, attempt, 5);
+}
+
+namespace {
+
+/// Parses "key=value" into spec fields; returns false on unknown key.
+bool apply_spec_field(EdgeFaultSpec& spec, const std::string& key, const std::string& value) {
+  try {
+    if (key == "drop") spec.drop = std::stod(value);
+    else if (key == "corrupt") spec.corrupt = std::stod(value);
+    else if (key == "duplicate") spec.duplicate = std::stod(value);
+    else if (key == "delay_prob") spec.delay_prob = std::stod(value);
+    else if (key == "delay_us") spec.delay_us = std::stoll(value);
+    else return false;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan: bad value '" + value + "' for " + key);
+  }
+  return true;
+}
+
+bool apply_retry_field(RetryPolicy& retry, const std::string& key, const std::string& value) {
+  try {
+    if (key == "attempts") retry.attempts = std::stoi(value);
+    else if (key == "base_us") retry.backoff_base_us = std::stoll(value);
+    else if (key == "multiplier") retry.backoff_multiplier = std::stod(value);
+    else if (key == "max_us") retry.backoff_max_us = std::stoll(value);
+    else if (key == "jitter") retry.jitter = std::stod(value);
+    else if (key == "timeout_us") retry.timeout_us = std::stoll(value);
+    else return false;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan: bad value '" + value + "' for " + key);
+  }
+  return true;
+}
+
+std::pair<std::string, std::string> split_kv(const std::string& token, int line_no) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == token.size())
+    throw std::invalid_argument("FaultPlan line " + std::to_string(line_no) +
+                                ": expected key=value, got '" + token + "'");
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) continue;  // blank or comment-only line
+
+    if (directive == "seed") {
+      std::uint64_t seed = 0;
+      if (!(tokens >> seed))
+        throw std::invalid_argument("FaultPlan line " + std::to_string(line_no) +
+                                    ": seed needs an integer");
+      plan.set_seed(seed);
+    } else if (directive == "retry") {
+      std::string token;
+      while (tokens >> token) {
+        const auto [key, value] = split_kv(token, line_no);
+        if (!apply_retry_field(plan.retry(), key, value))
+          throw std::invalid_argument("FaultPlan line " + std::to_string(line_no) +
+                                      ": unknown retry key '" + key + "'");
+      }
+      plan.retry().validate();
+    } else if (directive == "default" || directive == "edge") {
+      df::EdgeId edge = df::kInvalidEdge;
+      if (directive == "edge") {
+        long long id = -1;
+        if (!(tokens >> id) || id < 0)
+          throw std::invalid_argument("FaultPlan line " + std::to_string(line_no) +
+                                      ": edge needs a non-negative integer id");
+        edge = static_cast<df::EdgeId>(id);
+      }
+      EdgeFaultSpec spec;
+      std::string token;
+      while (tokens >> token) {
+        const auto [key, value] = split_kv(token, line_no);
+        if (!apply_spec_field(spec, key, value))
+          throw std::invalid_argument("FaultPlan line " + std::to_string(line_no) +
+                                      ": unknown fault key '" + key + "'");
+      }
+      validate_spec(spec);
+      if (directive == "default")
+        plan.set_default(spec);
+      else
+        plan.set_edge(edge, spec);
+    } else {
+      throw std::invalid_argument("FaultPlan line " + std::to_string(line_no) +
+                                  ": unknown directive '" + directive + "'");
+    }
+  }
+  return plan;
+}
+
+const char* to_string(ChannelErrorKind kind) {
+  switch (kind) {
+    case ChannelErrorKind::kRetriesExhausted: return "retries-exhausted";
+    case ChannelErrorKind::kReceiveTimeout: return "receive-timeout";
+  }
+  return "unknown";
+}
+
+ChannelError::ChannelError(ChannelErrorKind kind, df::EdgeId edge, int attempts,
+                           const std::string& detail)
+    : std::runtime_error("ChannelError[" + std::string(to_string(kind)) + "] edge " +
+                         std::to_string(edge) + " after " + std::to_string(attempts) +
+                         " attempt(s): " + detail),
+      kind_(kind),
+      edge_(edge),
+      attempts_(attempts) {}
+
+FaultyBackend::FaultyBackend(const CommBackend& inner, const FaultPlan& plan,
+                             obs::MetricRegistry* metrics)
+    : inner_(inner), plan_(plan) {
+  if (metrics) {
+    retries_ = &metrics->counter("spi_faulty_backend_retries_total", {},
+                                 "Retransmissions charged by the faulty cost-model decorator");
+    drops_ = &metrics->counter("spi_faulty_backend_drops_total", {},
+                               "Messages whose retry budget the fault plan exhausted");
+    attempts_ = &metrics->histogram("spi_faulty_backend_attempts",
+                                    obs::Histogram::linear_bounds(1.0, 1.0, 8), {},
+                                    "Transmissions per message under the fault plan");
+  }
+}
+
+MessageCost FaultyBackend::charge(const ChannelInfo& channel, MessageCost cost) const {
+  const std::int64_t seq = next_seq_[channel.edge]++;
+  const int budget = plan_.retry().attempts;
+  const std::optional<int> delivered = plan_.attempts_to_deliver(channel.edge, seq, budget);
+  const int attempts = delivered.value_or(budget);
+  // The PE enqueues once; the communication actor re-runs its pipeline
+  // and re-spends the wire per transmission, and every retry implies a
+  // NAK/timeout round trip before the next copy leaves.
+  cost.offload_cycles *= attempts;
+  cost.wire_bytes *= attempts;
+  cost.handshake_roundtrips += attempts - 1;
+  if (retries_ && attempts > 1) retries_->inc(attempts - 1);
+  if (drops_ && !delivered) drops_->inc();
+  if (attempts_) attempts_->observe(static_cast<double>(attempts));
+  return cost;
+}
+
+MessageCost FaultyBackend::data_message(const ChannelInfo& channel,
+                                        std::int64_t payload_bytes) const {
+  return charge(channel, inner_.data_message(channel, payload_bytes));
+}
+
+MessageCost FaultyBackend::sync_message(const ChannelInfo& channel) const {
+  return charge(channel, inner_.sync_message(channel));
+}
+
+}  // namespace spi::sim

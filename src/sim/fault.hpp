@@ -1,0 +1,194 @@
+/// \file fault.hpp
+/// Deterministic transport-fault model and retry policy.
+///
+/// The paper's SPI channels assume lossless on-chip links. Off-chip (or
+/// merely unreliable) transports drop, corrupt, delay and duplicate
+/// frames; a production runtime must recover from transient faults and
+/// fail *typed* — never hang — on persistent ones. This header holds the
+/// pieces every transport layer shares:
+///
+///  * FaultPlan — a seedable, per-edge fault specification. Every
+///    decision is a pure function of (seed, edge, sequence number,
+///    attempt), so a lossy run is bit-reproducible regardless of thread
+///    scheduling, and the same plan drives the threaded runtime, the MPI
+///    baseline and the simulator cost model identically.
+///  * RetryPolicy — bounded retries with exponential backoff and
+///    deterministic jitter, plus the receiver-side timeout.
+///  * ChannelError — the typed failure surfaced when the policy is
+///    exhausted (graceful degradation instead of a deadlock).
+///  * FaultyBackend — a CommBackend decorator charging the cost-model
+///    consequences of the same plan (retransmitted wire bytes, NAK
+///    round trips) to the timed simulator.
+///
+/// Text form (see parse_fault_plan): one directive per line —
+///
+///     seed 42
+///     retry attempts=8 base_us=100 multiplier=2 max_us=5000 jitter=0.1 timeout_us=200000
+///     default drop=0.05 corrupt=0.01
+///     edge 3 drop=1.0 duplicate=0.02 delay_us=50 delay_prob=0.5
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "dataflow/graph.hpp"
+#include "obs/metrics.hpp"
+#include "sim/comm_backend.hpp"
+
+namespace spi::sim {
+
+/// Fault probabilities of one edge's transport. All probabilities are
+/// per transmission attempt and independent.
+struct EdgeFaultSpec {
+  double drop = 0.0;       ///< P(frame lost on the wire)
+  double corrupt = 0.0;    ///< P(frame delivered with flipped bits)
+  double duplicate = 0.0;  ///< P(frame delivered twice)
+  double delay_prob = 0.0; ///< P(delivery delayed by delay_us)
+  std::int64_t delay_us = 0;
+
+  [[nodiscard]] bool faultless() const {
+    return drop == 0.0 && corrupt == 0.0 && duplicate == 0.0 && delay_prob == 0.0;
+  }
+};
+
+/// What the wire does to one transmission attempt.
+struct FaultOutcome {
+  enum class Kind : std::uint8_t {
+    kDeliver,  ///< frame arrives intact
+    kDrop,     ///< frame vanishes
+    kCorrupt,  ///< frame arrives, bits flipped (receiver's CRC catches it)
+  };
+  Kind kind = Kind::kDeliver;
+  bool duplicate = false;      ///< frame (or its corruption) arrives twice
+  std::int64_t delay_us = 0;   ///< extra latency before delivery
+  std::uint64_t entropy = 0;   ///< deterministic noise for corruption placement
+};
+
+/// Bounded-retry policy with exponential backoff and deterministic
+/// jitter. Sender-side: `attempts` total transmissions of one frame
+/// before the transport gives up; receiver-side: `timeout_us` of waiting
+/// on an empty channel before declaring the peer lost.
+struct RetryPolicy {
+  int attempts = 8;
+  std::int64_t backoff_base_us = 100;
+  double backoff_multiplier = 2.0;
+  std::int64_t backoff_max_us = 5000;
+  double jitter = 0.1;  ///< backoff scaled by uniform [1-jitter, 1+jitter]
+  std::int64_t timeout_us = 200000;
+
+  /// Backoff before retry number `attempt` (1-based: after the first
+  /// failed transmission attempt==1). `jitter_key` seeds the
+  /// deterministic jitter draw.
+  [[nodiscard]] std::int64_t backoff_us(int attempt, std::uint64_t jitter_key) const;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+/// Seedable, reproducible fault plan: a default spec plus per-edge
+/// overrides. Decisions are pure functions of (seed, edge, seq, attempt).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  [[nodiscard]] const RetryPolicy& retry() const { return retry_; }
+  RetryPolicy& retry() { return retry_; }
+
+  void set_default(EdgeFaultSpec spec) { default_ = spec; }
+  void set_edge(df::EdgeId edge, EdgeFaultSpec spec) { per_edge_[edge] = spec; }
+  [[nodiscard]] const EdgeFaultSpec& spec_for(df::EdgeId edge) const;
+  [[nodiscard]] bool faultless() const;
+
+  /// The wire's verdict on transmission `attempt` (0-based) of message
+  /// `seq` on `edge`. Deterministic.
+  [[nodiscard]] FaultOutcome outcome(df::EdgeId edge, std::int64_t seq, int attempt) const;
+
+  /// Number of transmissions (1-based) until a frame of message `seq`
+  /// is delivered intact, capped at `max_attempts`; std::nullopt when
+  /// even the last attempt fails (the sender must surface ChannelError).
+  [[nodiscard]] std::optional<int> attempts_to_deliver(df::EdgeId edge, std::int64_t seq,
+                                                       int max_attempts) const;
+
+  /// Deterministic jitter key for the sender backoff of (edge, seq,
+  /// attempt) — distinct from the fault draws.
+  [[nodiscard]] std::uint64_t jitter_key(df::EdgeId edge, std::int64_t seq, int attempt) const;
+
+ private:
+  std::uint64_t seed_ = 1;
+  RetryPolicy retry_;
+  EdgeFaultSpec default_;
+  std::map<df::EdgeId, EdgeFaultSpec> per_edge_;
+};
+
+/// Parses the text form documented at the top of this file. Throws
+/// std::invalid_argument with a line number on malformed input.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& text);
+
+/// Why a reliable channel gave up.
+enum class ChannelErrorKind : std::uint8_t {
+  kRetriesExhausted,  ///< sender: every attempt dropped or corrupted
+  kReceiveTimeout,    ///< receiver: channel empty past the deadline
+};
+
+[[nodiscard]] const char* to_string(ChannelErrorKind kind);
+
+/// Typed, non-fatal-to-the-process failure of one reliable channel:
+/// the graceful-degradation surface callers catch instead of a hang.
+class ChannelError : public std::runtime_error {
+ public:
+  ChannelError(ChannelErrorKind kind, df::EdgeId edge, int attempts,
+               const std::string& detail);
+
+  [[nodiscard]] ChannelErrorKind kind() const { return kind_; }
+  [[nodiscard]] df::EdgeId edge() const { return edge_; }
+  /// Transmissions made (sender) or frames inspected (receiver).
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  ChannelErrorKind kind_;
+  df::EdgeId edge_;
+  int attempts_;
+};
+
+/// CommBackend decorator: charges the timed simulator the deterministic
+/// cost consequences of a FaultPlan — every dropped or corrupted attempt
+/// re-spends the offload pipeline and the wire, and every retry costs a
+/// NAK/timeout round trip. A message that exhausts the policy is charged
+/// the full budget (the functional layers surface ChannelError; a cost
+/// model can only price the failure).
+///
+/// Publishes `spi_faulty_backend_retries_total`,
+/// `spi_faulty_backend_drops_total` and the attempt histogram
+/// `spi_faulty_backend_attempts` into an optional registry.
+class FaultyBackend final : public CommBackend {
+ public:
+  FaultyBackend(const CommBackend& inner, const FaultPlan& plan,
+                obs::MetricRegistry* metrics = nullptr);
+
+  [[nodiscard]] MessageCost data_message(const ChannelInfo& channel,
+                                         std::int64_t payload_bytes) const override;
+  [[nodiscard]] MessageCost sync_message(const ChannelInfo& channel) const override;
+  [[nodiscard]] const char* name() const override { return "faulty"; }
+
+ private:
+  [[nodiscard]] MessageCost charge(const ChannelInfo& channel, MessageCost inner_cost) const;
+
+  const CommBackend& inner_;
+  const FaultPlan& plan_;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* drops_ = nullptr;
+  obs::Histogram* attempts_ = nullptr;
+  /// Per-edge message sequence, advanced per cost query: the timed
+  /// executor is single-threaded, and determinism comes from the plan
+  /// being keyed by (edge, seq).
+  mutable std::map<df::EdgeId, std::int64_t> next_seq_;
+};
+
+}  // namespace spi::sim

@@ -1,0 +1,455 @@
+/// Unit tests of the deterministic fault-injection model (sim/fault) and
+/// the reliability protocol state machines (core/reliable_link): seeded
+/// reproducibility, statistical fault rates, the plan parser, backoff
+/// arithmetic, typed channel errors, the cost-model decorator, and the
+/// sequenced wire format.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/reliable_link.hpp"
+#include "sim/fault.hpp"
+
+namespace spi {
+namespace {
+
+using sim::ChannelError;
+using sim::ChannelErrorKind;
+using sim::EdgeFaultSpec;
+using sim::FaultOutcome;
+using sim::FaultPlan;
+using sim::RetryPolicy;
+
+// ---------------------------------------------------------------------------
+// FaultPlan determinism + statistics
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, SameSeedSameOutcomes) {
+  FaultPlan a(42), b(42);
+  EdgeFaultSpec spec;
+  spec.drop = 0.3;
+  spec.corrupt = 0.2;
+  spec.duplicate = 0.1;
+  spec.delay_prob = 0.1;
+  spec.delay_us = 17;
+  a.set_default(spec);
+  b.set_default(spec);
+  for (df::EdgeId edge = 0; edge < 4; ++edge)
+    for (std::int64_t seq = 0; seq < 200; ++seq)
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        const FaultOutcome oa = a.outcome(edge, seq, attempt);
+        const FaultOutcome ob = b.outcome(edge, seq, attempt);
+        EXPECT_EQ(oa.kind, ob.kind);
+        EXPECT_EQ(oa.duplicate, ob.duplicate);
+        EXPECT_EQ(oa.delay_us, ob.delay_us);
+        EXPECT_EQ(oa.entropy, ob.entropy);
+      }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultPlan a(1), b(2);
+  EdgeFaultSpec spec;
+  spec.drop = 0.5;
+  a.set_default(spec);
+  b.set_default(spec);
+  int differing = 0;
+  for (std::int64_t seq = 0; seq < 500; ++seq)
+    if (a.outcome(0, seq, 0).kind != b.outcome(0, seq, 0).kind) ++differing;
+  EXPECT_GT(differing, 50);
+}
+
+TEST(FaultPlan, StatisticalRatesMatchSpec) {
+  FaultPlan plan(7);
+  EdgeFaultSpec spec;
+  spec.drop = 0.2;
+  plan.set_default(spec);
+  int drops = 0;
+  const int n = 20000;
+  for (std::int64_t seq = 0; seq < n; ++seq)
+    if (plan.outcome(3, seq, 0).kind == FaultOutcome::Kind::kDrop) ++drops;
+  const double rate = static_cast<double>(drops) / n;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(FaultPlan, DroppedFramesAreNeitherDuplicatedNorDelayed) {
+  FaultPlan plan(9);
+  EdgeFaultSpec spec;
+  spec.drop = 0.5;
+  spec.duplicate = 1.0;
+  spec.delay_prob = 1.0;
+  spec.delay_us = 100;
+  plan.set_default(spec);
+  int seen_drops = 0;
+  for (std::int64_t seq = 0; seq < 1000; ++seq) {
+    const FaultOutcome out = plan.outcome(0, seq, 0);
+    if (out.kind != FaultOutcome::Kind::kDrop) continue;
+    ++seen_drops;
+    EXPECT_FALSE(out.duplicate);
+    EXPECT_EQ(out.delay_us, 0);
+  }
+  EXPECT_GT(seen_drops, 300);
+}
+
+TEST(FaultPlan, PerEdgeOverrideBeatsDefault) {
+  FaultPlan plan(3);
+  EdgeFaultSpec lossless;  // default: perfect
+  plan.set_default(lossless);
+  EdgeFaultSpec dead;
+  dead.drop = 1.0;
+  plan.set_edge(5, dead);
+  EXPECT_FALSE(plan.faultless());
+  for (std::int64_t seq = 0; seq < 50; ++seq) {
+    EXPECT_EQ(plan.outcome(0, seq, 0).kind, FaultOutcome::Kind::kDeliver);
+    EXPECT_EQ(plan.outcome(5, seq, 0).kind, FaultOutcome::Kind::kDrop);
+  }
+}
+
+TEST(FaultPlan, AttemptsToDeliverAgreesWithOutcome) {
+  FaultPlan plan(11);
+  EdgeFaultSpec spec;
+  spec.drop = 0.6;
+  plan.set_default(spec);
+  for (std::int64_t seq = 0; seq < 200; ++seq) {
+    const std::optional<int> attempts = plan.attempts_to_deliver(1, seq, 8);
+    if (attempts) {
+      for (int a = 0; a < *attempts - 1; ++a)
+        EXPECT_NE(plan.outcome(1, seq, a).kind, FaultOutcome::Kind::kDeliver);
+      EXPECT_EQ(plan.outcome(1, seq, *attempts - 1).kind, FaultOutcome::Kind::kDeliver);
+    } else {
+      for (int a = 0; a < 8; ++a)
+        EXPECT_NE(plan.outcome(1, seq, a).kind, FaultOutcome::Kind::kDeliver);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryPolicy policy;
+  policy.backoff_base_us = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_max_us = 5000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(policy.backoff_us(1, 0), 100);
+  EXPECT_EQ(policy.backoff_us(2, 0), 200);
+  EXPECT_EQ(policy.backoff_us(3, 0), 400);
+  EXPECT_EQ(policy.backoff_us(10, 0), 5000);  // clamped at max
+}
+
+TEST(RetryPolicy, JitterStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.backoff_base_us = 1000;
+  policy.backoff_multiplier = 1.0;
+  policy.backoff_max_us = 1000;
+  policy.jitter = 0.25;
+  std::set<std::int64_t> values;
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const std::int64_t b = policy.backoff_us(1, key);
+    EXPECT_GE(b, 750);
+    EXPECT_LE(b, 1250);
+    values.insert(b);
+  }
+  EXPECT_GT(values.size(), 10u);  // jitter actually varies
+}
+
+TEST(RetryPolicy, ValidateRejectsNonsense) {
+  RetryPolicy policy;
+  EXPECT_NO_THROW(policy.validate());
+  RetryPolicy bad = policy;
+  bad.attempts = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = policy;
+  bad.backoff_multiplier = 0.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = policy;
+  bad.backoff_max_us = bad.backoff_base_us - 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = policy;
+  bad.jitter = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = policy;
+  bad.timeout_us = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanParser, FullPlanRoundTrips) {
+  const FaultPlan plan = sim::parse_fault_plan(
+      "# lossy wire\n"
+      "seed 42\n"
+      "retry attempts=4 base_us=10 multiplier=3 max_us=90 jitter=0.5 timeout_us=1000\n"
+      "default drop=0.05 corrupt=0.01\n"
+      "edge 3 drop=1.0 duplicate=0.02 delay_us=50 delay_prob=0.5  # dead edge\n");
+  EXPECT_EQ(plan.seed(), 42u);
+  EXPECT_EQ(plan.retry().attempts, 4);
+  EXPECT_EQ(plan.retry().backoff_base_us, 10);
+  EXPECT_DOUBLE_EQ(plan.retry().backoff_multiplier, 3.0);
+  EXPECT_EQ(plan.retry().backoff_max_us, 90);
+  EXPECT_DOUBLE_EQ(plan.retry().jitter, 0.5);
+  EXPECT_EQ(plan.retry().timeout_us, 1000);
+  EXPECT_DOUBLE_EQ(plan.spec_for(0).drop, 0.05);
+  EXPECT_DOUBLE_EQ(plan.spec_for(0).corrupt, 0.01);
+  EXPECT_DOUBLE_EQ(plan.spec_for(3).drop, 1.0);
+  EXPECT_DOUBLE_EQ(plan.spec_for(3).duplicate, 0.02);
+  EXPECT_EQ(plan.spec_for(3).delay_us, 50);
+  EXPECT_DOUBLE_EQ(plan.spec_for(3).delay_prob, 0.5);
+  EXPECT_FALSE(plan.faultless());
+}
+
+TEST(FaultPlanParser, EmptyPlanIsFaultless) {
+  EXPECT_TRUE(sim::parse_fault_plan("").faultless());
+  EXPECT_TRUE(sim::parse_fault_plan("# only a comment\n\n").faultless());
+}
+
+TEST(FaultPlanParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)sim::parse_fault_plan("seed 1\nbogus 2\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FaultPlanParser, RejectsMalformedInput) {
+  EXPECT_THROW(sim::parse_fault_plan("seed x\n"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_fault_plan("default drop\n"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_fault_plan("default frobnicate=1\n"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_fault_plan("default drop=nope\n"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_fault_plan("default drop=1.5\n"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_fault_plan("edge -1 drop=0.5\n"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_fault_plan("edge x drop=0.5\n"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_fault_plan("retry attempts=0\n"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_fault_plan("retry warp=9\n"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ChannelError
+// ---------------------------------------------------------------------------
+
+TEST(ChannelErrorTest, CarriesTypedFields) {
+  const ChannelError err(ChannelErrorKind::kRetriesExhausted, 7, 8, "gave up");
+  EXPECT_EQ(err.kind(), ChannelErrorKind::kRetriesExhausted);
+  EXPECT_EQ(err.edge(), 7);
+  EXPECT_EQ(err.attempts(), 8);
+  const std::string what = err.what();
+  EXPECT_NE(what.find("retries-exhausted"), std::string::npos);
+  EXPECT_NE(what.find("edge 7"), std::string::npos);
+  EXPECT_NE(what.find("8 attempt"), std::string::npos);
+  EXPECT_NE(what.find("gave up"), std::string::npos);
+  EXPECT_STREQ(sim::to_string(ChannelErrorKind::kReceiveTimeout), "receive-timeout");
+}
+
+// ---------------------------------------------------------------------------
+// FaultyBackend (cost-model decorator)
+// ---------------------------------------------------------------------------
+
+TEST(FaultyBackendTest, InflatesCostDeterministically) {
+  FaultPlan plan(21);
+  EdgeFaultSpec spec;
+  spec.drop = 0.5;
+  plan.set_default(spec);
+
+  const sim::IdealBackend ideal;
+  sim::FaultyBackend a(ideal, plan);
+  sim::FaultyBackend b(ideal, plan);
+  const sim::ChannelInfo channel{2, false};
+
+  bool saw_retry = false;
+  for (int i = 0; i < 100; ++i) {
+    const sim::MessageCost ca = a.data_message(channel, 64);
+    const sim::MessageCost cb = b.data_message(channel, 64);
+    EXPECT_EQ(ca.wire_bytes, cb.wire_bytes);  // same seq -> same charge
+    EXPECT_EQ(ca.handshake_roundtrips, cb.handshake_roundtrips);
+    EXPECT_GE(ca.wire_bytes, 64);
+    EXPECT_EQ(ca.wire_bytes, 64 * (ca.handshake_roundtrips + 1));
+    if (ca.handshake_roundtrips > 0) saw_retry = true;
+  }
+  EXPECT_TRUE(saw_retry);  // 50% drop must retry sometimes
+  EXPECT_STREQ(a.name(), "faulty");
+}
+
+TEST(FaultyBackendTest, PublishesMetrics) {
+  FaultPlan plan(5);
+  EdgeFaultSpec spec;
+  spec.drop = 0.9;
+  plan.set_default(spec);
+  plan.retry().attempts = 2;
+
+  const sim::IdealBackend ideal;
+  obs::MetricRegistry registry;
+  sim::FaultyBackend backend(ideal, plan, &registry);
+  for (int i = 0; i < 200; ++i) (void)backend.data_message({0, false}, 8);
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("spi_faulty_backend_retries_total"), std::string::npos);
+  EXPECT_NE(json.find("spi_faulty_backend_drops_total"), std::string::npos);
+  EXPECT_NE(json.find("spi_faulty_backend_attempts"), std::string::npos);
+  // 90% drop with a 2-attempt budget: some messages must exhaust it.
+  EXPECT_GT(registry.counter("spi_faulty_backend_drops_total", {}, "").value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Sequenced wire format
+// ---------------------------------------------------------------------------
+
+TEST(SequencedFrame, RoundTrips) {
+  const core::Bytes payload{1, 2, 3, 250, 251, 252};
+  const core::Bytes wire = core::encode_sequenced(9, 1234, payload);
+  EXPECT_EQ(static_cast<std::int64_t>(wire.size() - payload.size()),
+            core::kSequencedOverheadBytes);
+  const core::SequencedMessage m = core::decode_sequenced(wire);
+  EXPECT_EQ(m.seq, 1234u);
+  EXPECT_EQ(m.edge, 9);
+  EXPECT_EQ(m.payload, payload);
+}
+
+TEST(SequencedFrame, EmptyPayloadRoundTrips) {
+  const core::Bytes wire = core::encode_sequenced(0, 0, core::Bytes{});
+  const core::SequencedMessage m = core::decode_sequenced(wire);
+  EXPECT_TRUE(m.payload.empty());
+}
+
+TEST(SequencedFrame, EverySingleBitFlipIsDetected) {
+  const core::Bytes payload{0xDE, 0xAD, 0xBE, 0xEF};
+  const core::Bytes wire = core::encode_sequenced(3, 77, payload);
+  for (std::size_t byte = 0; byte < wire.size(); ++byte)
+    for (int bit = 0; bit < 8; ++bit) {
+      core::Bytes damaged = wire;
+      damaged[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW((void)core::decode_sequenced(damaged), std::runtime_error)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+}
+
+TEST(SequencedFrame, RejectsTruncation) {
+  const core::Bytes wire = core::encode_sequenced(1, 5, core::Bytes{9, 9});
+  EXPECT_THROW((void)core::decode_sequenced(std::span(wire).first(wire.size() - 3)),
+               std::runtime_error);
+  EXPECT_THROW((void)core::decode_sequenced(core::Bytes{1, 2, 3}), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// ReliableSender / ReliableReceiver state machines
+// ---------------------------------------------------------------------------
+
+TEST(ReliableSenderTest, PerfectWireSendsOneIntactAttempt) {
+  const RetryPolicy policy;
+  core::ReliableSender sender(4, nullptr, policy);
+  const core::TransmitScript script = sender.plan_transmit(core::Bytes{1, 2});
+  EXPECT_EQ(script.attempts(), 1);
+  EXPECT_EQ(script.retries(), 0);
+  EXPECT_TRUE(script.delivered);
+  EXPECT_EQ(script.dropped, 0);
+  EXPECT_EQ(script.corrupted, 0);
+  EXPECT_EQ(script.total_backoff_us, 0);
+  EXPECT_FALSE(script.steps[0].dropped());
+  EXPECT_EQ(sender.next_seq(), 1u);  // sequence consumed
+}
+
+TEST(ReliableSenderTest, RetriesUntilDeliveredAndScriptIsDeterministic) {
+  FaultPlan plan(13);
+  EdgeFaultSpec spec;
+  spec.drop = 0.7;
+  plan.set_default(spec);
+  plan.retry().attempts = 16;
+  plan.retry().jitter = 0.0;
+
+  core::ReliableSender a(0, &plan, plan.retry());
+  core::ReliableSender b(0, &plan, plan.retry());
+  bool saw_retry = false;
+  for (int msg = 0; msg < 50; ++msg) {
+    const core::TransmitScript sa = a.plan_transmit(core::Bytes{7});
+    const core::TransmitScript sb = b.plan_transmit(core::Bytes{7});
+    ASSERT_EQ(sa.attempts(), sb.attempts());
+    EXPECT_EQ(sa.total_backoff_us, sb.total_backoff_us);
+    EXPECT_TRUE(sa.delivered);  // 0.7^16 makes exhaustion essentially impossible
+    if (sa.attempts() > 1) {
+      saw_retry = true;
+      EXPECT_GT(sa.total_backoff_us, 0);
+    }
+    // Every step but the last fails; the last is intact.
+    for (int i = 0; i + 1 < sa.attempts(); ++i)
+      EXPECT_TRUE(sa.steps[static_cast<std::size_t>(i)].dropped() ||
+                  sa.steps[static_cast<std::size_t>(i)].corrupted);
+    EXPECT_FALSE(sa.steps.back().dropped());
+    EXPECT_FALSE(sa.steps.back().corrupted);
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(ReliableSenderTest, ExhaustedBudgetIsReportedNotHidden) {
+  FaultPlan plan(1);
+  EdgeFaultSpec dead;
+  dead.drop = 1.0;
+  plan.set_default(dead);
+  plan.retry().attempts = 5;
+
+  core::ReliableSender sender(2, &plan, plan.retry());
+  const core::TransmitScript script = sender.plan_transmit(core::Bytes{1});
+  EXPECT_FALSE(script.delivered);
+  EXPECT_EQ(script.attempts(), 5);
+  EXPECT_EQ(script.dropped, 5);
+}
+
+TEST(ReliableSenderTest, CorruptedFramesFailTheCrc) {
+  FaultPlan plan(8);
+  EdgeFaultSpec spec;
+  spec.corrupt = 1.0;
+  plan.set_default(spec);
+  plan.retry().attempts = 3;
+
+  core::ReliableSender sender(1, &plan, plan.retry());
+  const core::TransmitScript script = sender.plan_transmit(core::Bytes{5, 6, 7});
+  EXPECT_FALSE(script.delivered);
+  EXPECT_EQ(script.corrupted, 3);
+  for (const core::TransmitStep& step : script.steps) {
+    ASSERT_FALSE(step.dropped());
+    EXPECT_THROW((void)core::decode_sequenced(step.frame), std::runtime_error);
+  }
+}
+
+TEST(ReliableReceiverTest, AcceptsInOrderRejectsDuplicatesAndDamage) {
+  const RetryPolicy policy;
+  core::ReliableSender sender(6, nullptr, policy);
+  core::ReliableReceiver receiver(6);
+
+  const core::Bytes first = sender.plan_transmit(core::Bytes{1}).steps[0].frame;
+  const core::Bytes second = sender.plan_transmit(core::Bytes{2}).steps[0].frame;
+
+  core::ReliableReceiver::Result r = receiver.accept(first);
+  EXPECT_EQ(r.verdict, core::ReliableReceiver::Verdict::kAccept);
+  EXPECT_EQ(r.payload, core::Bytes{1});
+  EXPECT_EQ(receiver.expected_seq(), 1u);
+
+  // The same frame again: a duplicate, suppressed.
+  r = receiver.accept(first);
+  EXPECT_EQ(r.verdict, core::ReliableReceiver::Verdict::kDuplicate);
+
+  // A damaged copy of the next frame: CRC failure.
+  core::Bytes damaged = second;
+  damaged[4] ^= 0x10;
+  r = receiver.accept(damaged);
+  EXPECT_EQ(r.verdict, core::ReliableReceiver::Verdict::kCorrupt);
+  EXPECT_EQ(receiver.expected_seq(), 1u);  // nothing consumed
+
+  r = receiver.accept(second);
+  EXPECT_EQ(r.verdict, core::ReliableReceiver::Verdict::kAccept);
+  EXPECT_EQ(r.payload, core::Bytes{2});
+}
+
+TEST(ReliableReceiverTest, WrongEdgeIsTreatedAsCorruption) {
+  const RetryPolicy policy;
+  core::ReliableSender sender(1, nullptr, policy);
+  core::ReliableReceiver receiver(2);
+  const core::ReliableReceiver::Result r =
+      receiver.accept(sender.plan_transmit(core::Bytes{9}).steps[0].frame);
+  EXPECT_EQ(r.verdict, core::ReliableReceiver::Verdict::kCorrupt);
+}
+
+}  // namespace
+}  // namespace spi

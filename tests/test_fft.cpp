@@ -24,7 +24,7 @@ TEST(Fft, PowerOfTwoHelpers) {
   EXPECT_EQ(next_power_of_two(1), 1u);
   EXPECT_EQ(next_power_of_two(5), 8u);
   EXPECT_EQ(next_power_of_two(1024), 1024u);
-  EXPECT_THROW(next_power_of_two(0), std::invalid_argument);
+  EXPECT_THROW((void)next_power_of_two(0), std::invalid_argument);
 }
 
 TEST(Fft, ImpulseIsFlat) {

@@ -21,8 +21,8 @@ TEST(ResourceClasses, NamesAndAccessors) {
   EXPECT_STREQ(resource_class_name(4), "DSP48s");
   EXPECT_EQ(resource_class_of(v, 0), 1);
   EXPECT_EQ(resource_class_of(v, 3), 4);
-  EXPECT_THROW(resource_class_name(5), std::out_of_range);
-  EXPECT_THROW(resource_class_of(v, -1), std::out_of_range);
+  EXPECT_THROW((void)resource_class_name(5), std::out_of_range);
+  EXPECT_THROW((void)resource_class_of(v, -1), std::out_of_range);
 }
 
 TEST(Virtex4, CapacityPlausible) {

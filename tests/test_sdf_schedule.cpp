@@ -131,7 +131,7 @@ TEST(SdfSchedule, TotalBufferBytes) {
   const ActorId b = g.add_actor("B");
   g.connect(a, Rate::fixed(1), b, Rate::fixed(1), 0, 8);
   EXPECT_EQ(total_buffer_bytes(g, {3}), 24);
-  EXPECT_THROW(total_buffer_bytes(g, {1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)total_buffer_bytes(g, {1, 2}), std::invalid_argument);
 }
 
 // Property: random consistent graphs with a source either deadlock or

@@ -17,15 +17,24 @@
 ///   spi_compile --run 500 --mpi system.spi      # ... under the MPI baseline
 ///   spi_compile --run-threads 500 system.spi    # real-thread run (default computes)
 ///   spi_compile --run 500 --trace-out t.json s  # Chrome trace (Perfetto) of the run
+///   spi_compile --fault-plan f.txt --run 500 s  # timed run over a lossy wire
+///   spi_compile --fault-plan f.txt --reliability --run-threads 500 s
+///                                               # reliable threaded run (retry/
+///                                               # timeout/backoff, typed failure)
 ///   cat system.spi | spi_compile -              # read from stdin
 ///
 /// With --metrics the human-readable report and run summaries move to
 /// stderr so stdout is exactly one machine-readable document.
+///
+/// Exit codes: 0 success, 1 I/O or compile error, 2 usage, 3 a reliable
+/// channel degraded gracefully (sim::ChannelError — retries exhausted or
+/// receive timeout) instead of hanging.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +47,7 @@
 #include "obs/metrics.hpp"
 #include "obs/runtime_trace.hpp"
 #include "sched/sync_dot.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -46,6 +56,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: spi_compile [--dot] [--sync-dot] [--json] [--no-resync]\n"
                "                   [--metrics[=json|prom]] [--trace-out FILE]\n"
+               "                   [--fault-plan FILE] [--reliability]\n"
                "                   [--run N] [--run-threads N] [--mpi] <file | ->\n");
   return 2;
 }
@@ -72,9 +83,10 @@ std::int64_t parse_iterations(const char* text) {
 
 int main(int argc, char** argv) {
   bool dot = false, sync_dot = false, resync = true, use_mpi = false, json = false;
-  bool metrics = false;
+  bool metrics = false, reliability = false;
   std::string metrics_format = "prom";
   std::string trace_out;
+  std::string fault_plan_path;
   std::int64_t run_iterations = 0;
   std::int64_t thread_iterations = 0;
   std::string path;
@@ -98,6 +110,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       if (++i >= argc) return usage();
       trace_out = argv[i];
+    } else if (arg == "--fault-plan") {
+      if (++i >= argc) return usage();
+      fault_plan_path = argv[i];
+    } else if (arg == "--reliability") {
+      reliability = true;
     } else if (arg == "--run" || arg == "--run-threads") {
       if (++i >= argc) return usage();
       const std::int64_t n = parse_iterations(argv[i]);
@@ -118,6 +135,29 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() && run_iterations <= 0 && thread_iterations <= 0) {
     std::fprintf(stderr, "spi_compile: --trace-out needs --run N or --run-threads N\n");
     return 2;
+  }
+  if (!fault_plan_path.empty() && thread_iterations > 0 && !reliability) {
+    std::fprintf(stderr,
+                 "spi_compile: a threaded run under a fault plan requires --reliability "
+                 "(the unprotected path would lose tokens and deadlock)\n");
+    return 2;
+  }
+
+  std::optional<spi::sim::FaultPlan> fault_plan;
+  if (!fault_plan_path.empty()) {
+    std::ifstream in(fault_plan_path);
+    if (!in) {
+      std::fprintf(stderr, "spi_compile: cannot open fault plan '%s'\n", fault_plan_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      fault_plan = spi::sim::parse_fault_plan(buffer.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "spi_compile: %s: %s\n", fault_plan_path.c_str(), e.what());
+      return 1;
+    }
   }
 
   std::string text;
@@ -167,10 +207,18 @@ int main(int argc, char** argv) {
       run.iterations = run_iterations;
       if (!trace_out.empty() && thread_iterations <= 0) run.trace = &trace;
       const spi::mpi::MpiBackend mpi_backend;
+      const spi::sim::IdealBackend ideal_backend;
+      const spi::sim::CommBackend& inner =
+          use_mpi ? static_cast<const spi::sim::CommBackend&>(mpi_backend) : ideal_backend;
+      std::optional<spi::sim::FaultyBackend> faulty;
+      if (fault_plan) faulty.emplace(inner, *fault_plan, &registry);
       const spi::sim::ExecStats stats =
-          use_mpi ? system.run_timed_with(mpi_backend, run) : system.run_timed(run);
-      std::fprintf(report_out, "\ntimed run (%s backend, %lld iterations):\n",
-                   use_mpi ? "MPI-generic" : "SPI", static_cast<long long>(run_iterations));
+          faulty    ? system.run_timed_with(*faulty, run)
+          : use_mpi ? system.run_timed_with(mpi_backend, run)
+                    : system.run_timed(run);
+      std::fprintf(report_out, "\ntimed run (%s%s backend, %lld iterations):\n",
+                   fault_plan ? "faulty " : "", use_mpi ? "MPI-generic" : "SPI",
+                   static_cast<long long>(run_iterations));
       std::fprintf(report_out, "  makespan        : %lld cycles\n",
                    static_cast<long long>(stats.makespan));
       std::fprintf(report_out, "  steady period   : %.1f cycles (%.3f us @ %.0f MHz)\n",
@@ -205,22 +253,47 @@ int main(int argc, char** argv) {
     }
 
     if (thread_iterations > 0) {
-      spi::core::ThreadedRuntime runtime(system, &registry);
+      spi::core::ReliabilityOptions rel;
+      rel.enabled = reliability;
+      rel.faults = fault_plan ? &*fault_plan : nullptr;
+      spi::core::ThreadedRuntime runtime(system, rel, &registry);
       spi::obs::RuntimeTraceRecorder recorder;
       if (!trace_out.empty()) runtime.set_trace(&recorder);
-      runtime.run(thread_iterations);
+      try {
+        runtime.run(thread_iterations);
+      } catch (const spi::sim::ChannelError& e) {
+        // Graceful degradation: the reliable transport gave up on one
+        // channel within its deadline instead of hanging the pipeline.
+        std::fprintf(stderr, "spi_compile: %s\n", e.what());
+        if (metrics)
+          std::printf("%s", metrics_format == "json" ? registry.to_json().c_str()
+                                                     : registry.to_prometheus().c_str());
+        return 3;
+      }
       const spi::core::ThreadedRunStats& ts = runtime.stats();
       std::fprintf(report_out,
-                   "\nthreaded run (%lld iterations, default computes):\n"
+                   "\nthreaded run (%lld iterations, default computes%s):\n"
                    "  messages        : %lld\n  payload bytes   : %lld\n"
                    "  producer blocks : %lld (%lld us)\n  consumer blocks : %lld (%lld us)\n",
                    static_cast<long long>(thread_iterations),
+                   reliability ? ", reliable transport" : "",
                    static_cast<long long>(ts.messages),
                    static_cast<long long>(ts.payload_bytes),
                    static_cast<long long>(ts.producer_blocks),
                    static_cast<long long>(ts.producer_block_micros),
                    static_cast<long long>(ts.consumer_blocks),
                    static_cast<long long>(ts.consumer_block_micros));
+      if (reliability)
+        std::fprintf(report_out,
+                     "  retries         : %lld\n  dropped frames  : %lld\n"
+                     "  crc failures    : %lld\n  duplicates      : %lld\n"
+                     "  timeouts        : %lld\n  backoff total   : %lld us\n",
+                     static_cast<long long>(ts.retries),
+                     static_cast<long long>(ts.dropped_frames),
+                     static_cast<long long>(ts.crc_failures),
+                     static_cast<long long>(ts.duplicates),
+                     static_cast<long long>(ts.timeouts),
+                     static_cast<long long>(ts.backoff_micros));
       if (!trace_out.empty() && !write_file(trace_out, recorder.to_chrome_trace_json()))
         return 1;
     }
