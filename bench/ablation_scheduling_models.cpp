@@ -82,10 +82,9 @@ int main() {
     };
 
     const sim::ExecStats self_timed =
-        sim::run_timed(system.sync_graph(), system.proc_order(), system.backend(), actual,
-                       options);
-    const sim::StaticRunResult fully_static = sim::run_fully_static(
-        system.sync_graph(), system.proc_order(), system.backend(), wcet, actual, options);
+        core::run_timed(system.plan(), system.backend(), options, actual);
+    const sim::StaticRunResult fully_static =
+        core::run_fully_static(system.plan(), system.backend(), wcet, actual, options);
 
     std::printf("%-34s %12.1f %12.1f %12lld %12.1f\n", s.name,
                 clock.to_microseconds(

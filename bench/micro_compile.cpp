@@ -5,6 +5,8 @@
 /// function of graph size. Guards the pipeline's asymptotics.
 #include <benchmark/benchmark.h>
 
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
 #include "core/spi_system.hpp"
 #include "dataflow/looped_schedule.hpp"
 #include "sched/resync.hpp"
@@ -67,6 +69,39 @@ void BM_Apgan(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(df::apgan_schedule(g, reps));
 }
 BENCHMARK(BM_Apgan)->Arg(8)->Arg(24);
+
+void BM_PlanSerialize(benchmark::State& state) {
+  const Chain chain(static_cast<int>(state.range(0)));
+  const core::ExecutablePlan plan = core::compile_plan(chain.g, chain.assignment);
+  for (auto _ : state) benchmark::DoNotOptimize(plan.to_json().size());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanSerialize)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_PlanDeserialize(benchmark::State& state) {
+  // Loading a saved plan versus BM_SpiSystemCompile at the same size: the
+  // payoff of compile-once/run-anywhere is this gap.
+  const Chain chain(static_cast<int>(state.range(0)));
+  const std::string json = core::compile_plan(chain.g, chain.assignment).to_json();
+  for (auto _ : state) {
+    const core::ExecutablePlan plan = core::ExecutablePlan::from_json(json);
+    benchmark::DoNotOptimize(plan.channels.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanDeserialize)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_ChannelLookup(benchmark::State& state) {
+  // The edge-id index behind channel_for(): O(1) per lookup.
+  const Chain chain(96);
+  const core::ExecutablePlan plan = core::compile_plan(chain.g, chain.assignment);
+  for (auto _ : state)
+    for (const core::ChannelSpec& spec : plan.channels)
+      benchmark::DoNotOptimize(&plan.channel_for(spec.edge));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(plan.channels.size()));
+}
+BENCHMARK(BM_ChannelLookup);
 
 void BM_TimedRunPerIteration(benchmark::State& state) {
   const Chain chain(32);

@@ -17,32 +17,31 @@ std::size_t FiringContext::output_index(df::EdgeId e) const {
   return static_cast<std::size_t>(it - out_edges.begin());
 }
 
-FunctionalRuntime::FunctionalRuntime(const SpiSystem& system)
-    : system_(system),
-      graph_(system.vts().graph),
+FunctionalRuntime::FunctionalRuntime(const ExecutablePlan& plan)
+    : plan_(plan),
+      graph_(plan.vts.graph),
       compute_(graph_.actor_count()),
       fired_(graph_.actor_count(), 0),
       fifo_(graph_.edge_count()) {
   // Interprocessor channels per the compiled plan.
-  for (const ChannelPlan& plan : system.channels()) {
-    const df::Edge& e = graph_.edge(plan.edge);
+  for (const ChannelSpec& spec : plan_.channels) {
     ChannelConfig config;
-    config.edge = plan.edge;
-    config.mode = plan.mode;
-    config.protocol = plan.protocol;
-    config.payload_bound_bytes = e.prod.value() * e.token_bytes;
-    if (plan.bbs_capacity_tokens) {
+    config.edge = spec.edge;
+    config.mode = spec.mode;
+    config.protocol = spec.protocol;
+    config.payload_bound_bytes = spec.payload_bound_bytes();
+    if (spec.bbs_capacity_tokens) {
       // Equation 2 counts iterations the producer may run ahead; each
       // iteration emits q[src] messages on this channel.
-      config.capacity_messages = *plan.bbs_capacity_tokens * system.repetitions().of(e.src);
+      config.capacity_messages = *spec.bbs_capacity_tokens * spec.src_firings_per_iteration;
     }
-    config.ack_elided = plan.acks_total > 0 && plan.acks_elided == plan.acks_total;
-    channels_.emplace(plan.edge, SpiChannel(config));
+    config.ack_elided = spec.acks_total > 0 && spec.acks_elided == spec.acks_total;
+    channels_.emplace(spec.edge, SpiChannel(config));
   }
   // Initial tokens (delays) start in the receiver-side FIFOs.
   for (std::size_t i = 0; i < graph_.edge_count(); ++i) {
     const df::Edge& e = graph_.edge(static_cast<df::EdgeId>(i));
-    const bool dynamic = system_.vts().edges[i].converted;
+    const bool dynamic = plan_.vts.edges[i].converted;
     for (std::int64_t d = 0; d < e.delay; ++d)
       fifo_[i].push_back(dynamic ? Bytes{} : Bytes(static_cast<std::size_t>(e.token_bytes), 0));
   }
@@ -55,7 +54,7 @@ void FunctionalRuntime::set_compute(df::ActorId actor, ComputeFn fn) {
 void FunctionalRuntime::run(std::int64_t iterations) {
   if (iterations < 0) throw std::invalid_argument("FunctionalRuntime::run: negative iterations");
   for (std::int64_t iter = 0; iter < iterations; ++iter)
-    for (df::ActorId actor : system_.pass().firings) fire(actor);
+    for (df::ActorId actor : plan_.pass.firings) fire(actor);
 }
 
 Bytes FunctionalRuntime::take_token(df::EdgeId edge) {
@@ -137,7 +136,7 @@ void FunctionalRuntime::fire(df::ActorId actor) {
   for (std::size_t i = 0; i < ctx.out_edges.size(); ++i) {
     const df::EdgeId eid = ctx.out_edges[i];
     const df::Edge& e = graph_.edge(eid);
-    const df::VtsEdgeInfo& info = system_.vts().edges[static_cast<std::size_t>(eid)];
+    const df::VtsEdgeInfo& info = plan_.vts.edges[static_cast<std::size_t>(eid)];
     if (static_cast<std::int64_t>(ctx.outputs[i].size()) != e.prod.value())
       throw std::logic_error("FunctionalRuntime: actor " + graph_.actor(actor).name +
                              " produced wrong token count on " + e.name);

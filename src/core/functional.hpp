@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/channel.hpp"
+#include "core/plan.hpp"
 #include "core/spi_system.hpp"
 
 namespace spi::core {
@@ -44,10 +45,15 @@ struct FiringContext {
 
 using ComputeFn = std::function<void(FiringContext&)>;
 
-/// Executes a compiled SpiSystem functionally.
+/// Executes a compiled plan functionally.
 class FunctionalRuntime {
  public:
-  explicit FunctionalRuntime(const SpiSystem& system);
+  /// Constructs from the compiled artifact alone — anything that can
+  /// produce (or load) an ExecutablePlan can execute functionally. The
+  /// plan must outlive the runtime.
+  explicit FunctionalRuntime(const ExecutablePlan& plan);
+  /// Convenience: runs the facade's plan().
+  explicit FunctionalRuntime(const SpiSystem& system) : FunctionalRuntime(system.plan()) {}
 
   /// Registers the computation of an actor. Unregistered actors default
   /// to producing zero-filled full-rate tokens (useful for smoke tests).
@@ -70,7 +76,7 @@ class FunctionalRuntime {
   [[nodiscard]] Bytes take_token(df::EdgeId edge);
   void put_tokens(df::EdgeId edge, std::vector<Bytes>&& tokens);
 
-  const SpiSystem& system_;
+  const ExecutablePlan& plan_;
   const df::Graph& graph_;  ///< the VTS-converted graph
   std::vector<ComputeFn> compute_;
   std::vector<std::int64_t> fired_;

@@ -1,0 +1,216 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace spi::core {
+
+namespace {
+
+df::Repetitions checked_repetitions(const df::Graph& g) {
+  df::Repetitions reps = df::compute_repetitions(g);
+  if (!reps.consistent) {
+    std::string edge = reps.conflict_edge != df::kInvalidEdge
+                           ? g.edge(reps.conflict_edge).name
+                           : std::string("<structural>");
+    throw std::invalid_argument("SpiSystem: inconsistent dataflow graph after VTS conversion"
+                                " (balance equation fails at edge " + edge + ")");
+  }
+  return reps;
+}
+
+df::SequentialSchedule checked_pass(const df::Graph& g, const df::Repetitions& reps,
+                                    df::SchedulePolicy policy) {
+  df::SequentialSchedule s = df::build_sequential_schedule(g, reps, policy);
+  if (!s.admissible)
+    throw std::invalid_argument("SpiSystem: graph deadlocks (insufficient delay on a cycle)");
+  return s;
+}
+
+/// Runs one compile phase, recording its wall-clock seconds into
+/// `spi_compile_phase_seconds{phase=...}` when a registry is attached.
+template <typename F>
+auto timed_phase(obs::MetricRegistry* registry, const char* phase, F&& f) {
+  if (!registry) return f();
+  obs::ScopedTimer timer(&registry->gauge(
+      "spi_compile_phase_seconds", {{"phase", phase}},
+      "Wall-clock seconds spent in one phase of the SPI compile pipeline"));
+  return f();
+}
+
+}  // namespace
+
+VtsStage run_vts_stage(const df::Graph& application, const SpiSystemOptions& options) {
+  VtsStage stage;
+  stage.vts = timed_phase(options.metrics, "vts_convert",
+                          [&] { return df::vts_convert(application); });
+  return stage;
+}
+
+ScheduleStage run_schedule_stage(const VtsStage& vts, const sched::Assignment& assignment,
+                                 const SpiSystemOptions& options) {
+  ScheduleStage stage;
+  const df::Graph& g = vts.vts.graph;
+  stage.repetitions =
+      timed_phase(options.metrics, "repetitions", [&] { return checked_repetitions(g); });
+  stage.pass = timed_phase(options.metrics, "pass_schedule", [&] {
+    return checked_pass(g, stage.repetitions, options.pass_policy);
+  });
+  stage.hsdf = timed_phase(options.metrics, "hsdf_expand",
+                           [&] { return sched::hsdf_expand(g, stage.repetitions); });
+  stage.proc_order = timed_phase(options.metrics, "proc_order", [&] {
+    return sched::proc_order_from_pass(stage.hsdf, stage.pass.firings, assignment);
+  });
+  return stage;
+}
+
+SyncStage run_sync_stage(const ScheduleStage& sched, const sched::Assignment& assignment,
+                         const SpiSystemOptions& options) {
+  sched::SyncGraphBuild build = timed_phase(options.metrics, "sync_graph", [&] {
+    return sched::build_sync_graph(sched.hsdf, assignment, sched.proc_order, options.sync);
+  });
+  std::optional<sched::ResyncReport> resync;
+  if (options.resynchronize)
+    resync = timed_phase(options.metrics, "resynchronize",
+                         [&] { return sched::resynchronize(build.graph, options.resync); });
+  return SyncStage{std::move(build), std::move(resync)};
+}
+
+ProtocolStage run_protocol_stage(const VtsStage& vts, const ScheduleStage& sched,
+                                 const SyncStage& sync) {
+  // One channel per interprocessor dataflow edge. The VTS result is the
+  // single source: names are preserved by the conversion and
+  // `converted` marks the originally-dynamic edges.
+  const std::vector<std::int64_t> c_bytes = df::packed_buffer_byte_bounds(vts.vts);
+  std::map<df::EdgeId, ChannelSpec> plans;
+  for (const auto& [sync_index, protocol] : sync.build.ipc_edges) {
+    const sched::SyncEdge& se = sync.build.graph.edges()[sync_index];
+    ChannelSpec& plan = plans[se.dataflow_edge];
+    if (plan.edge == df::kInvalidEdge) {
+      const auto slot = static_cast<std::size_t>(se.dataflow_edge);
+      const df::Edge& edge = vts.vts.graph.edge(se.dataflow_edge);
+      const df::VtsEdgeInfo& info = vts.vts.edges[slot];
+      plan.edge = se.dataflow_edge;
+      plan.name = edge.name;
+      plan.mode = info.converted ? SpiMode::kDynamic : SpiMode::kStatic;
+      plan.b_max_bytes = info.b_max_bytes;
+      plan.c_bytes = c_bytes[slot];
+      plan.protocol = sched::SyncProtocol::kBbs;  // demoted to UBS below if any arc needs it
+      plan.token_bytes = edge.token_bytes;
+      plan.raw_token_bytes = info.raw_token_bytes;
+      plan.prod_tokens = edge.prod.value();
+      plan.delay_tokens = edge.delay;
+      plan.src_firings_per_iteration = sched.repetitions.of(edge.src);
+    }
+    plan.sync_edges.push_back(sync_index);
+    if (protocol == sched::SyncProtocol::kUbs) plan.protocol = sched::SyncProtocol::kUbs;
+  }
+
+  // Equation 2 bounds for BBS channels; ack bookkeeping for UBS channels.
+  for (auto& [edge, plan] : plans) {
+    if (plan.protocol == sched::SyncProtocol::kBbs) {
+      std::int64_t tokens = 0;
+      for (std::size_t idx : plan.sync_edges) {
+        const auto bound = sched::ipc_buffer_bound_tokens(sync.build.graph, idx);
+        if (!bound) {  // should not happen for a BBS-classified edge
+          plan.protocol = sched::SyncProtocol::kUbs;
+          tokens = 0;
+          break;
+        }
+        tokens = std::max(tokens, *bound);
+      }
+      if (plan.protocol == sched::SyncProtocol::kBbs) {
+        plan.bbs_capacity_tokens = tokens;
+        plan.bbs_capacity_bytes = tokens * plan.b_max_bytes;
+      }
+    }
+  }
+  for (const sched::SyncEdge& se : sync.build.graph.edges()) {
+    if (se.kind != sched::SyncEdgeKind::kAck) continue;
+    auto it = plans.find(se.dataflow_edge);
+    if (it == plans.end()) continue;
+    it->second.acks_total += 1;
+    if (se.removed) it->second.acks_elided += 1;
+  }
+
+  ProtocolStage stage;
+  stage.channels.reserve(plans.size());
+  for (auto& [edge, plan] : plans) stage.channels.push_back(std::move(plan));
+  return stage;
+}
+
+ExecutablePlan plan_emit(const df::Graph& application, const sched::Assignment& assignment,
+                         const SpiSystemOptions& options, VtsStage vts, ScheduleStage sched,
+                         SyncStage sync, ProtocolStage protocol) {
+  ExecutablePlan plan;
+  plan.graph_name = application.name();
+  plan.proc_count = assignment.proc_count();
+  plan.costs = options.costs;
+  plan.vts = std::move(vts.vts);
+  plan.repetitions = std::move(sched.repetitions);
+  plan.pass = std::move(sched.pass);
+  plan.proc_order = std::move(sched.proc_order);
+  plan.sync_graph = std::move(sync.build.graph);
+  plan.resync = sync.resync;
+  plan.channels = std::move(protocol.channels);
+
+  plan.proc_of_actor.reserve(plan.vts.graph.actor_count());
+  for (std::size_t a = 0; a < plan.vts.graph.actor_count(); ++a)
+    plan.proc_of_actor.push_back(assignment.proc_of(static_cast<df::ActorId>(a)));
+
+  // Per-processor firing programs: the PASS in per-processor slices,
+  // each firing carrying its invocation index and edge bindings.
+  plan.programs.assign(static_cast<std::size_t>(plan.proc_count), {});
+  std::vector<std::int32_t> invocation(plan.vts.graph.actor_count(), 0);
+  for (df::ActorId actor : plan.pass.firings) {
+    FiringStep step;
+    step.actor = actor;
+    step.invocation = invocation[static_cast<std::size_t>(actor)]++;
+    const auto in = plan.vts.graph.in_edges(actor);
+    const auto out = plan.vts.graph.out_edges(actor);
+    step.in_edges.assign(in.begin(), in.end());
+    step.out_edges.assign(out.begin(), out.end());
+    plan.programs[static_cast<std::size_t>(plan.proc_of(actor))].push_back(std::move(step));
+  }
+
+  plan.messages_per_iteration = plan.sync_graph.count_active(sched::SyncEdgeKind::kIpc) +
+                                plan.sync_graph.count_active(sched::SyncEdgeKind::kAck) +
+                                plan.sync_graph.count_active(sched::SyncEdgeKind::kResync);
+  plan.rebuild_channel_index();
+  return plan;
+}
+
+ExecutablePlan compile_plan(const df::Graph& application, const sched::Assignment& assignment,
+                            const SpiSystemOptions& options) {
+  const std::int64_t compile_start_ns = obs::monotonic_ns();
+  if (assignment.actor_count() != application.actor_count())
+    throw std::invalid_argument("SpiSystem: assignment size does not match the graph");
+
+  VtsStage vts = run_vts_stage(application, options);
+  ScheduleStage sched = run_schedule_stage(vts, assignment, options);
+  SyncStage sync = run_sync_stage(sched, assignment, options);
+
+  ExecutablePlan plan = [&] {
+    obs::ScopedTimer plan_timer(
+        options.metrics ? &options.metrics->gauge(
+                              "spi_compile_phase_seconds", {{"phase", "channel_plan"}},
+                              "Wall-clock seconds spent in one phase of the SPI compile pipeline")
+                        : nullptr);
+    ProtocolStage protocol = run_protocol_stage(vts, sched, sync);
+    return plan_emit(application, assignment, options, std::move(vts), std::move(sched),
+                     std::move(sync), std::move(protocol));
+  }();
+
+  if (options.metrics) {
+    options.metrics
+        ->gauge("spi_compile_total_seconds", {},
+                "Wall-clock seconds of the whole SPI compile pipeline")
+        .set(static_cast<double>(obs::monotonic_ns() - compile_start_ns) * 1e-9);
+    plan.publish_metrics(*options.metrics);
+  }
+  return plan;
+}
+
+}  // namespace spi::core

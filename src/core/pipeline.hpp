@@ -1,0 +1,113 @@
+/// \file pipeline.hpp
+/// The SPI compile pipeline as explicit, typed stages
+/// (docs/architecture.md):
+///
+///   VtsStage -> ScheduleStage -> SyncStage -> ProtocolStage -> plan_emit
+///
+/// Each stage function consumes the previous stage's typed result and
+/// produces its own; compile_plan() chains them all and returns the
+/// serializable ExecutablePlan (core/plan.hpp). SpiSystem is a thin
+/// facade over compile_plan() that keeps the historical accessor API.
+///
+/// Stage boundaries match the paper's structure: VTS conversion
+/// (Section 3), repetitions/PASS/HSDF/self-timed order, the IPC and
+/// synchronization graph with optional resynchronization (Section 4 and
+/// 4.1), and BBS/UBS protocol selection with the equation-1/2 buffer
+/// bounds.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "dataflow/graph.hpp"
+#include "dataflow/repetitions.hpp"
+#include "dataflow/sdf_schedule.hpp"
+#include "dataflow/vts.hpp"
+#include "obs/metrics.hpp"
+#include "sched/assignment.hpp"
+#include "sched/hsdf.hpp"
+#include "sched/resync.hpp"
+#include "sched/sync_graph.hpp"
+
+namespace spi::core {
+
+struct SpiSystemOptions {
+  bool resynchronize = true;
+  sched::ResyncOptions resync;
+  sched::SyncGraphOptions sync;
+  SpiCostParams costs;
+  /// Policy for the sequential PASS the per-processor self-timed orders
+  /// are derived from. kFirstFireable follows actor-id order — an
+  /// application can shape its processors' schedules (e.g. issue all
+  /// sends before any receive) by choosing actor creation order;
+  /// kMinBufferDemand greedily minimizes buffer occupancy instead.
+  df::SchedulePolicy pass_policy = df::SchedulePolicy::kMinBufferDemand;
+  /// Optional observability sink (docs/observability.md). When set, the
+  /// pipeline records per-phase wall-clock timings
+  /// (`spi_compile_phase_seconds{phase=...}`) and publishes the
+  /// plan-level gauges on completion. Not owned; must outlive the
+  /// compile.
+  obs::MetricRegistry* metrics = nullptr;
+};
+
+/// Stage 1 — VTS conversion: dynamic rates become packed rate-1/1 SDF
+/// edges with byte bounds (paper Section 3).
+struct VtsStage {
+  df::VtsResult vts;
+};
+
+/// Stage 2 — scheduling analyses on the converted graph: repetitions
+/// vector (consistency), sequential PASS (admissibility), HSDF
+/// expansion, and the per-processor self-timed firing order.
+struct ScheduleStage {
+  df::Repetitions repetitions;
+  df::SequentialSchedule pass;
+  sched::HsdfGraph hsdf;
+  sched::ProcOrder proc_order;
+};
+
+/// Stage 3 — the IPC/synchronization graph plus the optional
+/// resynchronization transformation (paper Sections 4, 4.1).
+struct SyncStage {
+  sched::SyncGraphBuild build;
+  std::optional<sched::ResyncReport> resync;
+};
+
+/// Stage 4 — per-channel protocol selection: SPI mode, BBS/UBS,
+/// equation-1/2 capacities, token geometry, ack accounting.
+struct ProtocolStage {
+  std::vector<ChannelSpec> channels;
+};
+
+/// Throws std::invalid_argument on inconsistent graphs (repetitions) or
+/// deadlock (PASS), like the historical SpiSystem constructor.
+[[nodiscard]] VtsStage run_vts_stage(const df::Graph& application,
+                                     const SpiSystemOptions& options = {});
+[[nodiscard]] ScheduleStage run_schedule_stage(const VtsStage& stage,
+                                               const sched::Assignment& assignment,
+                                               const SpiSystemOptions& options = {});
+[[nodiscard]] SyncStage run_sync_stage(const ScheduleStage& stage,
+                                       const sched::Assignment& assignment,
+                                       const SpiSystemOptions& options = {});
+[[nodiscard]] ProtocolStage run_protocol_stage(const VtsStage& vts, const ScheduleStage& sched,
+                                               const SyncStage& sync);
+
+/// Stage 5 — assembles the ExecutablePlan: per-processor firing
+/// programs, the O(1) channel index, the iteration message budget and
+/// all plan-level metadata. Stages are moved into the plan.
+[[nodiscard]] ExecutablePlan plan_emit(const df::Graph& application,
+                                       const sched::Assignment& assignment,
+                                       const SpiSystemOptions& options, VtsStage vts,
+                                       ScheduleStage sched, SyncStage sync,
+                                       ProtocolStage protocol);
+
+/// Runs the whole pipeline. Throws std::invalid_argument on a mismatched
+/// assignment, an inconsistent graph, or deadlock. When
+/// options.metrics is set, records the per-phase and total compile
+/// timings and publishes the spi_plan_* gauges.
+[[nodiscard]] ExecutablePlan compile_plan(const df::Graph& application,
+                                          const sched::Assignment& assignment,
+                                          const SpiSystemOptions& options = {});
+
+}  // namespace spi::core

@@ -1,0 +1,182 @@
+/// \file plan.hpp
+/// ExecutablePlan — the serializable compiled artifact of the SPI
+/// pipeline (docs/architecture.md).
+///
+/// The paper's thesis is that SPI *compiles* an application's static
+/// structure into lean, specialized communication actors instead of a
+/// general-purpose runtime. The ExecutablePlan makes that compiled
+/// artifact explicit: everything the execution engines need — the
+/// VTS-converted graph, repetitions vector, PASS, per-processor firing
+/// programs, synchronization graph, per-edge ChannelSpec (SPI mode,
+/// BBS/UBS protocol, equation-1/2 capacities, token widths, elided
+/// acks), cost-model parameters and the iteration message budget — in
+/// one value type with full JSON round-trip serialization. A system is
+/// compiled once (core/pipeline.hpp), optionally written to disk
+/// (`spi_compile --emit-plan`), and executed later or elsewhere
+/// (`--load-plan`) without re-running any analysis.
+///
+/// All four execution engines construct from `const ExecutablePlan&`:
+/// FunctionalRuntime and ThreadedRuntime take it directly; the timed
+/// self-timed simulator and the fully-static executor are driven through
+/// the run_timed()/run_fully_static() wrappers below, which install the
+/// plan's payload and channel-descriptor hooks into the sim layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/spi_backend.hpp"
+#include "dataflow/graph.hpp"
+#include "dataflow/repetitions.hpp"
+#include "dataflow/sdf_schedule.hpp"
+#include "dataflow/vts.hpp"
+#include "obs/metrics.hpp"
+#include "sched/resync.hpp"
+#include "sched/sync_graph.hpp"
+#include "sim/static_executor.hpp"
+#include "sim/timed_executor.hpp"
+
+namespace spi::core {
+
+/// Compile-time plan for one interprocessor dataflow edge. This is the
+/// single source of truth for channel descriptors: the functional,
+/// threaded and simulated engines all derive their per-channel
+/// configuration (including sim::ChannelInfo) from it.
+struct ChannelSpec {
+  df::EdgeId edge = df::kInvalidEdge;
+  std::string name;
+  SpiMode mode = SpiMode::kStatic;
+  sched::SyncProtocol protocol = sched::SyncProtocol::kUbs;
+  std::int64_t b_max_bytes = 0;  ///< max bytes of one message payload
+  std::int64_t c_bytes = 0;      ///< equation 1: c_sdf(e) · b_max(e)
+  /// Equation 2 (BBS only): statically guaranteed buffer bound.
+  std::optional<std::int64_t> bbs_capacity_tokens;
+  std::optional<std::int64_t> bbs_capacity_bytes;
+  /// Sync-graph edge indices realizing this dataflow edge (>1 when the
+  /// HSDF expansion splits a multirate edge across firings).
+  std::vector<std::size_t> sync_edges;
+  std::size_t acks_total = 0;   ///< UBS ack edges created for this channel
+  std::size_t acks_elided = 0;  ///< of those, removed by resynchronization
+  /// Token geometry on the VTS-converted edge: bytes of one (packed)
+  /// token, bytes of one raw token, tokens per producing firing and
+  /// initial tokens. Lets engines size buffers without graph lookups.
+  std::int64_t token_bytes = 0;
+  std::int64_t raw_token_bytes = 0;
+  std::int64_t prod_tokens = 1;
+  std::int64_t delay_tokens = 0;
+  std::int64_t src_firings_per_iteration = 1;  ///< q[src(e)]
+  /// Reliability hook: whether the channel is wrapped by the reliable
+  /// transport when a runtime enables it (docs/reliability.md).
+  bool reliable = true;
+
+  /// Worst-case payload of one message (prod tokens of token_bytes each).
+  [[nodiscard]] std::int64_t payload_bound_bytes() const { return prod_tokens * token_bytes; }
+  /// The sim-layer channel descriptor, derived here and nowhere else.
+  [[nodiscard]] sim::ChannelInfo channel_info() const {
+    return sim::ChannelInfo{edge, mode == SpiMode::kDynamic};
+  }
+};
+
+/// Historical name, kept so existing callers of SpiSystem::channels()
+/// keep compiling; the plan IR superset is the same type.
+using ChannelPlan = ChannelSpec;
+
+/// One firing in a processor's per-iteration program: which actor fires,
+/// its invocation index within the iteration, and the edge bindings its
+/// FiringContext sees.
+struct FiringStep {
+  df::ActorId actor = df::kInvalidActor;
+  std::int32_t invocation = 0;  ///< 0 .. q[actor]-1 within one iteration
+  std::vector<df::EdgeId> in_edges;
+  std::vector<df::EdgeId> out_edges;
+};
+
+/// The compiled, serializable SPI system.
+struct ExecutablePlan {
+  /// Schema version of the JSON encoding; bumped on breaking changes.
+  static constexpr int kSchemaVersion = 1;
+
+  std::string graph_name;       ///< original application graph name
+  std::int32_t proc_count = 1;
+  SpiCostParams costs;          ///< SPI backend cost parameters
+  df::VtsResult vts;            ///< converted pure-SDF graph + per-edge VTS info
+  df::Repetitions repetitions;
+  df::SequentialSchedule pass;
+  std::vector<sched::Proc> proc_of_actor;  ///< actor -> processor
+  sched::SyncGraph sync_graph{{}, {}, 1};
+  sched::ProcOrder proc_order;
+  std::optional<sched::ResyncReport> resync;
+  std::vector<ChannelSpec> channels;
+  /// programs[p] = processor p's firing sequence for one iteration.
+  std::vector<std::vector<FiringStep>> programs;
+  /// Iteration message budget: data + surviving ack + resync messages.
+  std::size_t messages_per_iteration = 0;
+  /// Edge-id -> index into channels (-1 = processor-local edge). Built
+  /// once at plan emission; makes channel_for() O(1).
+  std::vector<std::int32_t> channel_index;
+
+  [[nodiscard]] sched::Proc proc_of(df::ActorId a) const {
+    return proc_of_actor.at(static_cast<std::size_t>(a));
+  }
+
+  /// O(1) channel lookup; nullptr for processor-local edges.
+  [[nodiscard]] const ChannelSpec* find_channel(df::EdgeId edge) const;
+  /// Throwing variant (std::out_of_range for non-interprocessor edges).
+  [[nodiscard]] const ChannelSpec& channel_for(df::EdgeId edge) const;
+  /// Rebuilds channel_index from channels (called by the pipeline's plan
+  /// emission and by from_json()).
+  void rebuild_channel_index();
+
+  /// Edges the SPI backend treats as dynamic (VTS-converted).
+  [[nodiscard]] std::unordered_set<df::EdgeId> dynamic_edges() const;
+  /// The SPI cost-model backend configured for this plan's channels.
+  [[nodiscard]] std::unique_ptr<SpiBackend> make_backend() const;
+
+  /// Human-readable compilation report (channels, protocols, bounds,
+  /// resynchronization summary).
+  [[nodiscard]] std::string report() const;
+
+  /// Serializes the whole plan as JSON (round-trip format; see
+  /// docs/architecture.md for the field-by-field schema). Deterministic:
+  /// the same plan always produces byte-identical output, so emitted
+  /// plans can be golden-filed and diffed.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses a plan previously produced by to_json(). Throws
+  /// std::invalid_argument with a descriptive message on malformed input
+  /// or schema mismatch. The result passes validate().
+  [[nodiscard]] static ExecutablePlan from_json(std::string_view text);
+
+  /// Internal-consistency check (sizes, index maps, message budget).
+  /// Throws std::invalid_argument naming the first violated invariant.
+  void validate() const;
+
+  /// Publishes the compile-time plan as gauges (spi_plan_*); see
+  /// docs/observability.md.
+  void publish_metrics(obs::MetricRegistry& registry) const;
+
+  /// Fills null workload hooks with the plan's defaults: worst-case
+  /// per-edge payload bytes and the ChannelSpec-derived ChannelInfo
+  /// descriptor (the one place sim::ChannelInfo is built from the plan).
+  void install_workload_defaults(sim::WorkloadModel& workload) const;
+};
+
+/// Runs the timed self-timed platform simulation from a plan.
+[[nodiscard]] sim::ExecStats run_timed(const ExecutablePlan& plan,
+                                       const sim::CommBackend& backend,
+                                       const sim::TimedExecutorOptions& options,
+                                       sim::WorkloadModel workload = {});
+
+/// Runs the fully-static (clock-driven) executor from a plan.
+[[nodiscard]] sim::StaticRunResult run_fully_static(const ExecutablePlan& plan,
+                                                    const sim::CommBackend& backend,
+                                                    sim::WorkloadModel wcet,
+                                                    sim::WorkloadModel actual,
+                                                    const sim::TimedExecutorOptions& options);
+
+}  // namespace spi::core

@@ -1,238 +1,15 @@
 #include "core/spi_system.hpp"
 
-#include <algorithm>
-#include <map>
-#include <sstream>
-#include <stdexcept>
+#include <utility>
 
 namespace spi::core {
-
-namespace {
-
-df::Repetitions checked_repetitions(const df::Graph& g) {
-  df::Repetitions reps = df::compute_repetitions(g);
-  if (!reps.consistent) {
-    std::string edge = reps.conflict_edge != df::kInvalidEdge
-                           ? g.edge(reps.conflict_edge).name
-                           : std::string("<structural>");
-    throw std::invalid_argument("SpiSystem: inconsistent dataflow graph after VTS conversion"
-                                " (balance equation fails at edge " + edge + ")");
-  }
-  return reps;
-}
-
-df::SequentialSchedule checked_pass(const df::Graph& g, const df::Repetitions& reps,
-                                    df::SchedulePolicy policy) {
-  df::SequentialSchedule s = df::build_sequential_schedule(g, reps, policy);
-  if (!s.admissible)
-    throw std::invalid_argument("SpiSystem: graph deadlocks (insufficient delay on a cycle)");
-  return s;
-}
-
-/// Runs one compile phase, recording its wall-clock seconds into
-/// `spi_compile_phase_seconds{phase=...}` when a registry is attached.
-template <typename F>
-auto timed_phase(obs::MetricRegistry* registry, const char* phase, F&& f) {
-  if (!registry) return f();
-  obs::ScopedTimer timer(&registry->gauge(
-      "spi_compile_phase_seconds", {{"phase", phase}},
-      "Wall-clock seconds spent in one phase of the SPI compile pipeline"));
-  return f();
-}
-
-}  // namespace
 
 SpiSystem::SpiSystem(const df::Graph& application, sched::Assignment assignment,
                      SpiSystemOptions options)
     : app_(application),
       assignment_(std::move(assignment)),
-      options_(options),
-      vts_(timed_phase(options.metrics, "vts_convert", [&] { return df::vts_convert(app_); })),
-      reps_(timed_phase(options.metrics, "repetitions",
-                        [&] { return checked_repetitions(vts_.graph); })),
-      pass_(timed_phase(options.metrics, "pass_schedule",
-                        [&] { return checked_pass(vts_.graph, reps_, options.pass_policy); })),
-      hsdf_(timed_phase(options.metrics, "hsdf_expand",
-                        [&] { return sched::hsdf_expand(vts_.graph, reps_); })),
-      proc_order_(timed_phase(options.metrics, "proc_order",
-                              [&] {
-                                return sched::proc_order_from_pass(hsdf_, pass_.firings,
-                                                                   assignment_);
-                              })),
-      sync_build_(timed_phase(options.metrics, "sync_graph", [&] {
-        return sched::build_sync_graph(hsdf_, assignment_, proc_order_, options_.sync);
-      })) {
-  if (assignment_.actor_count() != app_.actor_count())
-    throw std::invalid_argument("SpiSystem: assignment size does not match the graph");
-
-  if (options_.resynchronize)
-    resync_report_ = timed_phase(options_.metrics, "resynchronize", [&] {
-      return sched::resynchronize(sync_build_.graph, options_.resync);
-    });
-
-  obs::ScopedTimer plan_timer(
-      options_.metrics ? &options_.metrics->gauge(
-                             "spi_compile_phase_seconds", {{"phase", "channel_plan"}},
-                             "Wall-clock seconds spent in one phase of the SPI compile pipeline")
-                       : nullptr);
-
-  // --- channel plan (one per interprocessor dataflow edge) --------------
-  const std::vector<std::int64_t> c_bytes = df::packed_buffer_byte_bounds(vts_);
-  std::map<df::EdgeId, ChannelPlan> plans;
-  for (const auto& [sync_index, protocol] : sync_build_.ipc_edges) {
-    const sched::SyncEdge& se = sync_build_.graph.edges()[sync_index];
-    ChannelPlan& plan = plans[se.dataflow_edge];
-    if (plan.edge == df::kInvalidEdge) {
-      const df::Edge& original = app_.edge(se.dataflow_edge);
-      plan.edge = se.dataflow_edge;
-      plan.name = original.name;
-      plan.mode = original.is_dynamic() ? SpiMode::kDynamic : SpiMode::kStatic;
-      plan.b_max_bytes = vts_.edges[static_cast<std::size_t>(se.dataflow_edge)].b_max_bytes;
-      plan.c_bytes = c_bytes[static_cast<std::size_t>(se.dataflow_edge)];
-      plan.protocol = sched::SyncProtocol::kBbs;  // demoted to UBS below if any arc needs it
-    }
-    plan.sync_edges.push_back(sync_index);
-    if (protocol == sched::SyncProtocol::kUbs) plan.protocol = sched::SyncProtocol::kUbs;
-  }
-
-  // Equation 2 bounds for BBS channels; ack bookkeeping for UBS channels.
-  for (auto& [edge, plan] : plans) {
-    if (plan.protocol == sched::SyncProtocol::kBbs) {
-      std::int64_t tokens = 0;
-      for (std::size_t idx : plan.sync_edges) {
-        const auto bound = sched::ipc_buffer_bound_tokens(sync_build_.graph, idx);
-        if (!bound) {  // should not happen for a BBS-classified edge
-          plan.protocol = sched::SyncProtocol::kUbs;
-          tokens = 0;
-          break;
-        }
-        tokens = std::max(tokens, *bound);
-      }
-      if (plan.protocol == sched::SyncProtocol::kBbs) {
-        plan.bbs_capacity_tokens = tokens;
-        plan.bbs_capacity_bytes = tokens * plan.b_max_bytes;
-      }
-    }
-  }
-  for (const sched::SyncEdge& se : sync_build_.graph.edges()) {
-    if (se.kind != sched::SyncEdgeKind::kAck) continue;
-    auto it = plans.find(se.dataflow_edge);
-    if (it == plans.end()) continue;
-    it->second.acks_total += 1;
-    if (se.removed) it->second.acks_elided += 1;
-  }
-
-  channels_.reserve(plans.size());
-  for (auto& [edge, plan] : plans) channels_.push_back(std::move(plan));
-
-  std::unordered_set<df::EdgeId> dynamic_edges;
-  for (df::EdgeId e : app_.dynamic_edges()) dynamic_edges.insert(e);
-  backend_ = std::make_unique<SpiBackend>(options_.costs, std::move(dynamic_edges));
-
-  if (options_.metrics) {
-    options_.metrics
-        ->gauge("spi_compile_total_seconds", {},
-                "Wall-clock seconds of the whole SPI compile pipeline")
-        .set(static_cast<double>(obs::monotonic_ns() - compile_start_ns_) * 1e-9);
-    publish_plan_metrics(*options_.metrics);
-  }
-}
-
-void SpiSystem::publish_plan_metrics(obs::MetricRegistry& registry) const {
-  static constexpr const char* kModes[] = {"static", "dynamic"};
-  static constexpr const char* kProtocols[] = {"bbs", "ubs"};
-  // Zero-initialize the full mode x protocol matrix so exports always
-  // carry every combination.
-  for (const char* mode : kModes)
-    for (const char* protocol : kProtocols)
-      registry
-          .gauge("spi_plan_channels", {{"mode", mode}, {"protocol", protocol}},
-                 "Interprocessor channels in the compiled plan by SPI mode and sync protocol")
-          .set(0.0);
-
-  std::int64_t acks_total = 0, acks_elided = 0, eq1_bytes = 0, eq2_bytes = 0;
-  for (const ChannelPlan& plan : channels_) {
-    const char* mode = plan.mode == SpiMode::kDynamic ? "dynamic" : "static";
-    const char* protocol = plan.protocol == sched::SyncProtocol::kBbs ? "bbs" : "ubs";
-    registry.gauge("spi_plan_channels", {{"mode", mode}, {"protocol", protocol}}).add(1.0);
-
-    const obs::Labels channel{{"channel", plan.name}};
-    registry
-        .gauge("spi_plan_channel_acks", channel,
-               "UBS acknowledgement edges created for one channel")
-        .set(static_cast<double>(plan.acks_total));
-    registry
-        .gauge("spi_plan_channel_acks_elided", channel,
-               "Acknowledgement edges removed from one channel by resynchronization")
-        .set(static_cast<double>(plan.acks_elided));
-    registry
-        .gauge("spi_plan_channel_b_max_bytes", channel,
-               "Maximum bytes of one message payload (VTS bound)")
-        .set(static_cast<double>(plan.b_max_bytes));
-    registry
-        .gauge("spi_plan_channel_c_bytes", channel,
-               "Equation-1 static buffer bytes c_sdf(e) * b_max(e)")
-        .set(static_cast<double>(plan.c_bytes));
-    if (plan.bbs_capacity_bytes)
-      registry
-          .gauge("spi_plan_channel_bbs_capacity_bytes", channel,
-                 "Equation-2 statically guaranteed BBS buffer bound in bytes")
-          .set(static_cast<double>(*plan.bbs_capacity_bytes));
-    acks_total += static_cast<std::int64_t>(plan.acks_total);
-    acks_elided += static_cast<std::int64_t>(plan.acks_elided);
-    eq1_bytes += plan.c_bytes;
-    eq2_bytes += plan.bbs_capacity_bytes.value_or(0);
-  }
-
-  registry.gauge("spi_plan_acks", {}, "UBS acknowledgement edges created across all channels")
-      .set(static_cast<double>(acks_total));
-  registry
-      .gauge("spi_plan_acks_elided", {},
-             "Acknowledgement edges removed across all channels by resynchronization")
-      .set(static_cast<double>(acks_elided));
-  registry.gauge("spi_plan_eq1_buffer_bytes", {}, "Sum of equation-1 buffer bounds in bytes")
-      .set(static_cast<double>(eq1_bytes));
-  registry
-      .gauge("spi_plan_eq2_buffer_bytes", {},
-             "Sum of equation-2 (BBS) statically guaranteed buffer bounds in bytes")
-      .set(static_cast<double>(eq2_bytes));
-  registry
-      .gauge("spi_plan_messages_per_iteration", {},
-             "Synchronization messages per graph iteration under the compiled plan")
-      .set(static_cast<double>(messages_per_iteration()));
-  if (resync_report_) {
-    registry.gauge("spi_plan_resync_acks_before", {}, "Ack edges before resynchronization")
-        .set(static_cast<double>(resync_report_->acks_before));
-    registry.gauge("spi_plan_resync_acks_after", {}, "Ack edges after resynchronization")
-        .set(static_cast<double>(resync_report_->acks_after));
-    registry.gauge("spi_plan_resync_mcm_before", {}, "Maximum cycle mean before resynchronization")
-        .set(resync_report_->mcm_before);
-    registry.gauge("spi_plan_resync_mcm_after", {}, "Maximum cycle mean after resynchronization")
-        .set(resync_report_->mcm_after);
-  }
-}
-
-const ChannelPlan& SpiSystem::channel_for(df::EdgeId edge) const {
-  for (const ChannelPlan& plan : channels_)
-    if (plan.edge == edge) return plan;
-  throw std::out_of_range("SpiSystem::channel_for: edge is not interprocessor");
-}
-
-std::size_t SpiSystem::messages_per_iteration() const {
-  const auto& graph = sync_build_.graph;
-  return graph.count_active(sched::SyncEdgeKind::kIpc) +
-         graph.count_active(sched::SyncEdgeKind::kAck) +
-         graph.count_active(sched::SyncEdgeKind::kResync);
-}
-
-void SpiSystem::install_default_payloads(sim::WorkloadModel& workload) const {
-  if (workload.payload_bytes) return;
-  workload.payload_bytes = [this](const sched::SyncEdge& e, std::int64_t) -> std::int64_t {
-    if (e.dataflow_edge == df::kInvalidEdge) return 0;
-    const df::Edge& edge = vts_.graph.edge(e.dataflow_edge);
-    return edge.prod.value() * edge.token_bytes;  // worst case for dynamic channels
-  };
-}
+      plan_(compile_plan(app_, assignment_, options)),
+      backend_(plan_.make_backend()) {}
 
 sim::ExecStats SpiSystem::run_timed(const sim::TimedExecutorOptions& options,
                                     sim::WorkloadModel workload) const {
@@ -242,80 +19,7 @@ sim::ExecStats SpiSystem::run_timed(const sim::TimedExecutorOptions& options,
 sim::ExecStats SpiSystem::run_timed_with(const sim::CommBackend& backend,
                                          const sim::TimedExecutorOptions& options,
                                          sim::WorkloadModel workload) const {
-  install_default_payloads(workload);
-  return sim::run_timed(sync_build_.graph, proc_order_, backend, workload, options);
-}
-
-std::string SpiSystem::report() const {
-  std::ostringstream out;
-  out << "SPI system: " << app_.name() << "\n";
-  out << "  actors: " << app_.actor_count() << ", edges: " << app_.edge_count()
-      << ", processors: " << assignment_.proc_count() << "\n";
-  out << "  tasks (HSDF): " << hsdf_.tasks.size()
-      << ", firings/iteration: " << reps_.total_firings() << "\n";
-  out << "  interprocessor channels: " << channels_.size() << "\n";
-  for (const ChannelPlan& plan : channels_) {
-    out << "    [" << plan.edge << "] " << plan.name << ": "
-        << (plan.mode == SpiMode::kDynamic ? "SPI_dynamic" : "SPI_static") << " / "
-        << (plan.protocol == sched::SyncProtocol::kBbs ? "BBS" : "UBS")
-        << ", b_max=" << plan.b_max_bytes << "B, c(e)=" << plan.c_bytes << "B";
-    if (plan.bbs_capacity_tokens)
-      out << ", B(e)=" << *plan.bbs_capacity_tokens << " msgs (" << *plan.bbs_capacity_bytes
-          << "B)";
-    if (plan.acks_total > 0)
-      out << ", acks " << (plan.acks_total - plan.acks_elided) << "/" << plan.acks_total
-          << " (elided " << plan.acks_elided << ")";
-    out << "\n";
-  }
-  if (resync_report_) {
-    out << "  resynchronization: +" << resync_report_->edges_added << " sync edges, -"
-        << resync_report_->edges_removed << " redundant, acks " << resync_report_->acks_before
-        << " -> " << resync_report_->acks_after << ", MCM " << resync_report_->mcm_before
-        << " -> " << resync_report_->mcm_after << "\n";
-  }
-  out << "  messages/iteration: " << messages_per_iteration() << "\n";
-  return out.str();
-}
-
-std::string SpiSystem::plan_json() const {
-  std::ostringstream out;
-  auto escape = [](const std::string& s) {
-    std::string r;
-    for (char c : s) {
-      if (c == '"' || c == '\\') r.push_back('\\');
-      r.push_back(c);
-    }
-    return r;
-  };
-  out << "{\n  \"graph\": \"" << escape(app_.name()) << "\",\n";
-  out << "  \"processors\": " << assignment_.proc_count() << ",\n";
-  out << "  \"messages_per_iteration\": " << messages_per_iteration() << ",\n";
-  if (resync_report_) {
-    out << "  \"resynchronization\": {\"acks_before\": " << resync_report_->acks_before
-        << ", \"acks_after\": " << resync_report_->acks_after
-        << ", \"edges_added\": " << resync_report_->edges_added
-        << ", \"mcm_before\": " << resync_report_->mcm_before
-        << ", \"mcm_after\": " << resync_report_->mcm_after << "},\n";
-  }
-  out << "  \"channels\": [";
-  bool first = true;
-  for (const ChannelPlan& plan : channels_) {
-    if (!first) out << ",";
-    first = false;
-    out << "\n    {\"edge\": " << plan.edge << ", \"name\": \"" << escape(plan.name)
-        << "\", \"mode\": \""
-        << (plan.mode == SpiMode::kDynamic ? "SPI_dynamic" : "SPI_static")
-        << "\", \"protocol\": \""
-        << (plan.protocol == sched::SyncProtocol::kBbs ? "BBS" : "UBS")
-        << "\", \"b_max_bytes\": " << plan.b_max_bytes << ", \"c_bytes\": " << plan.c_bytes;
-    if (plan.bbs_capacity_tokens)
-      out << ", \"capacity_messages\": " << *plan.bbs_capacity_tokens
-          << ", \"capacity_bytes\": " << *plan.bbs_capacity_bytes;
-    out << ", \"acks_total\": " << plan.acks_total << ", \"acks_elided\": " << plan.acks_elided
-        << "}";
-  }
-  out << "\n  ]\n}\n";
-  return out.str();
+  return core::run_timed(plan_, backend, options, std::move(workload));
 }
 
 }  // namespace spi::core

@@ -4,7 +4,7 @@
 ///
 /// Given an application dataflow graph (static and/or dynamic rates) and
 /// an actor-to-processor assignment, construction runs the full SPI
-/// compilation pipeline:
+/// compilation pipeline (core/pipeline.hpp):
 ///
 ///   1. VTS conversion          (Section 3; dynamic rates -> packed SDF)
 ///   2. repetitions vector + consistency check
@@ -14,10 +14,12 @@
 ///   6. BBS/UBS protocol selection, equations 1 and 2 buffer bounds
 ///   7. resynchronization (optional)                    (Section 4.1)
 ///
-/// The result is a *channel plan* — per interprocessor edge: SPI_static
-/// or SPI_dynamic interface, BBS or UBS protocol, static buffer bytes,
-/// elided acknowledgements — plus handles to run the system on the timed
-/// platform model with SPI (or any other) communication backend.
+/// The result is the serializable ExecutablePlan (core/plan.hpp) —
+/// per interprocessor edge: SPI_static or SPI_dynamic interface, BBS or
+/// UBS protocol, static buffer bytes, elided acknowledgements — plus
+/// handles to run the system on the timed platform model with SPI (or
+/// any other) communication backend. SpiSystem itself is a thin facade:
+/// every accessor delegates into plan().
 #pragma once
 
 #include <memory>
@@ -25,13 +27,14 @@
 #include <string>
 #include <vector>
 
-#include "core/channel.hpp"
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
 #include "core/spi_backend.hpp"
 #include "dataflow/graph.hpp"
-#include "obs/metrics.hpp"
 #include "dataflow/repetitions.hpp"
 #include "dataflow/sdf_schedule.hpp"
 #include "dataflow/vts.hpp"
+#include "obs/metrics.hpp"
 #include "sched/assignment.hpp"
 #include "sched/resync.hpp"
 #include "sched/sync_graph.hpp"
@@ -39,65 +42,37 @@
 
 namespace spi::core {
 
-struct SpiSystemOptions {
-  bool resynchronize = true;
-  sched::ResyncOptions resync;
-  sched::SyncGraphOptions sync;
-  SpiCostParams costs;
-  /// Policy for the sequential PASS the per-processor self-timed orders
-  /// are derived from. kFirstFireable follows actor-id order — an
-  /// application can shape its processors' schedules (e.g. issue all
-  /// sends before any receive) by choosing actor creation order;
-  /// kMinBufferDemand greedily minimizes buffer occupancy instead.
-  df::SchedulePolicy pass_policy = df::SchedulePolicy::kMinBufferDemand;
-  /// Optional observability sink (docs/observability.md). When set, the
-  /// constructor records per-phase wall-clock timings
-  /// (`spi_compile_phase_seconds{phase=...}`) and publishes the
-  /// plan-level gauges on completion. Not owned; must outlive the
-  /// SpiSystem.
-  obs::MetricRegistry* metrics = nullptr;
-};
-
-/// Compile-time plan for one interprocessor dataflow edge.
-struct ChannelPlan {
-  df::EdgeId edge = df::kInvalidEdge;
-  std::string name;
-  SpiMode mode = SpiMode::kStatic;
-  sched::SyncProtocol protocol = sched::SyncProtocol::kUbs;
-  std::int64_t b_max_bytes = 0;  ///< max bytes of one message payload
-  std::int64_t c_bytes = 0;      ///< equation 1: c_sdf(e) · b_max(e)
-  /// Equation 2 (BBS only): statically guaranteed buffer bound.
-  std::optional<std::int64_t> bbs_capacity_tokens;
-  std::optional<std::int64_t> bbs_capacity_bytes;
-  /// Sync-graph edge indices realizing this dataflow edge (>1 when the
-  /// HSDF expansion splits a multirate edge across firings).
-  std::vector<std::size_t> sync_edges;
-  std::size_t acks_total = 0;    ///< UBS ack edges created for this channel
-  std::size_t acks_elided = 0;   ///< of those, removed by resynchronization
-};
-
 class SpiSystem {
  public:
   SpiSystem(const df::Graph& application, sched::Assignment assignment,
             SpiSystemOptions options = {});
 
+  // --- the compiled artifact ---------------------------------------------
+  /// The serializable compiled plan every accessor below reads from.
+  [[nodiscard]] const ExecutablePlan& plan() const { return plan_; }
+
   // --- analysis results -------------------------------------------------
   [[nodiscard]] const df::Graph& application() const { return app_; }
-  [[nodiscard]] const df::VtsResult& vts() const { return vts_; }
-  [[nodiscard]] const df::Repetitions& repetitions() const { return reps_; }
-  [[nodiscard]] const df::SequentialSchedule& pass() const { return pass_; }
+  [[nodiscard]] const df::VtsResult& vts() const { return plan_.vts; }
+  [[nodiscard]] const df::Repetitions& repetitions() const { return plan_.repetitions; }
+  [[nodiscard]] const df::SequentialSchedule& pass() const { return plan_.pass; }
   [[nodiscard]] const sched::Assignment& assignment() const { return assignment_; }
-  [[nodiscard]] const sched::SyncGraph& sync_graph() const { return sync_build_.graph; }
-  [[nodiscard]] const sched::ProcOrder& proc_order() const { return proc_order_; }
+  [[nodiscard]] const sched::SyncGraph& sync_graph() const { return plan_.sync_graph; }
+  [[nodiscard]] const sched::ProcOrder& proc_order() const { return plan_.proc_order; }
   [[nodiscard]] const std::optional<sched::ResyncReport>& resync_report() const {
-    return resync_report_;
+    return plan_.resync;
   }
-  [[nodiscard]] const std::vector<ChannelPlan>& channels() const { return channels_; }
-  [[nodiscard]] const ChannelPlan& channel_for(df::EdgeId edge) const;
+  [[nodiscard]] const std::vector<ChannelPlan>& channels() const { return plan_.channels; }
+  /// O(1) via the plan's edge-id index.
+  [[nodiscard]] const ChannelPlan& channel_for(df::EdgeId edge) const {
+    return plan_.channel_for(edge);
+  }
 
   /// Synchronization messages per graph iteration under the current plan
   /// (data messages + surviving acks + resynchronization messages).
-  [[nodiscard]] std::size_t messages_per_iteration() const;
+  [[nodiscard]] std::size_t messages_per_iteration() const {
+    return plan_.messages_per_iteration;
+  }
 
   // --- execution ---------------------------------------------------------
   /// The SPI cost-model backend configured for this system's channels.
@@ -117,38 +92,26 @@ class SpiSystem {
 
   /// Human-readable compilation report (channels, protocols, bounds,
   /// resynchronization summary).
-  [[nodiscard]] std::string report() const;
+  [[nodiscard]] std::string report() const { return plan_.report(); }
 
-  /// Machine-readable channel plan (JSON): per channel the mode,
-  /// protocol, b_max, c(e), equation-2 capacity and ack accounting, plus
-  /// the resynchronization summary. Consumed by downstream tooling
-  /// (`spi_compile --json`).
-  [[nodiscard]] std::string plan_json() const;
+  /// Machine-readable plan (JSON round-trip format, see
+  /// ExecutablePlan::to_json). Consumed by downstream tooling
+  /// (`spi_compile --json` / `--emit-plan`).
+  [[nodiscard]] std::string plan_json() const { return plan_.to_json(); }
 
   /// Publishes the compile-time plan as gauges: channel counts by
   /// mode/protocol, per-channel and aggregate ack/elision counts, and
   /// the equation-1 / equation-2 buffer-byte bounds. Called
   /// automatically on the registry in SpiSystemOptions::metrics;
   /// callable explicitly for any other registry.
-  void publish_plan_metrics(obs::MetricRegistry& registry) const;
+  void publish_plan_metrics(obs::MetricRegistry& registry) const {
+    plan_.publish_metrics(registry);
+  }
 
  private:
-  void install_default_payloads(sim::WorkloadModel& workload) const;
-
   df::Graph app_;
   sched::Assignment assignment_;
-  SpiSystemOptions options_;
-  /// Stamped before the analysis members construct — the compile
-  /// pipeline's wall-clock origin for spi_compile_total_seconds.
-  std::int64_t compile_start_ns_ = obs::monotonic_ns();
-  df::VtsResult vts_;
-  df::Repetitions reps_;
-  df::SequentialSchedule pass_;
-  sched::HsdfGraph hsdf_;
-  sched::ProcOrder proc_order_;
-  sched::SyncGraphBuild sync_build_;
-  std::optional<sched::ResyncReport> resync_report_;
-  std::vector<ChannelPlan> channels_;
+  ExecutablePlan plan_;
   std::unique_ptr<SpiBackend> backend_;
 };
 

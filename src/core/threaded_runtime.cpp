@@ -144,36 +144,34 @@ void ThreadedRuntime::BlockingChannel::interrupt() {
   not_empty_.notify_all();
 }
 
-ThreadedRuntime::ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics)
-    : ThreadedRuntime(system, ReliabilityOptions{}, metrics) {}
+ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, obs::MetricRegistry* metrics)
+    : ThreadedRuntime(plan, ReliabilityOptions{}, metrics) {}
 
-ThreadedRuntime::ThreadedRuntime(const SpiSystem& system, ReliabilityOptions reliability,
+ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, ReliabilityOptions reliability,
                                  obs::MetricRegistry* metrics)
-    : system_(system),
-      graph_(system.vts().graph),
+    : plan_(plan),
+      graph_(plan.vts.graph),
       reliability_(reliability),
       owned_registry_(metrics ? nullptr : std::make_unique<obs::MetricRegistry>()),
       registry_(metrics ? metrics : owned_registry_.get()),
       compute_(graph_.actor_count()),
       local_fifo_(graph_.edge_count()),
+      channels_(graph_.edge_count()),
       fired_(graph_.actor_count(), 0) {
   if (reliability_.enabled) reliability_.policy().validate();
-  init(system);
+  init();
 }
 
-void ThreadedRuntime::init(const SpiSystem& system) {
-  const sched::Assignment& assignment = system.assignment();
-
+void ThreadedRuntime::init() {
   // Bounded channels for every interprocessor edge. Capacity: the BBS
   // bound (equation 2, converted to tokens) or the UBS credit window,
   // plus the edge's initial tokens.
-  for (const ChannelPlan& plan : system.channels()) {
-    const df::Edge& e = graph_.edge(plan.edge);
-    const std::int64_t per_iter = e.prod.value() * system.repetitions().of(e.src);
-    const std::int64_t window = plan.bbs_capacity_tokens.value_or(1);
-    const std::int64_t capacity = window * per_iter + e.delay;
+  for (const ChannelSpec& spec : plan_.channels) {
+    const std::int64_t per_iter = spec.prod_tokens * spec.src_firings_per_iteration;
+    const std::int64_t window = spec.bbs_capacity_tokens.value_or(1);
+    const std::int64_t capacity = window * per_iter + spec.delay_tokens;
 
-    const obs::Labels labels{{"channel", plan.name}};
+    const obs::Labels labels{{"channel", spec.name}};
     ChannelCounters counters;
     counters.messages = &registry_->counter(
         "spi_threaded_messages_total", labels,
@@ -222,32 +220,31 @@ void ThreadedRuntime::init(const SpiSystem& system) {
     channel_counters_.push_back(counters);
 
     auto channel = std::make_unique<BlockingChannel>(
-        plan.edge, static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)), abort_,
+        spec.edge, static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)), abort_,
         counters);
-    if (reliability_.enabled)
+    if (reliability_.enabled && spec.reliable)
       channel->enable_reliability(reliability_.faults, reliability_.policy());
-    channels_.emplace(plan.edge, std::move(channel));
+    channels_[static_cast<std::size_t>(spec.edge)] = std::move(channel);
   }
 
   // Initial tokens. Placed through the faultless path: delay tokens are
   // part of the compiled system, not traffic the fault plan may eat.
   for (std::size_t i = 0; i < graph_.edge_count(); ++i) {
     const df::Edge& e = graph_.edge(static_cast<df::EdgeId>(i));
-    const bool dynamic = system_.vts().edges[i].converted;
+    const bool dynamic = plan_.vts.edges[i].converted;
     for (std::int64_t d = 0; d < e.delay; ++d) {
       Bytes token = dynamic ? Bytes{} : Bytes(static_cast<std::size_t>(e.token_bytes), 0);
-      const auto it = channels_.find(static_cast<df::EdgeId>(i));
-      if (it != channels_.end())
-        it->second->push_faultless(std::move(token));
+      if (channels_[i])
+        channels_[i]->push_faultless(std::move(token));
       else
         local_fifo_[i].push_back(std::move(token));
     }
   }
+}
 
-  // Per-processor firing sequence from the PASS.
-  proc_firing_order_.resize(static_cast<std::size_t>(assignment.proc_count()));
-  for (df::ActorId actor : system.pass().firings)
-    proc_firing_order_[static_cast<std::size_t>(assignment.proc_of(actor))].push_back(actor);
+void ThreadedRuntime::interrupt_all() {
+  for (auto& channel : channels_)
+    if (channel) channel->interrupt();
 }
 
 void ThreadedRuntime::set_compute(df::ActorId actor, ComputeFn fn) {
@@ -275,24 +272,25 @@ ThreadedRunStats ThreadedRuntime::counter_totals() const {
   return totals;
 }
 
-void ThreadedRuntime::fire(df::ActorId actor, std::int32_t proc, std::int64_t iteration) {
+void ThreadedRuntime::fire(const FiringStep& step, std::int32_t proc, std::int64_t iteration) {
+  const df::ActorId actor = step.actor;
   const auto a = static_cast<std::size_t>(actor);
   const std::int64_t span_start_us = trace_ ? trace_->now_us() : 0;
   FiringContext ctx;
   ctx.actor = actor;
   ctx.invocation = fired_[a]++;
-  ctx.in_edges = graph_.in_edges(actor);
-  ctx.out_edges = graph_.out_edges(actor);
+  ctx.in_edges = step.in_edges;
+  ctx.out_edges = step.out_edges;
 
   ctx.inputs.resize(ctx.in_edges.size());
   for (std::size_t i = 0; i < ctx.in_edges.size(); ++i) {
     const df::EdgeId eid = ctx.in_edges[i];
     const df::Edge& e = graph_.edge(eid);
-    const auto channel = channels_.find(eid);
+    BlockingChannel* channel = channels_[static_cast<std::size_t>(eid)].get();
     ctx.inputs[i].reserve(static_cast<std::size_t>(e.cons.value()));
     for (std::int64_t t = 0; t < e.cons.value(); ++t) {
-      if (channel != channels_.end()) {
-        ctx.inputs[i].push_back(channel->second->pop());
+      if (channel) {
+        ctx.inputs[i].push_back(channel->pop());
       } else {
         auto& fifo = local_fifo_[static_cast<std::size_t>(eid)];
         if (fifo.empty())
@@ -317,15 +315,15 @@ void ThreadedRuntime::fire(df::ActorId actor, std::int32_t proc, std::int64_t it
   for (std::size_t i = 0; i < ctx.out_edges.size(); ++i) {
     const df::EdgeId eid = ctx.out_edges[i];
     const df::Edge& e = graph_.edge(eid);
-    const df::VtsEdgeInfo& info = system_.vts().edges[static_cast<std::size_t>(eid)];
+    const df::VtsEdgeInfo& info = plan_.vts.edges[static_cast<std::size_t>(eid)];
     if (static_cast<std::int64_t>(ctx.outputs[i].size()) != e.prod.value())
       throw std::logic_error("ThreadedRuntime: wrong token count on " + e.name);
-    const auto channel = channels_.find(eid);
+    BlockingChannel* channel = channels_[static_cast<std::size_t>(eid)].get();
     for (Bytes& token : ctx.outputs[i]) {
       if (info.converted && static_cast<std::int64_t>(token.size()) > info.b_max_bytes)
         throw std::length_error("ThreadedRuntime: packed token exceeds b_max on " + e.name);
-      if (channel != channels_.end())
-        channel->second->push(std::move(token));
+      if (channel)
+        channel->push(std::move(token));
       else
         local_fifo_[static_cast<std::size_t>(eid)].push_back(std::move(token));
     }
@@ -338,9 +336,9 @@ void ThreadedRuntime::fire(df::ActorId actor, std::int32_t proc, std::int64_t it
 
 void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
   try {
-    const auto& order = proc_firing_order_[static_cast<std::size_t>(proc)];
+    const std::vector<FiringStep>& program = plan_.programs[static_cast<std::size_t>(proc)];
     for (std::int64_t iter = 0; iter < iterations && !abort_.load(); ++iter)
-      for (df::ActorId actor : order) fire(actor, proc, iter);
+      for (const FiringStep& step : program) fire(step, proc, iter);
   } catch (const Aborted&) {
     // Unwound by another worker's failure; nothing to record.
   } catch (...) {
@@ -349,7 +347,7 @@ void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
       if (!first_error_) first_error_ = std::current_exception();
     }
     abort_.store(true);
-    for (auto& [edge, channel] : channels_) channel->interrupt();
+    interrupt_all();
   }
 }
 
@@ -369,14 +367,14 @@ void ThreadedRuntime::run(std::int64_t iterations) {
   // the exception leaves — no detached or leaked threads, which is also
   // what makes the TSan job's reports trustworthy.
   std::vector<std::thread> threads;
-  threads.reserve(proc_firing_order_.size());
+  threads.reserve(plan_.programs.size());
   try {
-    for (std::size_t p = 0; p < proc_firing_order_.size(); ++p)
+    for (std::size_t p = 0; p < plan_.programs.size(); ++p)
       threads.emplace_back(
           [this, p, iterations] { worker(static_cast<std::int32_t>(p), iterations); });
   } catch (...) {
     abort_.store(true);
-    for (auto& [edge, channel] : channels_) channel->interrupt();
+    interrupt_all();
     for (std::thread& t : threads)
       if (t.joinable()) t.join();
     throw;

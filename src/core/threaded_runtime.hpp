@@ -39,7 +39,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 
@@ -86,20 +85,27 @@ struct ThreadedRunStats {
   std::int64_t backoff_micros = 0;   ///< wall-clock µs senders spent backing off
 };
 
-/// Multithreaded execution engine for a compiled SpiSystem.
+/// Multithreaded execution engine for a compiled plan.
 class ThreadedRuntime {
  public:
   /// `metrics`: registry receiving the per-channel counters
   /// (spi_threaded_* — see docs/observability.md). Not owned; must
   /// outlive the runtime. Null = the runtime owns a private registry,
-  /// reachable through metrics().
-  explicit ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics = nullptr);
+  /// reachable through metrics(). The plan must outlive the runtime.
+  explicit ThreadedRuntime(const ExecutablePlan& plan, obs::MetricRegistry* metrics = nullptr);
 
   /// Reliable-transport variant: interprocessor channels speak the
   /// sequenced retry protocol (spi_reliable_* counters), optionally over
   /// the fault plan in `reliability`.
-  ThreadedRuntime(const SpiSystem& system, ReliabilityOptions reliability,
+  ThreadedRuntime(const ExecutablePlan& plan, ReliabilityOptions reliability,
                   obs::MetricRegistry* metrics = nullptr);
+
+  /// Convenience overloads running the facade's plan().
+  explicit ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics = nullptr)
+      : ThreadedRuntime(system.plan(), metrics) {}
+  ThreadedRuntime(const SpiSystem& system, ReliabilityOptions reliability,
+                  obs::MetricRegistry* metrics = nullptr)
+      : ThreadedRuntime(system.plan(), reliability, metrics) {}
 
   /// Registers an actor's computation (same contract as
   /// FunctionalRuntime::set_compute; must be called before run()).
@@ -197,12 +203,13 @@ class ThreadedRuntime {
     const sim::RetryPolicy* policy_ = nullptr;
   };
 
-  void init(const SpiSystem& system);
+  void init();
+  void interrupt_all();
   void worker(std::int32_t proc, std::int64_t iterations);
-  void fire(df::ActorId actor, std::int32_t proc, std::int64_t iteration);
+  void fire(const FiringStep& step, std::int32_t proc, std::int64_t iteration);
   [[nodiscard]] ThreadedRunStats counter_totals() const;
 
-  const SpiSystem& system_;
+  const ExecutablePlan& plan_;
   const df::Graph& graph_;  ///< the VTS-converted graph
   ReliabilityOptions reliability_;
   std::unique_ptr<obs::MetricRegistry> owned_registry_;  ///< when none was provided
@@ -210,13 +217,12 @@ class ThreadedRuntime {
   obs::RuntimeTraceRecorder* trace_ = nullptr;
   std::vector<ComputeFn> compute_;
   /// Per-edge local FIFOs (touched only by the owning processor's
-  /// thread) and cross-processor blocking channels.
+  /// thread) and cross-processor blocking channels, both indexed by
+  /// edge id (null channel = processor-local edge). Direct indexing
+  /// keeps the per-token hot path free of map lookups.
   std::vector<std::deque<Bytes>> local_fifo_;
-  std::map<df::EdgeId, std::unique_ptr<BlockingChannel>> channels_;
+  std::vector<std::unique_ptr<BlockingChannel>> channels_;
   std::vector<ChannelCounters> channel_counters_;  ///< for stats aggregation
-  /// Per-processor firing sequence for one iteration (actor ids; an
-  /// actor appears once per firing, from the PASS).
-  std::vector<std::vector<df::ActorId>> proc_firing_order_;
   std::vector<std::int64_t> fired_;  ///< per actor, owned by its processor's thread
   std::atomic<bool> abort_{false};
   std::mutex error_mutex_;

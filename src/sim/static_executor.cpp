@@ -21,7 +21,7 @@ std::int64_t payload_of(const WorkloadModel& w, const sched::SyncEdge& e, std::i
 /// Contention-free transport latency of one message.
 SimTime transport(const CommBackend& backend, const LinkParams& link,
                   const sched::SyncEdge& e, const WorkloadModel& w, std::int64_t iter) {
-  const ChannelInfo channel{e.dataflow_edge, false};
+  const ChannelInfo channel = channel_info_of(w, e);
   const MessageCost cost = e.kind == sched::SyncEdgeKind::kIpc
                                ? backend.data_message(channel, payload_of(w, e, iter))
                                : backend.sync_message(channel);

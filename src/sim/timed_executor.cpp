@@ -108,7 +108,7 @@ void complete_firing(RunState& s, std::int32_t pe, std::int32_t task, SimTime st
   SimTime pe_time = s.kernel.now();
   for (std::size_t edge_index : s.out_sync[static_cast<std::size_t>(task)]) {
     const sched::SyncEdge& e = s.graph.edges()[edge_index];
-    const ChannelInfo channel{e.dataflow_edge, /*dynamic=*/false};
+    const ChannelInfo channel = channel_info_of(s.workload, e);
     MessageCost cost;
     if (e.kind == sched::SyncEdgeKind::kIpc) {
       cost = s.backend.data_message(channel, payload_of(s, e, k));

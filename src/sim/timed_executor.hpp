@@ -33,8 +33,20 @@ struct WorkloadModel {
   /// Payload bytes of the data message on a kIpc sync edge at iteration
   /// `k` (dynamic/VTS edges vary per iteration; static edges are fixed).
   std::function<std::int64_t(const sched::SyncEdge& edge, std::int64_t iteration)> payload_bytes;
+  /// Channel descriptor the backend prices a message with. Null falls
+  /// back to a static descriptor (the edge id, non-dynamic); the plan
+  /// layer installs a ChannelSpec-derived hook here
+  /// (core::ExecutablePlan::install_workload_defaults).
+  std::function<ChannelInfo(const sched::SyncEdge& edge)> channel_info;
   std::int64_t default_payload_bytes = 4;
 };
+
+/// The channel descriptor for a sync edge under `w` (hook or fallback).
+[[nodiscard]] inline ChannelInfo channel_info_of(const WorkloadModel& w,
+                                                 const sched::SyncEdge& e) {
+  if (w.channel_info) return w.channel_info(e);
+  return ChannelInfo{e.dataflow_edge, false};
+}
 
 /// Execution statistics for one timed run.
 struct ExecStats {

@@ -1,0 +1,119 @@
+/// Cross-engine parity from one *loaded* plan: serialize the compiled
+/// plan of the paper's two applications (speech error-generation,
+/// distributed particle filter), deserialize it, and drive the
+/// functional, threaded and timed engines from the deserialized plan
+/// alone. All engines must agree on the communication volume — the
+/// plan, not the compiler's in-memory state, is the contract.
+#include <gtest/gtest.h>
+
+#include "apps/particle_app.hpp"
+#include "apps/speech_app.hpp"
+#include "core/functional.hpp"
+#include "core/plan.hpp"
+#include "core/threaded_runtime.hpp"
+
+namespace spi {
+namespace {
+
+constexpr std::int64_t kIterations = 20;
+
+/// Runs all engines from `plan` (deserialized, no SpiSystem in sight)
+/// and checks the agreements that hold by construction:
+///  * functional: one SPI message per producing firing on every channel
+///    -> src_firings_per_iteration * iterations messages;
+///  * threaded: one token push per produced token -> identical message
+///    and byte counts wherever prod_tokens == 1 (both paper apps);
+///  * timed: every active synchronization edge transmits once per
+///    iteration -> messages_per_iteration * iterations messages total.
+void expect_engines_agree(const core::ExecutablePlan& plan) {
+  ASSERT_NO_THROW(plan.validate());
+  ASSERT_FALSE(plan.channels.empty());
+
+  // Functional engine.
+  core::FunctionalRuntime functional(plan);
+  functional.run(kIterations);
+
+  // Threaded engine, counters snapshotted around run() because the
+  // registry also records initial-token placement at construction.
+  obs::MetricRegistry registry;
+  core::ThreadedRuntime threaded(plan, &registry);
+  std::map<df::EdgeId, std::pair<std::int64_t, std::int64_t>> before;
+  for (const core::ChannelSpec& spec : plan.channels) {
+    const obs::Labels labels{{"channel", spec.name}};
+    before[spec.edge] = {registry.counter_value("spi_threaded_messages_total", labels),
+                         registry.counter_value("spi_threaded_payload_bytes_total", labels)};
+  }
+  threaded.run(kIterations);
+
+  std::int64_t compared = 0;
+  for (const core::ChannelSpec& spec : plan.channels) {
+    const core::SpiChannel& channel = functional.channel(spec.edge);
+    EXPECT_EQ(channel.stats().messages, kIterations * spec.src_firings_per_iteration)
+        << "channel " << spec.name;
+    if (spec.prod_tokens != 1) continue;  // threaded moves tokens, not firings
+    const obs::Labels labels{{"channel", spec.name}};
+    const std::int64_t messages =
+        registry.counter_value("spi_threaded_messages_total", labels) - before[spec.edge].first;
+    const std::int64_t bytes = registry.counter_value("spi_threaded_payload_bytes_total", labels) -
+                               before[spec.edge].second;
+    EXPECT_EQ(messages, channel.stats().messages) << "channel " << spec.name;
+    EXPECT_EQ(bytes, channel.stats().payload_bytes) << "channel " << spec.name;
+    ++compared;
+  }
+  // Both paper applications are rate-1 across every interprocessor edge,
+  // so the threaded comparison must actually have covered them all.
+  EXPECT_EQ(compared, static_cast<std::int64_t>(plan.channels.size()));
+
+  // Timed engine from the same plan.
+  const auto backend = plan.make_backend();
+  sim::TimedExecutorOptions options;
+  options.iterations = kIterations;
+  const sim::ExecStats stats = core::run_timed(plan, *backend, options);
+  EXPECT_EQ(stats.data_messages + stats.sync_messages,
+            kIterations * plan.messages_per_iteration);
+  // ... and it agrees with the functional engine on data messages:
+  // every functional channel message is one timed IPC transmission.
+  std::int64_t functional_messages = 0;
+  for (const auto& [edge, channel] : functional.channels())
+    functional_messages += channel.stats().messages;
+  EXPECT_EQ(stats.data_messages, functional_messages);
+}
+
+TEST(PlanParity, SpeechErrorGenEnginesAgreeFromLoadedPlan) {
+  apps::SpeechParams params;
+  params.frame_size = 128;
+  params.max_frame_size = 512;
+  params.order = 8;
+  params.max_order = 12;
+  const apps::ErrorGenApp app(4, params);
+  const core::ExecutablePlan plan =
+      core::ExecutablePlan::from_json(app.system().plan().to_json());
+  expect_engines_agree(plan);
+}
+
+TEST(PlanParity, ParticleFilterEnginesAgreeFromLoadedPlan) {
+  apps::ParticleParams params;
+  params.particles = 64;
+  params.max_particles = 256;
+  params.seed = 5;
+  const apps::ParticleFilterApp app(4, params);
+  const core::ExecutablePlan plan =
+      core::ExecutablePlan::from_json(app.system().plan().to_json());
+  expect_engines_agree(plan);
+}
+
+TEST(PlanParity, LoadedPlanReportsMatchCompiledReports) {
+  apps::SpeechParams params;
+  params.frame_size = 128;
+  params.max_frame_size = 512;
+  params.order = 8;
+  params.max_order = 12;
+  const apps::ErrorGenApp app(3, params);
+  const core::ExecutablePlan& compiled = app.system().plan();
+  const core::ExecutablePlan loaded = core::ExecutablePlan::from_json(compiled.to_json());
+  EXPECT_EQ(loaded.report(), compiled.report());
+  EXPECT_EQ(loaded.messages_per_iteration, compiled.messages_per_iteration);
+}
+
+}  // namespace
+}  // namespace spi

@@ -2,13 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/plan.hpp"
 #include "core/spi_system.hpp"
 
 namespace spi::sim {
 namespace {
 
 /// Host->worker->host fixture on 2 processors (BBS everywhere after
-/// resynchronization).
+/// resynchronization). Both executors are driven from the compiled
+/// ExecutablePlan (core::run_timed / core::run_fully_static).
 struct Fixture {
   df::Graph g{"static"};
   df::ActorId send, work, recv;
@@ -30,11 +32,10 @@ TEST(StaticExecutor, MatchesSelfTimedWhenActualEqualsWcet) {
   Fixture f;
   TimedExecutorOptions options;
   options.iterations = 100;
-  const ExecStats self_timed = run_timed(f.system->sync_graph(), f.system->proc_order(),
-                                         f.system->backend(), {}, options);
+  const ExecStats self_timed =
+      core::run_timed(f.system->plan(), f.system->backend(), options);
   const StaticRunResult fully_static =
-      run_fully_static(f.system->sync_graph(), f.system->proc_order(), f.system->backend(),
-                       {}, {}, options);
+      core::run_fully_static(f.system->plan(), f.system->backend(), {}, {}, options);
   EXPECT_EQ(fully_static.precedence_violations, 0);
   // With identical times the static schedule cannot beat self-timed and
   // should be close to it (transport is contention-free there, so allow
@@ -52,17 +53,15 @@ TEST(StaticExecutor, WcetLockedPeriodIgnoresEarlyCompletion) {
     return std::max<std::int64_t>(1, f.system->sync_graph().task(task).exec_cycles / 2);
   };
   const StaticRunResult fully_static =
-      run_fully_static(f.system->sync_graph(), f.system->proc_order(), f.system->backend(),
-                       {}, fast, options);
+      core::run_fully_static(f.system->plan(), f.system->backend(), {}, fast, options);
   const StaticRunResult budget_run =
-      run_fully_static(f.system->sync_graph(), f.system->proc_order(), f.system->backend(),
-                       {}, {}, options);
+      core::run_fully_static(f.system->plan(), f.system->backend(), {}, {}, options);
   // Same scheduled period regardless of the actual speeds...
   EXPECT_NEAR(fully_static.stats.steady_period_cycles,
               budget_run.stats.steady_period_cycles, 1e-9);
   // ...while the self-timed run with the fast times is strictly faster.
-  const ExecStats self_timed = run_timed(f.system->sync_graph(), f.system->proc_order(),
-                                         f.system->backend(), fast, options);
+  const ExecStats self_timed =
+      core::run_timed(f.system->plan(), f.system->backend(), options, fast);
   EXPECT_LT(self_timed.steady_period_cycles, fully_static.stats.steady_period_cycles);
   // Early completion shows up as processor padding.
   EXPECT_GT(fully_static.padding_cycles, budget_run.padding_cycles);
@@ -77,12 +76,10 @@ TEST(StaticExecutor, OverrunsAreDetected) {
     return f.system->sync_graph().task(task).exec_cycles * 3 / 2;
   };
   const StaticRunResult result =
-      run_fully_static(f.system->sync_graph(), f.system->proc_order(), f.system->backend(),
-                       {}, slow, options);
+      core::run_fully_static(f.system->plan(), f.system->backend(), {}, slow, options);
   EXPECT_GT(result.precedence_violations, 0);
   // Self-timed execution with the same times stays correct (no throw).
-  EXPECT_NO_THROW((void)run_timed(f.system->sync_graph(), f.system->proc_order(),
-                                  f.system->backend(), slow, options));
+  EXPECT_NO_THROW((void)core::run_timed(f.system->plan(), f.system->backend(), options, slow));
 }
 
 TEST(StaticExecutor, DeterministicAndValidated) {
@@ -90,18 +87,15 @@ TEST(StaticExecutor, DeterministicAndValidated) {
   TimedExecutorOptions options;
   options.iterations = 40;
   const StaticRunResult a =
-      run_fully_static(f.system->sync_graph(), f.system->proc_order(), f.system->backend(),
-                       {}, {}, options);
+      core::run_fully_static(f.system->plan(), f.system->backend(), {}, {}, options);
   const StaticRunResult b =
-      run_fully_static(f.system->sync_graph(), f.system->proc_order(), f.system->backend(),
-                       {}, {}, options);
+      core::run_fully_static(f.system->plan(), f.system->backend(), {}, {}, options);
   EXPECT_EQ(a.stats.makespan, b.stats.makespan);
   EXPECT_EQ(a.padding_cycles, b.padding_cycles);
 
   TimedExecutorOptions bad;
   bad.iterations = 0;
-  EXPECT_THROW((void)run_fully_static(f.system->sync_graph(), f.system->proc_order(),
-                                      f.system->backend(), {}, {}, bad),
+  EXPECT_THROW((void)core::run_fully_static(f.system->plan(), f.system->backend(), {}, {}, bad),
                std::invalid_argument);
 }
 

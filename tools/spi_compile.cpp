@@ -4,15 +4,20 @@
 /// compiles it (VTS, schedules, sync graph, protocols, buffer bounds,
 /// resynchronization) and reports the channel plan. Optionally renders
 /// DOT, exports observability metrics, runs the timed simulation or the
-/// real-thread runtime, and writes Chrome trace JSON.
+/// real-thread runtime, and writes Chrome trace JSON. The compiled
+/// artifact is a serializable ExecutablePlan (core/plan.hpp):
+/// --emit-plan writes it, --load-plan executes one without re-running
+/// any analysis (compile once, run anywhere).
 ///
 ///   spi_compile system.spi                      # compile + report
 ///   spi_compile --dot system.spi                # application-graph DOT
 ///   spi_compile --sync-dot system.spi           # synchronization graph DOT
-///   spi_compile --json system.spi               # machine-readable channel plan
+///   spi_compile --json system.spi               # machine-readable plan (round-trip)
 ///   spi_compile --no-resync system.spi          # keep every ack edge
 ///   spi_compile --metrics=prom system.spi       # Prometheus text exposition
 ///   spi_compile --metrics=json system.spi       # same registry as JSON
+///   spi_compile --emit-plan p.json system.spi   # compile once, save the plan
+///   spi_compile --load-plan p.json --run 500    # run a saved plan (no compile)
 ///   spi_compile --run 500 system.spi            # timed run, 500 iterations
 ///   spi_compile --run 500 --mpi system.spi      # ... under the MPI baseline
 ///   spi_compile --run-threads 500 system.spi    # real-thread run (default computes)
@@ -39,7 +44,8 @@
 #include <string>
 #include <vector>
 
-#include "core/spi_system.hpp"
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
 #include "core/text_format.hpp"
 #include "core/threaded_runtime.hpp"
 #include "dataflow/dot.hpp"
@@ -56,8 +62,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: spi_compile [--dot] [--sync-dot] [--json] [--no-resync]\n"
                "                   [--metrics[=json|prom]] [--trace-out FILE]\n"
-               "                   [--fault-plan FILE] [--reliability]\n"
-               "                   [--run N] [--run-threads N] [--mpi] <file | ->\n");
+               "                   [--emit-plan FILE] [--fault-plan FILE] [--reliability]\n"
+               "                   [--run N] [--run-threads N] [--mpi]\n"
+               "                   <file | - | --load-plan FILE>\n");
   return 2;
 }
 
@@ -68,6 +75,18 @@ bool write_file(const std::string& path, const std::string& content) {
     return false;
   }
   out << content;
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& content) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "spi_compile: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  content = buffer.str();
   return true;
 }
 
@@ -87,6 +106,8 @@ int main(int argc, char** argv) {
   std::string metrics_format = "prom";
   std::string trace_out;
   std::string fault_plan_path;
+  std::string emit_plan_path;
+  std::string load_plan_path;
   std::int64_t run_iterations = 0;
   std::int64_t thread_iterations = 0;
   std::string path;
@@ -113,6 +134,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--fault-plan") {
       if (++i >= argc) return usage();
       fault_plan_path = argv[i];
+    } else if (arg == "--emit-plan") {
+      if (++i >= argc) return usage();
+      emit_plan_path = argv[i];
+    } else if (arg == "--load-plan") {
+      if (++i >= argc) return usage();
+      load_plan_path = argv[i];
     } else if (arg == "--reliability") {
       reliability = true;
     } else if (arg == "--run" || arg == "--run-threads") {
@@ -131,7 +158,14 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
-  if (path.empty()) return usage();
+  // Exactly one plan source: a system description to compile, or a
+  // previously emitted plan to load.
+  if (path.empty() == load_plan_path.empty()) return usage();
+  if (dot && !load_plan_path.empty()) {
+    std::fprintf(stderr,
+                 "spi_compile: --dot needs the application source, not a compiled plan\n");
+    return 2;
+  }
   if (!trace_out.empty() && run_iterations <= 0 && thread_iterations <= 0) {
     std::fprintf(stderr, "spi_compile: --trace-out needs --run N or --run-threads N\n");
     return 2;
@@ -145,35 +179,14 @@ int main(int argc, char** argv) {
 
   std::optional<spi::sim::FaultPlan> fault_plan;
   if (!fault_plan_path.empty()) {
-    std::ifstream in(fault_plan_path);
-    if (!in) {
-      std::fprintf(stderr, "spi_compile: cannot open fault plan '%s'\n", fault_plan_path.c_str());
-      return 1;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
+    std::string fault_text;
+    if (!read_file(fault_plan_path, fault_text)) return 1;
     try {
-      fault_plan = spi::sim::parse_fault_plan(buffer.str());
+      fault_plan = spi::sim::parse_fault_plan(fault_text);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "spi_compile: %s: %s\n", fault_plan_path.c_str(), e.what());
       return 1;
     }
-  }
-
-  std::string text;
-  if (path == "-") {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "spi_compile: cannot open '%s'\n", path.c_str());
-      return 1;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    text = buffer.str();
   }
 
   // Human-oriented output goes to stdout normally, to stderr when a
@@ -181,41 +194,62 @@ int main(int argc, char** argv) {
   std::FILE* report_out = metrics ? stderr : stdout;
 
   try {
-    spi::core::ParsedSystem parsed = spi::core::parse_system(text);
-    if (dot) {
-      std::printf("%s", spi::df::to_dot(parsed.graph).c_str());
-      return 0;
-    }
     spi::obs::MetricRegistry registry;
-    spi::core::SpiSystemOptions options;
-    options.resynchronize = resync;
-    options.metrics = &registry;
-    const spi::core::SpiSystem system(parsed.graph, parsed.assignment, options);
+    spi::core::ExecutablePlan plan;
+    if (!load_plan_path.empty()) {
+      std::string plan_text;
+      if (!read_file(load_plan_path, plan_text)) return 1;
+      plan = spi::core::ExecutablePlan::from_json(plan_text);
+      // No compile-phase timings here — the analysis already happened
+      // when the plan was emitted; only the plan gauges are published.
+      plan.publish_metrics(registry);
+    } else {
+      std::string text;
+      if (path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        text = buffer.str();
+      } else if (!read_file(path, text)) {
+        return 1;
+      }
+      spi::core::ParsedSystem parsed = spi::core::parse_system(text);
+      if (dot) {
+        std::printf("%s", spi::df::to_dot(parsed.graph).c_str());
+        return 0;
+      }
+      spi::core::SpiSystemOptions options;
+      options.resynchronize = resync;
+      options.metrics = &registry;
+      plan = spi::core::compile_plan(parsed.graph, parsed.assignment, options);
+    }
+    if (!emit_plan_path.empty() && !write_file(emit_plan_path, plan.to_json())) return 1;
     if (sync_dot) {
-      std::printf("%s", spi::sched::to_dot(system.sync_graph()).c_str());
+      std::printf("%s", spi::sched::to_dot(plan.sync_graph).c_str());
       return 0;
     }
     if (json) {
-      std::printf("%s", system.plan_json().c_str());
+      std::printf("%s", plan.to_json().c_str());
       return 0;
     }
-    std::fprintf(report_out, "%s", system.report().c_str());
+    std::fprintf(report_out, "%s", plan.report().c_str());
 
     if (run_iterations > 0) {
       spi::sim::TraceRecorder trace;
       spi::sim::TimedExecutorOptions run;
       run.iterations = run_iterations;
       if (!trace_out.empty() && thread_iterations <= 0) run.trace = &trace;
+      const auto spi_backend = plan.make_backend();
       const spi::mpi::MpiBackend mpi_backend;
       const spi::sim::IdealBackend ideal_backend;
       const spi::sim::CommBackend& inner =
           use_mpi ? static_cast<const spi::sim::CommBackend&>(mpi_backend) : ideal_backend;
       std::optional<spi::sim::FaultyBackend> faulty;
       if (fault_plan) faulty.emplace(inner, *fault_plan, &registry);
-      const spi::sim::ExecStats stats =
-          faulty    ? system.run_timed_with(*faulty, run)
-          : use_mpi ? system.run_timed_with(mpi_backend, run)
-                    : system.run_timed(run);
+      const spi::sim::CommBackend& backend =
+          faulty    ? static_cast<const spi::sim::CommBackend&>(*faulty)
+          : use_mpi ? static_cast<const spi::sim::CommBackend&>(mpi_backend)
+                    : *spi_backend;
+      const spi::sim::ExecStats stats = spi::core::run_timed(plan, backend, run);
       std::fprintf(report_out, "\ntimed run (%s%s backend, %lld iterations):\n",
                    fault_plan ? "faulty " : "", use_mpi ? "MPI-generic" : "SPI",
                    static_cast<long long>(run_iterations));
@@ -256,7 +290,7 @@ int main(int argc, char** argv) {
       spi::core::ReliabilityOptions rel;
       rel.enabled = reliability;
       rel.faults = fault_plan ? &*fault_plan : nullptr;
-      spi::core::ThreadedRuntime runtime(system, rel, &registry);
+      spi::core::ThreadedRuntime runtime(plan, rel, &registry);
       spi::obs::RuntimeTraceRecorder recorder;
       if (!trace_out.empty()) runtime.set_trace(&recorder);
       try {
