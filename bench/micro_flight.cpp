@@ -1,0 +1,160 @@
+/// \file micro_flight.cpp
+/// google-benchmark microbenchmarks of the flight recorder (host
+/// wall-clock): the record() hot path, raw SPSC ring throughput, the
+/// end-to-end overhead of recording a threaded pipeline run (the
+/// acceptance target is < 5% versus the unrecorded run — compare
+/// BM_ThreadedPipeline against BM_ThreadedPipelineRecorded; the
+/// run_benchmarks.sh harness derives the percentage), and the
+/// critical-path analyzer itself.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
+#include "core/text_format.hpp"
+#include "core/threaded_runtime.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace {
+
+using namespace spi;
+
+constexpr char kPipeline[] = R"(graph bench_pipeline
+procs 3
+
+actor Source exec=32
+actor Filter exec=96
+actor Sink   exec=16
+
+edge Source:1 -> Filter:1 delay=0 bytes=8
+edge Filter:1 -> Sink:1   delay=0 bytes=8
+
+proc Source = 0
+proc Filter = 1
+proc Sink   = 2
+)";
+
+const core::ExecutablePlan& pipeline_plan() {
+  static const core::ExecutablePlan plan = [] {
+    const core::ParsedSystem parsed = core::parse_system(kPipeline);
+    return core::compile_plan(parsed.graph, parsed.assignment);
+  }();
+  return plan;
+}
+
+/// Cost of one record() call: clock read + SPSC push.
+void BM_FlightRecordEvent(benchmark::State& state) {
+  obs::FlightRecorder recorder(1, 1u << 20);
+  std::int64_t seq = 0;
+  for (auto _ : state) {
+    recorder.record(0, obs::FlightEventKind::kSend, /*actor=*/1, /*edge=*/2, seq++,
+                    /*iteration=*/0);
+    if ((seq & 0xFFFF) == 0) benchmark::DoNotOptimize(recorder.collect());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordEvent);
+
+/// Raw ring throughput without the clock read, drained in batches.
+void BM_FlightRingPushDrain(benchmark::State& state) {
+  obs::FlightRing ring(1u << 12);
+  obs::FlightEvent event;
+  std::vector<obs::FlightEvent> out;
+  std::int64_t pushed = 0;
+  for (auto _ : state) {
+    event.t = pushed;
+    ring.try_push(event);
+    if ((++pushed & 0xFFF) == 0) {
+      out.clear();
+      ring.drain(out);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRingPushDrain);
+
+constexpr std::int64_t kRunIterations = 100;
+/// Actors busy-spin their modeled WCET at 1 cycle -> 250 ns, so the
+/// run carries representative per-firing compute instead of being pure
+/// channel ping-pong (which would measure the recorder against an
+/// empty workload no real application resembles).
+constexpr std::int64_t kNsPerCycle = 250;
+
+void spin_for_ns(std::int64_t ns) {
+  const std::int64_t deadline = obs::monotonic_ns() + ns;
+  while (obs::monotonic_ns() < deadline) benchmark::DoNotOptimize(deadline);
+}
+
+void install_spin_computes(core::ThreadedRuntime& runtime, const core::ExecutablePlan& plan) {
+  const df::Graph& graph = plan.vts.graph;
+  for (df::ActorId a = 0; a < static_cast<df::ActorId>(graph.actor_count()); ++a) {
+    const std::int64_t spin_ns = graph.actor(a).exec_cycles * kNsPerCycle;
+    runtime.set_compute(a, [&graph, spin_ns](core::FiringContext& ctx) {
+      spin_for_ns(spin_ns);
+      for (std::size_t i = 0; i < ctx.out_edges.size(); ++i) {
+        const df::Edge& e = graph.edge(ctx.out_edges[i]);
+        for (std::int64_t t = 0; t < e.prod.value(); ++t)
+          ctx.outputs[i].emplace_back(static_cast<std::size_t>(e.token_bytes), 0);
+      }
+    });
+  }
+}
+
+/// Baseline: the threaded pipeline with no recorder attached.
+void BM_ThreadedPipeline(benchmark::State& state) {
+  const core::ExecutablePlan& plan = pipeline_plan();
+  for (auto _ : state) {
+    core::ThreadedRuntime runtime(plan);
+    install_spin_computes(runtime, plan);
+    runtime.run(kRunIterations);
+    benchmark::DoNotOptimize(runtime.stats().messages);
+  }
+  state.SetItemsProcessed(state.iterations() * kRunIterations);
+}
+BENCHMARK(BM_ThreadedPipeline)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+/// Same run with every firing, send, receive and block recorded. The
+/// ratio of these two is the recorder's end-to-end overhead. The
+/// recorder is constructed once (its ring allocation is per-session,
+/// not per-run) and drained outside the timed region.
+void BM_ThreadedPipelineRecorded(benchmark::State& state) {
+  const core::ExecutablePlan& plan = pipeline_plan();
+  obs::FlightRecorder recorder(static_cast<std::int32_t>(plan.proc_count));
+  std::vector<obs::FlightEvent> drained;
+  for (auto _ : state) {
+    core::ThreadedRuntime runtime(plan);
+    install_spin_computes(runtime, plan);
+    runtime.set_flight_recorder(&recorder);
+    runtime.run(kRunIterations);
+    benchmark::DoNotOptimize(recorder.dropped_total());
+    state.PauseTiming();
+    const obs::FlightLog log = recorder.collect();  // keep the rings from overflowing
+    drained.assign(log.events.begin(), log.events.end());
+    benchmark::DoNotOptimize(drained.data());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kRunIterations);
+}
+BENCHMARK(BM_ThreadedPipelineRecorded)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+/// Analyzer cost over a real recorded stream (events scale with the
+/// recorded iteration count).
+void BM_AnalyzeCriticalPath(benchmark::State& state) {
+  const core::ExecutablePlan& plan = pipeline_plan();
+  core::ThreadedRuntime runtime(plan);
+  obs::FlightRecorder recorder(static_cast<std::int32_t>(plan.proc_count));
+  runtime.set_flight_recorder(&recorder);
+  runtime.run(state.range(0));
+  const obs::FlightLog log = recorder.collect();
+  for (auto _ : state) {
+    const obs::CriticalPathReport report = obs::analyze_critical_path(log);
+    benchmark::DoNotOptimize(report.cp_length);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.events.size()));
+}
+BENCHMARK(BM_AnalyzeCriticalPath)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

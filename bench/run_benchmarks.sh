@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Runs the google-benchmark microbenchmark suites and folds their output
+# into one schema-stable document (BENCH_results.json at the repo root
+# by default) suitable for longitudinal comparison and CI artifacts.
+#
+#   bench/run_benchmarks.sh [BUILD_DIR] [OUTPUT_JSON]
+#
+# Document schema (stable — additions only, never renames):
+#   {
+#     "schema": 1,
+#     "suites": ["micro_flight", ...],
+#     "benchmarks": [
+#       {"suite": "...", "name": "...", "real_time_ns": N,
+#        "cpu_time_ns": N, "iterations": N}, ...   # sorted (suite, name)
+#     ],
+#     "derived": {
+#       "flight_recorder_overhead_pct": P   # recorded vs bare threaded run
+#     }
+#   }
+#
+# BENCHMARK_MIN_TIME can shrink runs for smoke use (default 0.05s).
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_results.json}
+MIN_TIME=${BENCHMARK_MIN_TIME:-0.05}
+SUITES="micro_flight micro_spi micro_dsp micro_compile"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "run_benchmarks.sh: no $BUILD_DIR/bench — build the repo first" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+ran_suites=""
+for suite in $SUITES; do
+  bin="$BUILD_DIR/bench/$suite"
+  if [ ! -x "$bin" ]; then
+    echo "run_benchmarks.sh: skipping $suite (not built)" >&2
+    continue
+  fi
+  echo "run_benchmarks.sh: $suite" >&2
+  "$bin" --benchmark_min_time="$MIN_TIME" --benchmark_format=json \
+    > "$TMP/$suite.json"
+  ran_suites="$ran_suites $suite"
+done
+
+python3 - "$OUT" "$TMP" $ran_suites <<'PY'
+import json, sys
+
+out_path, tmp_dir, suites = sys.argv[1], sys.argv[2], sys.argv[3:]
+rows = []
+for suite in suites:
+    with open(f"{tmp_dir}/{suite}.json") as f:
+        doc = json.load(f)
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = unit_ns.get(b.get("time_unit", "ns"), 1.0)
+        rows.append({
+            "suite": suite,
+            "name": b["name"],
+            "real_time_ns": round(b["real_time"] * scale, 3),
+            "cpu_time_ns": round(b["cpu_time"] * scale, 3),
+            "iterations": b["iterations"],
+        })
+rows.sort(key=lambda r: (r["suite"], r["name"]))
+
+def mean_time(name):
+    vals = [r["real_time_ns"] for r in rows if r["name"].split("/")[0] == name]
+    return sum(vals) / len(vals) if vals else None
+
+derived = {}
+bare, recorded = mean_time("BM_ThreadedPipeline"), mean_time("BM_ThreadedPipelineRecorded")
+if bare and recorded:
+    derived["flight_recorder_overhead_pct"] = round(100.0 * (recorded - bare) / bare, 2)
+
+doc = {"schema": 1, "suites": suites, "benchmarks": rows, "derived": derived}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=False)
+    f.write("\n")
+print(f"run_benchmarks.sh: wrote {out_path} ({len(rows)} benchmarks)", file=sys.stderr)
+if "flight_recorder_overhead_pct" in derived:
+    print(f"run_benchmarks.sh: flight recorder overhead "
+          f"{derived['flight_recorder_overhead_pct']}%", file=sys.stderr)
+PY

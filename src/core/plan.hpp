@@ -132,6 +132,14 @@ struct ExecutablePlan {
   /// emission and by from_json()).
   void rebuild_channel_index();
 
+  /// The schedule's predicted iteration-period bound: the sync graph's
+  /// maximum cycle mean after resynchronization (cycles/iteration, the
+  /// spi_plan_resync_mcm_after gauge). The critical-path analyzer
+  /// compares a run's realized period against it.
+  [[nodiscard]] double predicted_mcm() const {
+    return resync ? resync->mcm_after : sync_graph.max_cycle_mean();
+  }
+
   /// Edges the SPI backend treats as dynamic (VTS-converted).
   [[nodiscard]] std::unordered_set<df::EdgeId> dynamic_edges() const;
   /// The SPI cost-model backend configured for this plan's channels.

@@ -1,6 +1,7 @@
 #include "core/threaded_runtime.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 
@@ -31,23 +32,32 @@ void ThreadedRuntime::BlockingChannel::enable_reliability(const sim::FaultPlan* 
   receiver_ = std::make_unique<ReliableReceiver>(edge_);
 }
 
-void ThreadedRuntime::BlockingChannel::enqueue(Bytes frame) {
+void ThreadedRuntime::BlockingChannel::enqueue(Bytes frame, const FlightCtx* flight) {
   std::unique_lock lock(mutex_);
   if (queue_.size() >= capacity_) {
     counters_.producer_blocks->inc();
+    if (flight)
+      flight->recorder->record(flight->proc, obs::FlightEventKind::kBlockBegin, flight->actor,
+                               edge_, send_seq_, flight->iteration, /*aux=*/1);
     const std::int64_t t0 = obs::monotonic_ns();
     not_full_.wait(lock, [&] { return queue_.size() < capacity_ || abort_.load(); });
     counters_.producer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
+    if (flight)
+      flight->recorder->record(flight->proc, obs::FlightEventKind::kBlockEnd, flight->actor,
+                               edge_, send_seq_, flight->iteration, /*aux=*/1);
   }
   if (abort_.load()) throw Aborted{};
   queue_.push_back(std::move(frame));
   not_empty_.notify_one();
 }
 
-Bytes ThreadedRuntime::BlockingChannel::dequeue() {
+Bytes ThreadedRuntime::BlockingChannel::dequeue(const FlightCtx* flight) {
   std::unique_lock lock(mutex_);
   if (queue_.empty()) {
     counters_.consumer_blocks->inc();
+    if (flight)
+      flight->recorder->record(flight->proc, obs::FlightEventKind::kBlockBegin, flight->actor,
+                               edge_, recv_seq_, flight->iteration, /*aux=*/0);
     const std::int64_t t0 = obs::monotonic_ns();
     if (policy_) {
       // Reliable mode: an empty channel past the deadline means the
@@ -67,6 +77,9 @@ Bytes ThreadedRuntime::BlockingChannel::dequeue() {
       not_empty_.wait(lock, [&] { return !queue_.empty() || abort_.load(); });
       counters_.consumer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
     }
+    if (flight)
+      flight->recorder->record(flight->proc, obs::FlightEventKind::kBlockEnd, flight->actor,
+                               edge_, recv_seq_, flight->iteration, /*aux=*/0);
   }
   if (abort_.load() && queue_.empty()) throw Aborted{};
   Bytes frame = std::move(queue_.front());
@@ -76,19 +89,25 @@ Bytes ThreadedRuntime::BlockingChannel::dequeue() {
 }
 
 void ThreadedRuntime::BlockingChannel::execute(const TransmitScript& script,
-                                               std::int64_t payload_bytes) {
+                                               std::int64_t payload_bytes,
+                                               const FlightCtx* flight) {
   for (const TransmitStep& step : script.steps) {
     sleep_us(step.delay_us);
     if (!step.dropped()) {
-      enqueue(step.frame);
-      if (step.duplicate) enqueue(step.frame);
+      enqueue(step.frame, flight);
+      if (step.duplicate) enqueue(step.frame, flight);
     }
     if (step.backoff_us > 0) {
       sleep_us(step.backoff_us);
       counters_.backoff_histogram->observe(static_cast<double>(step.backoff_us));
     }
   }
-  if (script.retries() > 0) counters_.retries->inc(script.retries());
+  if (script.retries() > 0) {
+    counters_.retries->inc(script.retries());
+    if (flight)
+      flight->recorder->record(flight->proc, obs::FlightEventKind::kRetry, flight->actor, edge_,
+                               script.retries(), flight->iteration);
+  }
   if (script.dropped > 0) counters_.dropped_frames->inc(script.dropped);
   if (script.total_backoff_us > 0) counters_.backoff_micros->inc(script.total_backoff_us);
   if (!script.delivered) {
@@ -100,15 +119,22 @@ void ThreadedRuntime::BlockingChannel::execute(const TransmitScript& script,
   counters_.payload_bytes->inc(payload_bytes);
 }
 
-void ThreadedRuntime::BlockingChannel::push(Bytes token) {
+void ThreadedRuntime::BlockingChannel::push(Bytes token, const FlightCtx* flight) {
+  const auto payload_bytes = static_cast<std::int64_t>(token.size());
   if (!sender_) {
     counters_.messages->inc();
-    counters_.payload_bytes->inc(static_cast<std::int64_t>(token.size()));
-    enqueue(std::move(token));
-    return;
+    counters_.payload_bytes->inc(payload_bytes);
+    enqueue(std::move(token), flight);
+  } else {
+    execute(sender_->plan_transmit(token), payload_bytes, flight);
   }
-  const auto payload_bytes = static_cast<std::int64_t>(token.size());
-  execute(sender_->plan_transmit(token), payload_bytes);
+  if (flight) {
+    // The token is now visible to the receiver: this is the causal
+    // send edge the analyzer matches a consumer's wait against.
+    flight->recorder->record(flight->proc, obs::FlightEventKind::kSend, flight->actor, edge_,
+                             send_seq_, flight->iteration, /*aux=*/0);
+  }
+  ++send_seq_;
 }
 
 void ThreadedRuntime::BlockingChannel::push_faultless(Bytes token) {
@@ -117,16 +143,28 @@ void ThreadedRuntime::BlockingChannel::push_faultless(Bytes token) {
     return;
   }
   const auto payload_bytes = static_cast<std::int64_t>(token.size());
-  execute(sender_->plan_transmit_faultless(token), payload_bytes);
+  execute(sender_->plan_transmit_faultless(token), payload_bytes, nullptr);
+  ++send_seq_;
 }
 
-Bytes ThreadedRuntime::BlockingChannel::pop() {
-  if (!receiver_) return dequeue();
+Bytes ThreadedRuntime::BlockingChannel::pop(const FlightCtx* flight) {
+  if (!receiver_) {
+    Bytes token = dequeue(flight);
+    if (flight)
+      flight->recorder->record(flight->proc, obs::FlightEventKind::kReceive, flight->actor,
+                               edge_, recv_seq_, flight->iteration, /*aux=*/0);
+    ++recv_seq_;
+    return token;
+  }
   for (;;) {
-    const Bytes frame = dequeue();
+    const Bytes frame = dequeue(flight);
     ReliableReceiver::Result result = receiver_->accept(frame);
     switch (result.verdict) {
       case ReliableReceiver::Verdict::kAccept:
+        if (flight)
+          flight->recorder->record(flight->proc, obs::FlightEventKind::kReceive, flight->actor,
+                                   edge_, recv_seq_, flight->iteration, /*aux=*/0);
+        ++recv_seq_;
         return std::move(result.payload);
       case ReliableReceiver::Verdict::kCorrupt:
         counters_.crc_failures->inc();
@@ -251,6 +289,23 @@ void ThreadedRuntime::set_compute(df::ActorId actor, ComputeFn fn) {
   compute_.at(static_cast<std::size_t>(actor)) = std::move(fn);
 }
 
+void ThreadedRuntime::set_flight_recorder(obs::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (!flight_) return;
+  if (flight_->proc_count() < static_cast<std::int32_t>(plan_.programs.size()))
+    throw std::invalid_argument("ThreadedRuntime: flight recorder has fewer rings than procs");
+  std::vector<std::string> actor_names(graph_.actor_count());
+  for (std::size_t a = 0; a < graph_.actor_count(); ++a)
+    actor_names[a] = graph_.actor(static_cast<df::ActorId>(a)).name;
+  std::vector<std::string> edge_names(graph_.edge_count());
+  for (std::size_t i = 0; i < graph_.edge_count(); ++i)
+    edge_names[i] = graph_.edge(static_cast<df::EdgeId>(i)).name;
+  for (const ChannelSpec& spec : plan_.channels)
+    if (spec.edge >= 0 && static_cast<std::size_t>(spec.edge) < edge_names.size())
+      edge_names[static_cast<std::size_t>(spec.edge)] = spec.name;
+  flight_->set_names(std::move(actor_names), std::move(edge_names));
+}
+
 ThreadedRunStats ThreadedRuntime::counter_totals() const {
   ThreadedRunStats totals;
   for (const ChannelCounters& c : channel_counters_) {
@@ -276,6 +331,10 @@ void ThreadedRuntime::fire(const FiringStep& step, std::int32_t proc, std::int64
   const df::ActorId actor = step.actor;
   const auto a = static_cast<std::size_t>(actor);
   const std::int64_t span_start_us = trace_ ? trace_->now_us() : 0;
+  const FlightCtx flight_ctx{flight_, proc, actor, iteration};
+  const FlightCtx* flight = flight_ ? &flight_ctx : nullptr;
+  if (flight)
+    flight_->record(proc, obs::FlightEventKind::kFireBegin, actor, -1, 0, iteration);
   FiringContext ctx;
   ctx.actor = actor;
   ctx.invocation = fired_[a]++;
@@ -290,7 +349,7 @@ void ThreadedRuntime::fire(const FiringStep& step, std::int32_t proc, std::int64
     ctx.inputs[i].reserve(static_cast<std::size_t>(e.cons.value()));
     for (std::int64_t t = 0; t < e.cons.value(); ++t) {
       if (channel) {
-        ctx.inputs[i].push_back(channel->pop());
+        ctx.inputs[i].push_back(channel->pop(flight));
       } else {
         auto& fifo = local_fifo_[static_cast<std::size_t>(eid)];
         if (fifo.empty())
@@ -323,12 +382,14 @@ void ThreadedRuntime::fire(const FiringStep& step, std::int32_t proc, std::int64
       if (info.converted && static_cast<std::int64_t>(token.size()) > info.b_max_bytes)
         throw std::length_error("ThreadedRuntime: packed token exceeds b_max on " + e.name);
       if (channel)
-        channel->push(std::move(token));
+        channel->push(std::move(token), flight);
       else
         local_fifo_[static_cast<std::size_t>(eid)].push_back(std::move(token));
     }
   }
 
+  if (flight)
+    flight_->record(proc, obs::FlightEventKind::kFireEnd, actor, -1, 0, iteration);
   if (trace_)
     trace_->record({graph_.actor(actor).name, "firing", proc, span_start_us, trace_->now_us(),
                     iteration});
@@ -394,7 +455,28 @@ void ThreadedRuntime::run(std::int64_t iterations) {
   stats_.duplicates = now.duplicates - base.duplicates;
   stats_.timeouts = now.timeouts - base.timeouts;
   stats_.backoff_micros = now.backoff_micros - base.backoff_micros;
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (first_error_) {
+    maybe_dump_flight_postmortem();
+    std::rethrow_exception(first_error_);
+  }
+}
+
+void ThreadedRuntime::maybe_dump_flight_postmortem() {
+  if (!flight_ || flight_->postmortem_path().empty()) return;
+  try {
+    std::rethrow_exception(first_error_);
+  } catch (const sim::ChannelError&) {
+    // Channel-level death is what the flight recorder exists for: dump
+    // everything captured so the analyzer can reconstruct the final
+    // moments. Best effort — a failing dump must not mask the error.
+    try {
+      std::ofstream out(flight_->postmortem_path(), std::ios::binary);
+      if (out) out << flight_->collect().to_json();
+    } catch (...) {
+    }
+  } catch (...) {
+    // Compute exceptions and internal errors: no dump.
+  }
 }
 
 }  // namespace spi::core

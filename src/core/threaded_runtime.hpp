@@ -44,6 +44,7 @@
 
 #include "core/functional.hpp"
 #include "core/reliable_link.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime_trace.hpp"
 #include "sim/fault.hpp"
@@ -119,6 +120,16 @@ class ThreadedRuntime {
   /// detaches.
   void set_trace(obs::RuntimeTraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches a flight recorder (docs/observability.md): every firing,
+  /// interprocessor send/receive and blocking wait becomes a causal
+  /// event, wait-free on the hot path. The recorder's proc_count must
+  /// match the plan's. Actor/edge names are installed from the plan so
+  /// post-mortem dumps are self-describing. Not owned; must outlive
+  /// run(). Null detaches. If the recorder has a postmortem_path and
+  /// run() fails with sim::ChannelError, the collected log is written
+  /// there before the error is rethrown.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
   /// Runs `iterations` graph iterations across proc_count() threads and
   /// joins them — every spawned thread is joined on every exit path,
   /// including mid-run channel or compute failures (no detached or
@@ -161,6 +172,16 @@ class ThreadedRuntime {
     obs::Histogram* backoff_histogram = nullptr;
   };
 
+  /// Per-call flight-recording context: who is touching the channel.
+  /// Null pointer = recording off (the construction-time token placement
+  /// and every run without a recorder attached).
+  struct FlightCtx {
+    obs::FlightRecorder* recorder = nullptr;
+    std::int32_t proc = 0;
+    std::int32_t actor = -1;
+    std::int64_t iteration = 0;
+  };
+
   /// Thread-safe bounded FIFO for one interprocessor edge. In plain mode
   /// it moves raw tokens; in reliable mode it moves sequenced frames
   /// produced/consumed by the per-edge protocol state machines (each
@@ -174,17 +195,19 @@ class ThreadedRuntime {
     /// `policy` must outlive the channel.
     void enable_reliability(const sim::FaultPlan* plan, const sim::RetryPolicy& policy);
 
-    void push(Bytes token);
+    void push(Bytes token, const FlightCtx* flight = nullptr);
     /// Initial-token placement: sequenced framing without fault
     /// injection, so construction cannot fail under a hostile plan.
     void push_faultless(Bytes token);
-    [[nodiscard]] Bytes pop();
+    [[nodiscard]] Bytes pop(const FlightCtx* flight = nullptr);
     void interrupt();  ///< wake all waiters (used on abort)
 
    private:
-    void enqueue(Bytes frame);  ///< capacity-blocking raw enqueue
-    [[nodiscard]] Bytes dequeue();  ///< blocking raw dequeue (timeout in reliable mode)
-    void execute(const TransmitScript& script, std::int64_t payload_bytes);
+    void enqueue(Bytes frame, const FlightCtx* flight);  ///< capacity-blocking raw enqueue
+    /// Blocking raw dequeue (timeout in reliable mode).
+    [[nodiscard]] Bytes dequeue(const FlightCtx* flight);
+    void execute(const TransmitScript& script, std::int64_t payload_bytes,
+                 const FlightCtx* flight);
 
     df::EdgeId edge_;
     std::mutex mutex_;
@@ -201,6 +224,13 @@ class ThreadedRuntime {
     std::unique_ptr<ReliableSender> sender_;
     std::unique_ptr<ReliableReceiver> receiver_;
     const sim::RetryPolicy* policy_ = nullptr;
+    /// Flight-event sequence numbers. send_seq_ is touched only by the
+    /// edge's producing thread, recv_seq_ only by its consuming thread
+    /// (channels are SPSC by construction), so plain int64 suffices.
+    /// Initial tokens advance send_seq_ unrecorded, which is correct:
+    /// delay tokens are initially available, not sent during the run.
+    std::int64_t send_seq_ = 0;
+    std::int64_t recv_seq_ = 0;
   };
 
   void init();
@@ -208,6 +238,9 @@ class ThreadedRuntime {
   void worker(std::int32_t proc, std::int64_t iterations);
   void fire(const FiringStep& step, std::int32_t proc, std::int64_t iteration);
   [[nodiscard]] ThreadedRunStats counter_totals() const;
+  /// Writes the flight recorder's post-mortem dump when the pending
+  /// first_error_ is a sim::ChannelError and a dump path is configured.
+  void maybe_dump_flight_postmortem();
 
   const ExecutablePlan& plan_;
   const df::Graph& graph_;  ///< the VTS-converted graph
@@ -215,6 +248,7 @@ class ThreadedRuntime {
   std::unique_ptr<obs::MetricRegistry> owned_registry_;  ///< when none was provided
   obs::MetricRegistry* registry_ = nullptr;
   obs::RuntimeTraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::vector<ComputeFn> compute_;
   /// Per-edge local FIFOs (touched only by the owning processor's
   /// thread) and cross-processor blocking channels, both indexed by

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/text_escape.hpp"
+
 namespace spi::obs {
 
 namespace {
@@ -17,10 +19,9 @@ void add_atomic_double(std::atomic<double>& target, double d) {
 }
 
 void append_json_escaped(std::ostringstream& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out << '\\';
-    out << c;
-  }
+  // Full RFC 8259 escaping (text_escape.hpp): a raw newline or control
+  // character in a label would make the whole export unparseable.
+  out << detail::json_escaped(s);
 }
 
 void append_json_labels(std::ostringstream& out, const Labels& labels) {
@@ -45,6 +46,20 @@ void append_prom_escaped(std::ostringstream& out, const std::string& s) {
       out << "\\\\";
     else if (c == '"')
       out << "\\\"";
+    else if (c == '\n')
+      out << "\\n";
+    else
+      out << c;
+  }
+}
+
+/// # HELP text escaping per exposition format 0.0.4: only backslash and
+/// newline — double quotes are NOT escaped on HELP lines (that rule is
+/// specific to quoted label values).
+void append_prom_help_escaped(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\')
+      out << "\\\\";
     else if (c == '\n')
       out << "\\n";
     else
@@ -300,7 +315,7 @@ std::string MetricRegistry::to_prometheus() const {
       open_name = s.name;
       if (!s.help.empty()) {
         out << "# HELP " << s.name << " ";
-        append_prom_escaped(out, s.help);
+        append_prom_help_escaped(out, s.help);
         out << "\n";
       }
       out << "# TYPE " << s.name << " " << type << "\n";

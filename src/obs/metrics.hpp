@@ -84,9 +84,13 @@ class Histogram {
   }
   [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
 
-  /// Quantile estimate (q in [0,1]) by linear interpolation within the
-  /// containing bucket; the +inf bucket reports its lower bound. 0 when
-  /// empty.
+  /// Quantile estimate (q clamped to [0,1]) by linear interpolation
+  /// within the containing bucket. Defined edge cases (asserted in
+  /// tests/test_metrics.cpp, documented in docs/observability.md):
+  /// empty histogram -> 0; q=0 -> the lower edge of the first nonempty
+  /// bucket; q=1 -> the upper bound of the last nonempty finite bucket;
+  /// any quantile landing in the implicit +inf bucket -> that bucket's
+  /// floor (the largest finite bound, or 0 with no finite bounds).
   [[nodiscard]] double quantile(double q) const;
 
   /// "count=N sum=S mean=M p50=.. p90=.. p99=.." — one line for bench

@@ -1,0 +1,41 @@
+/// \file text_escape.hpp
+/// Shared escaping helpers for the obs exporters. JSON escaping must
+/// cover every control character (RFC 8259 — a raw newline inside a
+/// string makes the whole document unparseable); Prometheus escaping is
+/// format-position dependent and stays in metrics.cpp.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace spi::obs::detail {
+
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+[[nodiscard]] inline std::string json_escaped(std::string_view s) {
+  std::string out;
+  append_json_escaped(out, s);
+  return out;
+}
+
+}  // namespace spi::obs::detail

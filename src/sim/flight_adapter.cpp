@@ -1,0 +1,87 @@
+#include "sim/flight_adapter.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace spi::sim {
+
+obs::FlightLog to_flight_log(const TraceRecorder& trace, const sched::SyncGraph& sync,
+                             std::int32_t pe_count, std::vector<std::string> edge_names) {
+  obs::FlightLog log;
+  log.time_unit = "cycles";
+  log.proc_count = pe_count;
+  log.edge_names = std::move(edge_names);
+
+  // Synthetic edge ids for messages whose sync edge has no dataflow
+  // identity (resynchronization edges): allocated past every real edge.
+  df::EdgeId synthetic_base = 0;
+  for (const sched::SyncEdge& e : sync.edges())
+    if (e.dataflow_edge != df::kInvalidEdge)
+      synthetic_base = std::max(synthetic_base, e.dataflow_edge + 1);
+  synthetic_base = std::max(synthetic_base,
+                            static_cast<df::EdgeId>(log.edge_names.size()));
+
+  auto edge_id_of = [&](std::size_t sync_edge) -> df::EdgeId {
+    const sched::SyncEdge& e = sync.edges().at(sync_edge);
+    if (e.dataflow_edge != df::kInvalidEdge) return e.dataflow_edge;
+    return synthetic_base + static_cast<df::EdgeId>(sync_edge);
+  };
+  auto ensure_edge_name = [&](df::EdgeId id, std::size_t sync_edge) {
+    if (id < 0) return;
+    if (static_cast<std::size_t>(id) >= log.edge_names.size())
+      log.edge_names.resize(static_cast<std::size_t>(id) + 1);
+    std::string& name = log.edge_names[static_cast<std::size_t>(id)];
+    if (!name.empty()) return;
+    const sched::SyncEdge& e = sync.edges().at(sync_edge);
+    const std::string& src = sync.task(e.src).name;
+    const std::string& snk = sync.task(e.snk).name;
+    name = (e.kind == sched::SyncEdgeKind::kResync ? "resync:" : "") + src + "->" + snk;
+  };
+
+  for (const FiringRecord& r : trace.firings()) {
+    if (r.task >= 0) {
+      if (static_cast<std::size_t>(r.task) >= log.actor_names.size())
+        log.actor_names.resize(static_cast<std::size_t>(r.task) + 1);
+      if (log.actor_names[static_cast<std::size_t>(r.task)].empty())
+        log.actor_names[static_cast<std::size_t>(r.task)] = r.name;
+    }
+    obs::FlightEvent begin;
+    begin.t = r.start;
+    begin.iteration = r.iteration;
+    begin.proc = r.pe;
+    begin.actor = r.task;
+    begin.kind = obs::FlightEventKind::kFireBegin;
+    log.events.push_back(begin);
+    obs::FlightEvent end = begin;
+    end.t = r.end;
+    end.kind = obs::FlightEventKind::kFireEnd;
+    log.events.push_back(end);
+  }
+
+  // Messages are recorded in send order per sync edge, so a per-stream
+  // counter reproduces the sequence numbers both endpoints agree on.
+  std::map<std::size_t, std::int64_t> seq_of_stream;
+  for (const MessageRecord& m : trace.messages()) {
+    const df::EdgeId edge = edge_id_of(m.sync_edge);
+    ensure_edge_name(edge, m.sync_edge);
+    const std::int64_t seq = seq_of_stream[m.sync_edge]++;
+    const std::int32_t aux =
+        static_cast<std::int32_t>(m.sync_edge) * 2 + (m.is_data ? 0 : 1);
+    obs::FlightEvent send;
+    send.t = m.send_time;
+    send.seq = seq;
+    send.proc = m.src_pe;
+    send.edge = edge;
+    send.aux = aux;
+    send.kind = obs::FlightEventKind::kSend;
+    log.events.push_back(send);
+    obs::FlightEvent recv = send;
+    recv.t = m.arrival_time;
+    recv.proc = m.dst_pe;
+    recv.kind = obs::FlightEventKind::kReceive;
+    log.events.push_back(recv);
+  }
+  return log;
+}
+
+}  // namespace spi::sim

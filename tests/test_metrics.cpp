@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -150,6 +152,72 @@ TEST(Metrics, PrometheusExportFollowsExposition) {
        pos = prom2.find("# TYPE spi_msgs_total counter", pos + 1))
     ++type_lines;
   EXPECT_EQ(type_lines, 1u);
+}
+
+// The documented quantile edge cases (metrics.hpp, docs/observability.md):
+// these are a contract, not incidental behavior.
+TEST(Metrics, HistogramQuantileEdgeCases) {
+  // Empty histogram: every quantile is 0.
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+  // All mass in the implicit +Inf bucket: the floor (largest finite
+  // bound) is reported — never infinity, never an invented value.
+  Histogram overflow({1.0, 2.0});
+  overflow.observe(50.0);
+  overflow.observe(99.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(1.0), 2.0);
+
+  // ... and with no finite bounds at all, the floor is 0.
+  Histogram unbounded((std::vector<double>{}));
+  unbounded.observe(7.0);
+  EXPECT_DOUBLE_EQ(unbounded.quantile(0.5), 0.0);
+
+  // q=0: the lower edge of the first nonempty bucket; q=1: the upper
+  // bound of the last nonempty finite bucket.
+  Histogram hist({10.0, 20.0, 30.0});
+  hist.observe(15.0);  // (10, 20]
+  hist.observe(25.0);  // (20, 30]
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 30.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(hist.quantile(-3.0), hist.quantile(0.0));
+  EXPECT_DOUBLE_EQ(hist.quantile(7.0), hist.quantile(1.0));
+}
+
+// Hostile label values and help strings through both exporters: the
+// JSON must stay parseable and the Prometheus exposition must escape
+// per 0.0.4 — label values escape backslash, quote and newline; HELP
+// lines escape only backslash and newline (a quote stays literal).
+TEST(Metrics, ExportersEscapeHostileStrings) {
+  MetricRegistry registry;
+  const std::string hostile_value = "a\"b\\c\nd\te\rf";
+  const std::string hostile_help = "help \"quoted\" with\nnewline and \\backslash";
+  registry.counter("spi_hostile_total", {{"channel", hostile_value}}, hostile_help).inc(1);
+
+  const std::string json = registry.to_json();
+  // No raw control characters may survive into the JSON document
+  // (newlines between elements are document formatting, not content).
+  for (char c : json)
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20u || c == '\n') << json;
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\rf"), std::string::npos) << json;
+
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# HELP spi_hostile_total help \"quoted\" with\\nnewline and "
+                      "\\\\backslash\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("channel=\"a\\\"b\\\\c\\nd\te\rf\""), std::string::npos) << prom;
+  // The HELP line must not have broken the line structure: exactly one
+  // physical line starts with "# HELP spi_hostile_total".
+  std::size_t help_lines = 0;
+  std::istringstream lines(prom);
+  for (std::string line; std::getline(lines, line);)
+    if (line.rfind("# HELP spi_hostile_total", 0) == 0) ++help_lines;
+  EXPECT_EQ(help_lines, 1u);
 }
 
 TEST(Metrics, ScopedTimerRecordsElapsedSeconds) {

@@ -22,6 +22,9 @@
 ///   spi_compile --run 500 --mpi system.spi      # ... under the MPI baseline
 ///   spi_compile --run-threads 500 system.spi    # real-thread run (default computes)
 ///   spi_compile --run 500 --trace-out t.json s  # Chrome trace (Perfetto) of the run
+///   spi_compile --run-threads 500 --flight-out f.json s
+///                                               # causal flight-recorder dump, fed to
+///                                               # spi_trace_analyze (bottleneck report)
 ///   spi_compile --fault-plan f.txt --run 500 s  # timed run over a lossy wire
 ///   spi_compile --fault-plan f.txt --reliability --run-threads 500 s
 ///                                               # reliable threaded run (retry/
@@ -30,6 +33,11 @@
 ///
 /// With --metrics the human-readable report and run summaries move to
 /// stderr so stdout is exactly one machine-readable document.
+///
+/// When --run and --run-threads are both given, per-run outputs are
+/// written for *both* engines: --trace-out/--flight-out FILE.json
+/// becomes FILE.modeled.json (timed simulation) and FILE.wallclock.json
+/// (threaded run).
 ///
 /// Exit codes: 0 success, 1 I/O or compile error, 2 usage, 3 a reliable
 /// channel degraded gracefully (sim::ChannelError — retries exhausted or
@@ -42,6 +50,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -50,10 +59,13 @@
 #include "core/threaded_runtime.hpp"
 #include "dataflow/dot.hpp"
 #include "mpi/mpi_backend.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime_trace.hpp"
 #include "sched/sync_dot.hpp"
 #include "sim/fault.hpp"
+#include "sim/flight_adapter.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -62,6 +74,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: spi_compile [--dot] [--sync-dot] [--json] [--no-resync]\n"
                "                   [--metrics[=json|prom]] [--trace-out FILE]\n"
+               "                   [--flight-out FILE]\n"
                "                   [--emit-plan FILE] [--fault-plan FILE] [--reliability]\n"
                "                   [--run N] [--run-threads N] [--mpi]\n"
                "                   <file | - | --load-plan FILE>\n");
@@ -90,6 +103,19 @@ bool read_file(const std::string& path, std::string& content) {
   return true;
 }
 
+/// "f.json" -> "f.modeled.json" (or "f.wallclock.json") when both
+/// engines run and would otherwise fight over one output file; the
+/// plain path when only one engine runs.
+std::string engine_path(const std::string& base, const char* tag, bool both_engines) {
+  if (!both_engines) return base;
+  static constexpr std::string_view kJson = ".json";
+  std::string stem = base;
+  if (stem.size() >= kJson.size() &&
+      stem.compare(stem.size() - kJson.size(), kJson.size(), kJson) == 0)
+    stem.resize(stem.size() - kJson.size());
+  return stem + "." + tag + ".json";
+}
+
 /// Positive integer or -1; --run/--run-threads reject anything else.
 std::int64_t parse_iterations(const char* text) {
   char* end = nullptr;
@@ -105,6 +131,7 @@ int main(int argc, char** argv) {
   bool metrics = false, reliability = false;
   std::string metrics_format = "prom";
   std::string trace_out;
+  std::string flight_out;
   std::string fault_plan_path;
   std::string emit_plan_path;
   std::string load_plan_path;
@@ -131,6 +158,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       if (++i >= argc) return usage();
       trace_out = argv[i];
+    } else if (arg == "--flight-out") {
+      if (++i >= argc) return usage();
+      flight_out = argv[i];
     } else if (arg == "--fault-plan") {
       if (++i >= argc) return usage();
       fault_plan_path = argv[i];
@@ -170,6 +200,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "spi_compile: --trace-out needs --run N or --run-threads N\n");
     return 2;
   }
+  if (!flight_out.empty() && run_iterations <= 0 && thread_iterations <= 0) {
+    std::fprintf(stderr, "spi_compile: --flight-out needs --run N or --run-threads N\n");
+    return 2;
+  }
+  const bool both_engines = run_iterations > 0 && thread_iterations > 0;
   if (!fault_plan_path.empty() && thread_iterations > 0 && !reliability) {
     std::fprintf(stderr,
                  "spi_compile: a threaded run under a fault plan requires --reliability "
@@ -237,7 +272,7 @@ int main(int argc, char** argv) {
       spi::sim::TraceRecorder trace;
       spi::sim::TimedExecutorOptions run;
       run.iterations = run_iterations;
-      if (!trace_out.empty() && thread_iterations <= 0) run.trace = &trace;
+      if (!trace_out.empty() || !flight_out.empty()) run.trace = &trace;
       const auto spi_backend = plan.make_backend();
       const spi::mpi::MpiBackend mpi_backend;
       const spi::sim::IdealBackend ideal_backend;
@@ -282,8 +317,35 @@ int main(int argc, char** argv) {
           .set(static_cast<double>(stats.sync_messages));
       registry.gauge("spi_sim_makespan_cycles", {}, "Makespan of the last timed simulation run")
           .set(static_cast<double>(stats.makespan));
-      if (run.trace && !write_file(trace_out, spi::sim::to_chrome_trace_json(trace, run.clock)))
+      if (!trace_out.empty() &&
+          !write_file(engine_path(trace_out, "modeled", both_engines),
+                      spi::sim::to_chrome_trace_json(trace, run.clock)))
         return 1;
+      if (!flight_out.empty()) {
+        std::vector<std::string> edge_names;
+        for (const auto& spec : plan.channels) {
+          if (spec.edge >= 0 && static_cast<std::size_t>(spec.edge) >= edge_names.size())
+            edge_names.resize(static_cast<std::size_t>(spec.edge) + 1);
+          if (spec.edge >= 0) edge_names[static_cast<std::size_t>(spec.edge)] = spec.name;
+        }
+        const spi::obs::FlightLog log = spi::sim::to_flight_log(
+            trace, plan.sync_graph, static_cast<std::int32_t>(plan.proc_count),
+            std::move(edge_names));
+        if (!write_file(engine_path(flight_out, "modeled", both_engines), log.to_json()))
+          return 1;
+        spi::obs::AnalyzeOptions cp_options;
+        cp_options.predicted_mcm = plan.predicted_mcm();
+        const spi::obs::CriticalPathReport cp = spi::obs::analyze_critical_path(log, cp_options);
+        cp.publish_metrics(registry);
+        std::fprintf(report_out,
+                     "  critical path   : %lld cycles (compute %lld, blocked %lld, "
+                     "comm %lld, idle %lld)\n",
+                     static_cast<long long>(cp.cp_length), static_cast<long long>(cp.cp_compute),
+                     static_cast<long long>(cp.cp_blocked), static_cast<long long>(cp.cp_comm),
+                     static_cast<long long>(cp.cp_idle));
+        if (!cp.bottleneck_channel.empty())
+          std::fprintf(report_out, "  bottleneck      : %s\n", cp.bottleneck_channel.c_str());
+      }
     }
 
     if (thread_iterations > 0) {
@@ -293,12 +355,22 @@ int main(int argc, char** argv) {
       spi::core::ThreadedRuntime runtime(plan, rel, &registry);
       spi::obs::RuntimeTraceRecorder recorder;
       if (!trace_out.empty()) runtime.set_trace(&recorder);
+      std::optional<spi::obs::FlightRecorder> flight;
+      const std::string flight_path = engine_path(flight_out, "wallclock", both_engines);
+      if (!flight_out.empty()) {
+        flight.emplace(static_cast<std::int32_t>(plan.proc_count));
+        // On a ChannelError the runtime dumps the log post-mortem to the
+        // same path the success case would have used.
+        flight->set_postmortem_path(flight_path);
+        runtime.set_flight_recorder(&*flight);
+      }
       try {
         runtime.run(thread_iterations);
       } catch (const spi::sim::ChannelError& e) {
         // Graceful degradation: the reliable transport gave up on one
         // channel within its deadline instead of hanging the pipeline.
         std::fprintf(stderr, "spi_compile: %s\n", e.what());
+        if (flight) flight->publish_metrics(registry);
         if (metrics)
           std::printf("%s", metrics_format == "json" ? registry.to_json().c_str()
                                                      : registry.to_prometheus().c_str());
@@ -328,8 +400,30 @@ int main(int argc, char** argv) {
                      static_cast<long long>(ts.duplicates),
                      static_cast<long long>(ts.timeouts),
                      static_cast<long long>(ts.backoff_micros));
-      if (!trace_out.empty() && !write_file(trace_out, recorder.to_chrome_trace_json()))
+      if (!trace_out.empty() &&
+          !write_file(engine_path(trace_out, "wallclock", both_engines),
+                      recorder.to_chrome_trace_json()))
         return 1;
+      if (flight) {
+        const spi::obs::FlightLog log = flight->collect();
+        if (!write_file(flight_path, log.to_json())) return 1;
+        // Wall-clock time and the plan's cycle-domain MCM have no fixed
+        // exchange rate for the default computes, so the predicted MCM is
+        // left unknown here; spi_trace_analyze accepts an explicit
+        // --mcm-scale when the mapping is known.
+        const spi::obs::CriticalPathReport cp = spi::obs::analyze_critical_path(log);
+        cp.publish_metrics(registry);
+        flight->publish_metrics(registry);
+        std::fprintf(report_out,
+                     "  critical path   : %lld ns (compute %lld, blocked %lld, "
+                     "comm %lld, idle %lld; %lld events, %lld dropped)\n",
+                     static_cast<long long>(cp.cp_length), static_cast<long long>(cp.cp_compute),
+                     static_cast<long long>(cp.cp_blocked), static_cast<long long>(cp.cp_comm),
+                     static_cast<long long>(cp.cp_idle), static_cast<long long>(cp.events),
+                     static_cast<long long>(cp.dropped));
+        if (!cp.bottleneck_channel.empty())
+          std::fprintf(report_out, "  bottleneck      : %s\n", cp.bottleneck_channel.c_str());
+      }
     }
 
     if (metrics)

@@ -1,0 +1,145 @@
+/// \file spi_trace_analyze.cpp
+/// Post-mortem bottleneck attribution over a flight-recorder dump: reads
+/// the event log written by `spi_compile --flight-out` (or by
+/// ThreadedRuntime / sim::to_flight_log directly), reconstructs the
+/// causal DAG, and reports the realized critical path with per-channel
+/// and per-actor attribution.
+///
+///   spi_trace_analyze flight.json                    # JSON report on stdout
+///   spi_trace_analyze -o report.json flight.json     # ... to a file
+///   spi_trace_analyze --plan plan.json flight.json   # + predicted-MCM comparison
+///   spi_trace_analyze --mcm-scale 1000 ...           # cycles->units exchange rate
+///   spi_trace_analyze --chrome-out cp.json flight.json
+///                                    # Chrome trace with the critical path
+///                                    # overlaid as flow events (Perfetto)
+///   spi_trace_analyze --metrics flight.json
+///                                    # spi_critpath_* gauges (Prometheus text)
+///                                    # on stdout, report to stderr
+///
+/// The plan is only consulted for its predicted MCM; the dump itself
+/// carries the names and topology needed for attribution, so analyzing
+/// a dump without its plan still yields the full report.
+///
+/// Exit codes: 0 success, 1 I/O or parse error, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/plan.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spi_trace_analyze [--plan FILE] [--mcm-scale X] [-o FILE]\n"
+               "                         [--chrome-out FILE] [--metrics] <flight.json>\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& content) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "spi_trace_analyze: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  content = buffer.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "spi_trace_analyze: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string plan_path;
+  std::string out_path;
+  std::string chrome_out;
+  std::string flight_path;
+  double mcm_scale = 1.0;
+  bool metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--plan") {
+      if (++i >= argc) return usage();
+      plan_path = argv[i];
+    } else if (arg == "-o") {
+      if (++i >= argc) return usage();
+      out_path = argv[i];
+    } else if (arg == "--chrome-out") {
+      if (++i >= argc) return usage();
+      chrome_out = argv[i];
+    } else if (arg == "--mcm-scale") {
+      if (++i >= argc) return usage();
+      char* end = nullptr;
+      mcm_scale = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || mcm_scale <= 0.0) {
+        std::fprintf(stderr, "spi_trace_analyze: --mcm-scale needs a positive number, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      if (!flight_path.empty()) return usage();
+      flight_path = arg;
+    }
+  }
+  if (flight_path.empty()) return usage();
+
+  try {
+    std::string flight_text;
+    if (!read_file(flight_path, flight_text)) return 1;
+    const spi::obs::FlightLog log = spi::obs::FlightLog::from_json(flight_text);
+
+    spi::obs::AnalyzeOptions options;
+    options.mcm_scale = mcm_scale;
+    if (!plan_path.empty()) {
+      std::string plan_text;
+      if (!read_file(plan_path, plan_text)) return 1;
+      const spi::core::ExecutablePlan plan = spi::core::ExecutablePlan::from_json(plan_text);
+      options.predicted_mcm = plan.predicted_mcm();
+    }
+
+    const spi::obs::CriticalPathReport report = spi::obs::analyze_critical_path(log, options);
+
+    if (!chrome_out.empty() && !write_file(chrome_out, report.to_chrome_trace_json(log)))
+      return 1;
+
+    const std::string report_json = report.to_json();
+    if (!out_path.empty()) {
+      if (!write_file(out_path, report_json)) return 1;
+    }
+    if (metrics) {
+      // Metrics own stdout; the report moves to stderr (or the -o file).
+      spi::obs::MetricRegistry registry;
+      report.publish_metrics(registry);
+      std::printf("%s", registry.to_prometheus().c_str());
+      if (out_path.empty()) std::fprintf(stderr, "%s\n", report_json.c_str());
+    } else if (out_path.empty()) {
+      std::printf("%s\n", report_json.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spi_trace_analyze: %s\n", e.what());
+    return 1;
+  }
+}
