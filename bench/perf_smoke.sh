@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Perf smoke gate for CI: runs the micro_channel suite and fails when the
+# lock-free SpscChannel's streaming throughput drops below the
+# BlockingChannel baseline measured in the same run — a same-machine,
+# same-build comparison, so it is robust to runner speed differences.
+#
+#   bench/perf_smoke.sh [BUILD_DIR] [MIN_SPEEDUP]
+#
+# MIN_SPEEDUP is the minimum required ratio of BlockingChannel mean
+# streaming time to SpscChannel mean streaming time (default 1.0 — SPSC
+# must at least match the mutex path; locally it is several times
+# faster, see BENCH_results.json's derived.spsc_stream_speedup).
+set -eu
+
+BUILD_DIR=${1:-build}
+MIN_SPEEDUP=${2:-1.0}
+MIN_TIME=${BENCHMARK_MIN_TIME:-0.05}
+
+bin="$BUILD_DIR/bench/micro_channel"
+if [ ! -x "$bin" ]; then
+  echo "perf_smoke.sh: $bin not built" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# The alloc-assertion benchmark runs too: a nonzero steady-state
+# allocation count surfaces as an error_occurred in the JSON.
+"$bin" --benchmark_min_time="$MIN_TIME" --benchmark_format=json > "$TMP/out.json"
+
+python3 - "$TMP/out.json" "$MIN_SPEEDUP" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+min_speedup = float(sys.argv[2])
+
+failed = False
+times = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    if b.get("error_occurred"):
+        print(f"perf_smoke.sh: FAIL {b['name']}: {b.get('error_message', 'error')}",
+              file=sys.stderr)
+        failed = True
+        continue
+    base = b["name"].split("/")[0]
+    times.setdefault(base, []).append(b["real_time"])
+
+def mean(name):
+    vals = times.get(name, [])
+    return sum(vals) / len(vals) if vals else None
+
+spsc, blocking = mean("BM_SpscStream"), mean("BM_BlockingStream")
+if spsc is None or blocking is None:
+    print("perf_smoke.sh: FAIL missing BM_SpscStream / BM_BlockingStream rows",
+          file=sys.stderr)
+    failed = True
+else:
+    speedup = blocking / spsc
+    print(f"perf_smoke.sh: SPSC streaming speedup {speedup:.2f}x "
+          f"(gate: >= {min_speedup}x)", file=sys.stderr)
+    if speedup < min_speedup:
+        print("perf_smoke.sh: FAIL SPSC streaming throughput regressed below "
+              "the BlockingChannel baseline", file=sys.stderr)
+        failed = True
+
+sys.exit(1 if failed else 0)
+PY

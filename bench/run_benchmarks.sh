@@ -14,8 +14,9 @@
 #        "cpu_time_ns": N, "iterations": N}, ...   # sorted (suite, name)
 #     ],
 #     "derived": {
-#       "flight_recorder_overhead_pct": P   # recorded vs bare threaded run
-#     }
+#       "flight_recorder_overhead_pct": P,  # recorded vs bare threaded run
+#       "spsc_stream_speedup": S            # BlockingChannel / SpscChannel
+#     }                                     #   mean streaming time ratio
 #   }
 #
 # BENCHMARK_MIN_TIME can shrink runs for smoke use (default 0.05s).
@@ -24,7 +25,7 @@ set -eu
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_results.json}
 MIN_TIME=${BENCHMARK_MIN_TIME:-0.05}
-SUITES="micro_flight micro_spi micro_dsp micro_compile"
+SUITES="micro_flight micro_spi micro_dsp micro_compile micro_channel"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "run_benchmarks.sh: no $BUILD_DIR/bench — build the repo first" >&2
@@ -77,6 +78,9 @@ derived = {}
 bare, recorded = mean_time("BM_ThreadedPipeline"), mean_time("BM_ThreadedPipelineRecorded")
 if bare and recorded:
     derived["flight_recorder_overhead_pct"] = round(100.0 * (recorded - bare) / bare, 2)
+spsc, blocking = mean_time("BM_SpscStream"), mean_time("BM_BlockingStream")
+if spsc and blocking:
+    derived["spsc_stream_speedup"] = round(blocking / spsc, 2)
 
 doc = {"schema": 1, "suites": suites, "benchmarks": rows, "derived": derived}
 with open(out_path, "w") as f:
@@ -86,4 +90,7 @@ print(f"run_benchmarks.sh: wrote {out_path} ({len(rows)} benchmarks)", file=sys.
 if "flight_recorder_overhead_pct" in derived:
     print(f"run_benchmarks.sh: flight recorder overhead "
           f"{derived['flight_recorder_overhead_pct']}%", file=sys.stderr)
+if "spsc_stream_speedup" in derived:
+    print(f"run_benchmarks.sh: SPSC streaming speedup "
+          f"{derived['spsc_stream_speedup']}x vs BlockingChannel", file=sys.stderr)
 PY

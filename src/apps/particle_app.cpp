@@ -108,38 +108,47 @@ ParticleFilterApp::ParticleFilterApp(std::int32_t pe_count, ParticleParams param
   system_ = std::make_unique<core::SpiSystem>(graph, std::move(assignment), options);
 }
 
-TrackResult ParticleFilterApp::track(const dsp::CrackTrajectory& trajectory) const {
-  const auto n = static_cast<std::size_t>(pe_count_);
-  const std::size_t quota = params_.particles / n;
-
+/// Per-PE mutable tracking state. Each instance is touched only by its
+/// PE's actors — on the threaded engine, only by that PE's thread.
+struct ParticleFilterApp::TrackState {
   struct PeState {
     std::vector<double> particles;
     std::vector<double> weights;
     std::vector<double> kept;                        // phase-2 survivors
     std::vector<std::vector<double>> exports;        // per destination PE
+    std::int64_t exported = 0;                       // phase-3 particles shipped out
     dsp::Rng rng;
     explicit PeState(std::uint64_t seed) : rng(seed) {}
   };
-  struct Shared {
-    std::vector<PeState> pe;
-    const dsp::CrackTrajectory* traj = nullptr;
-    std::vector<double> estimates;
-    std::int64_t resample_steps = 0;
-  };
-  auto shared = std::make_shared<Shared>();
+  std::vector<PeState> pe;
+  const dsp::CrackTrajectory* traj = nullptr;
+  std::vector<double> estimates;  ///< appended only by Res0
+  std::int64_t resample_steps = 0;
+};
+
+std::shared_ptr<ParticleFilterApp::TrackState> ParticleFilterApp::make_track_state(
+    const ParticleParams& params, std::size_t n, const dsp::CrackTrajectory& trajectory) {
+  const std::size_t quota = params.particles / n;
+  auto shared = std::make_shared<ParticleFilterApp::TrackState>();
   shared->traj = &trajectory;
   for (std::size_t i = 0; i < n; ++i) {
-    auto& st = shared->pe.emplace_back(params_.seed + 1000 * i);
+    auto& st = shared->pe.emplace_back(params.seed + 1000 * i);
     st.particles.reserve(quota);
     for (std::size_t p = 0; p < quota; ++p)
       st.particles.push_back(std::max(
-          1e-6, params_.model.initial_length +
-                    st.rng.gaussian(0.0, 5.0 * params_.model.process_noise)));
-    st.weights.assign(quota, 1.0 / static_cast<double>(params_.particles));
+          1e-6, params.model.initial_length +
+                    st.rng.gaussian(0.0, 5.0 * params.model.process_noise)));
+    st.weights.assign(quota, 1.0 / static_cast<double>(params.particles));
     st.exports.assign(n, {});
   }
+  return shared;
+}
 
-  core::FunctionalRuntime runtime(*system_);
+template <class Runtime>
+void ParticleFilterApp::wire_tracking(Runtime& runtime,
+                                      const std::shared_ptr<TrackState>& shared) const {
+  const auto n = static_cast<std::size_t>(pe_count_);
+  const std::size_t quota = params_.particles / n;
   const dsp::CrackModel model = params_.model;
   const auto total = static_cast<std::int64_t>(params_.particles);
 
@@ -241,6 +250,7 @@ TrackResult ParticleFilterApp::track(const dsp::CrackTrajectory& trajectory) con
       }
       for (std::size_t j = 0; j < n; ++j) {
         if (j == i) continue;
+        st.exported += static_cast<std::int64_t>(st.exports[j].size());
         ctx.outputs[ctx.output_index(particle_edge_[i][j])] = {pack_f64(st.exports[j])};
       }
       ctx.outputs[ctx.output_index(chain_rx_[i])] = {
@@ -264,7 +274,14 @@ TrackResult ParticleFilterApp::track(const dsp::CrackTrajectory& trajectory) con
       ctx.outputs[ctx.output_index(loop_xe_[i])] = {core::Bytes(4, 0)};
     });
   }
+}
 
+TrackResult ParticleFilterApp::track(const dsp::CrackTrajectory& trajectory) const {
+  auto shared =
+      make_track_state(params_, static_cast<std::size_t>(pe_count_), trajectory);
+
+  core::FunctionalRuntime runtime(*system_);
+  wire_tracking(runtime, shared);
   runtime.run(static_cast<std::int64_t>(trajectory.observations.size()));
 
   TrackResult result;
@@ -281,6 +298,23 @@ TrackResult ParticleFilterApp::track(const dsp::CrackTrajectory& trajectory) con
       result.static_messages += channel.stats().messages;
     }
   }
+  return result;
+}
+
+TrackResult ParticleFilterApp::track_threaded(const dsp::CrackTrajectory& trajectory,
+                                              core::ChannelPolicy policy) const {
+  auto shared =
+      make_track_state(params_, static_cast<std::size_t>(pe_count_), trajectory);
+
+  core::ThreadedRuntime runtime(system_->plan(), policy);
+  wire_tracking(runtime, shared);
+  runtime.run(static_cast<std::int64_t>(trajectory.observations.size()));
+
+  TrackResult result;
+  result.estimates = std::move(shared->estimates);
+  result.resample_steps = shared->resample_steps;
+  result.rmse_vs_truth = dsp::rmse(trajectory.truth, result.estimates);
+  for (const auto& pe : shared->pe) result.particles_exchanged += pe.exported;
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/spi_system.hpp"
+#include "core/threaded_runtime.hpp"
 #include "dsp/particle_filter.hpp"
 #include "sim/fpga_area.hpp"
 
@@ -80,6 +81,18 @@ class ParticleFilterApp {
   /// fabric (real packed particles, real headers, real resampling).
   [[nodiscard]] TrackResult track(const dsp::CrackTrajectory& trajectory) const;
 
+  /// Same tracking on real host threads — one per PE, with the phases
+  /// communicating through runtime channels. Dataflow determinacy makes
+  /// the estimates bit-identical to track() whatever the thread schedule
+  /// (the parity tests assert it). `policy` selects the channel
+  /// implementation: lock-free SPSC (default) or the blocking fallback.
+  /// static_messages/dynamic_messages are zero here — the threaded
+  /// engine aggregates per-channel counters in its MetricRegistry
+  /// instead of per wire format.
+  [[nodiscard]] TrackResult track_threaded(
+      const dsp::CrackTrajectory& trajectory,
+      core::ChannelPolicy policy = core::ChannelPolicy::kAuto) const;
+
   /// Figure 7: timed execution at a given run-time particle count.
   [[nodiscard]] sim::ExecStats run_timed(std::size_t particles,
                                          const ParticleTimingModel& timing,
@@ -90,6 +103,18 @@ class ParticleFilterApp {
   [[nodiscard]] sim::AreaReport area_report() const;
 
  private:
+  struct TrackState;  // per-run mutable state shared by the compute fns
+  [[nodiscard]] static std::shared_ptr<TrackState> make_track_state(
+      const ParticleParams& params, std::size_t n, const dsp::CrackTrajectory& trajectory);
+  /// Registers all compute functions on either execution engine
+  /// (FunctionalRuntime or ThreadedRuntime — same ComputeFn contract).
+  /// Each PE's state is touched only by that PE's actors (all mapped to
+  /// the same processor), and the shared estimate is appended only by
+  /// Res0 — so the wiring is thread-safe on the threaded engine without
+  /// extra locks.
+  template <class Runtime>
+  void wire_tracking(Runtime& runtime, const std::shared_ptr<TrackState>& shared) const;
+
   std::int32_t pe_count_;
   ParticleParams params_;
   // Per-PE actors (phase pipeline) and the shared observation source.

@@ -254,13 +254,14 @@ std::vector<double> ErrorGenApp::compute_errors_parallel(std::span<const double>
 std::vector<double> ErrorGenApp::compute_errors_threaded(std::span<const double> frame,
                                                          std::span<const double> coeffs,
                                                          core::ReliabilityOptions reliability,
-                                                         obs::MetricRegistry* metrics) const {
+                                                         obs::MetricRegistry* metrics,
+                                                         core::ChannelPolicy policy) const {
   if (frame.size() > params_.max_frame_size)
     throw std::length_error("ErrorGenApp: frame exceeds the declared bound");
   if (coeffs.size() > params_.max_order)
     throw std::length_error("ErrorGenApp: order exceeds the declared bound");
 
-  core::ThreadedRuntime runtime(*system_, reliability, metrics);
+  core::ThreadedRuntime runtime(system_->plan(), policy, reliability, metrics);
   auto result = std::make_shared<std::vector<double>>(frame.size(), 0.0);
   wire_error_gen(runtime, frame, coeffs, result);
   runtime.run(1);

@@ -128,9 +128,13 @@ class ErrorGenApp {
   /// bit-identical to compute_errors_parallel whenever the plan's retry
   /// budget suffices; a persistent fault surfaces sim::ChannelError.
   /// `metrics` (optional) receives the spi_reliable_* counters.
+  /// `policy` selects the channel implementation for plain edges
+  /// (lock-free SPSC by default; kBlockingOnly forces the mutex fallback
+  /// — the parity tests run both and assert identical bits).
   [[nodiscard]] std::vector<double> compute_errors_threaded(
       std::span<const double> frame, std::span<const double> coeffs,
-      core::ReliabilityOptions reliability = {}, obs::MetricRegistry* metrics = nullptr) const;
+      core::ReliabilityOptions reliability = {}, obs::MetricRegistry* metrics = nullptr,
+      core::ChannelPolicy policy = core::ChannelPolicy::kAuto) const;
 
   /// Figure 6: timed execution at a given run-time sample size and
   /// predictor order; returns per-iteration statistics. `backend`

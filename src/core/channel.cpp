@@ -26,8 +26,14 @@ void SpiChannel::send(std::span<const std::uint8_t> payload) {
     throw std::runtime_error(
         "SpiChannel: BBS capacity exceeded — equation 2 bound violated (analysis bug)");
   }
-  Bytes wire = config_.mode == SpiMode::kStatic ? encode_static(config_.edge, payload)
-                                                : encode_dynamic(config_.edge, payload);
+  const std::size_t header = config_.mode == SpiMode::kStatic
+                                 ? static_cast<std::size_t>(kStaticHeaderBytes)
+                                 : static_cast<std::size_t>(kDynamicHeaderBytes);
+  Bytes wire = take_buffer(header + payload.size());
+  if (config_.mode == SpiMode::kStatic)
+    encode_static_into(config_.edge, payload, {wire.data(), wire.size()});
+  else
+    encode_dynamic_into(config_.edge, payload, {wire.data(), wire.size()});
   stats_.wire_bytes += static_cast<std::int64_t>(wire.size());
   stats_.payload_bytes += size;
   stats_.messages += 1;
@@ -42,10 +48,30 @@ std::optional<Bytes> SpiChannel::receive() {
   Message m = config_.mode == SpiMode::kStatic
                   ? decode_static(wire, config_.payload_bound_bytes)
                   : decode_dynamic(wire);
+  recycle(std::move(wire));
   if (m.edge != config_.edge)
     throw std::runtime_error("SpiChannel: edge-id header mismatch (routing error)");
   if (config_.protocol == sched::SyncProtocol::kUbs && !config_.ack_elided) stats_.acks += 1;
   return std::move(m.payload);
+}
+
+Bytes SpiChannel::take_buffer(std::size_t size) {
+  Bytes wire;
+  if (!freelist_.empty()) {
+    wire = std::move(freelist_.back());
+    freelist_.pop_back();
+  } else {
+    wire.reserve(size);
+  }
+  wire.resize(size);
+  return wire;
+}
+
+void SpiChannel::recycle(Bytes&& buffer) {
+  // A small cap bounds idle memory; under it the send/receive cycle of a
+  // warmed-up channel never touches the allocator.
+  constexpr std::size_t kMaxFreeBuffers = 16;
+  if (freelist_.size() < kMaxFreeBuffers) freelist_.push_back(std::move(buffer));
 }
 
 }  // namespace spi::core

@@ -74,9 +74,18 @@ class SpiChannel {
   [[nodiscard]] std::optional<Bytes> receive();
 
  private:
+  /// A recycled wire buffer sized to `size` (one-shot resize, capacity
+  /// reused), or a fresh one when the freelist is empty.
+  [[nodiscard]] Bytes take_buffer(std::size_t size);
+  void recycle(Bytes&& buffer);
+
   ChannelConfig config_;
   ChannelStats stats_;
   std::deque<Bytes> queue_;  ///< encoded wire messages, FIFO
+  /// Consumed wire buffers kept for reuse: in steady state send()
+  /// encodes into a recycled buffer instead of allocating one per
+  /// message. Bounded so a bursty channel cannot hoard memory.
+  std::vector<Bytes> freelist_;
 };
 
 }  // namespace spi::core

@@ -1,5 +1,6 @@
 #include "core/packing.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace spi::core {
@@ -21,6 +22,22 @@ Bytes TokenPacker::pack(std::span<const std::uint8_t> raw, std::int64_t count) c
   if (static_cast<std::int64_t>(raw.size()) != count * raw_token_bytes_)
     throw std::invalid_argument("TokenPacker::pack: raw byte count does not match token count");
   return Bytes(raw.begin(), raw.end());
+}
+
+std::size_t TokenPacker::pack_into(std::span<const std::uint8_t> raw, std::int64_t count,
+                                   std::span<std::uint8_t> dest) const {
+  if (count < 0) throw std::invalid_argument("TokenPacker::pack_into: negative count");
+  if (count > max_raw_tokens_)
+    throw std::length_error("TokenPacker::pack_into: dynamic rate exceeds declared bound (" +
+                            std::to_string(count) + " > " + std::to_string(max_raw_tokens_) +
+                            ") — b_max violated");
+  if (static_cast<std::int64_t>(raw.size()) != count * raw_token_bytes_)
+    throw std::invalid_argument(
+        "TokenPacker::pack_into: raw byte count does not match token count");
+  if (dest.size() < raw.size())
+    throw std::length_error("TokenPacker::pack_into: destination smaller than the packed token");
+  std::copy(raw.begin(), raw.end(), dest.begin());
+  return raw.size();
 }
 
 std::vector<Bytes> TokenPacker::unpack(std::span<const std::uint8_t> packed) const {

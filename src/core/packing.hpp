@@ -38,6 +38,13 @@ class TokenPacker {
   /// firing that transfers no data).
   [[nodiscard]] Bytes pack(std::span<const std::uint8_t> raw, std::int64_t count) const;
 
+  /// Packs directly into a caller-provided buffer (e.g. an SpscChannel
+  /// slot span) and returns the packed size — the zero-allocation
+  /// counterpart of pack(). Same validation; additionally throws
+  /// std::length_error when `dest` is smaller than the packed token.
+  std::size_t pack_into(std::span<const std::uint8_t> raw, std::int64_t count,
+                        std::span<std::uint8_t> dest) const;
+
   /// Splits a packed token back into raw tokens. Validates that the
   /// packed size is a whole number of raw tokens within the bound.
   [[nodiscard]] std::vector<Bytes> unpack(std::span<const std::uint8_t> packed) const;

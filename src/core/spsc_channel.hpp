@@ -1,0 +1,201 @@
+/// \file spsc_channel.hpp
+/// Zero-copy lock-free SPSC channel with a slab-allocated token buffer.
+///
+/// The paper's core claim is that static SDF structure lets interprocessor
+/// communication compile down to lean specialized actors instead of a
+/// general-purpose runtime. Every IPC edge of an ExecutablePlan is
+/// single-producer / single-consumer by construction (one src processor,
+/// one snk processor), and a BBS edge carries a compile-time capacity
+/// (equation 2). This channel exploits exactly that knowledge:
+///
+///  * The buffer is one slab of `capacity × frame_bound` bytes allocated
+///    at construction — equation 2 sizes it, so steady-state send and
+///    receive perform **zero heap allocations**.
+///  * The producer *acquires* a fixed-size slot span, packs/encodes its
+///    token directly into it, and *publishes* with one release store; the
+///    consumer reads the published span in place and *releases* the slot
+///    with one release store. No mutex, no condition variable, no memcpy
+///    beyond the one the caller chooses to perform.
+///  * Indices are cache-line-separated and each side caches the opposing
+///    index, so an uncontended transfer touches one shared cache line per
+///    side.
+///
+/// Blocking degrades gracefully: a bounded spin (cheap, keeps the
+/// back-pressure latency in the tens of nanoseconds when the peer is
+/// active), then a few sched yields, then a futex-style park on a
+/// condition variable. The park handshake uses the standard eventcount
+/// fence protocol: the waiter registers in `waiters_` before re-checking,
+/// the signaler publishes before checking `waiters_`, both separated by
+/// seq_cst fences — so the fast path never takes a lock and a wakeup is
+/// never lost. Flight-recorder kBlockBegin/kBlockEnd events are emitted
+/// only when the wait actually parks (spin waits are not "blocked" in any
+/// sense the critical-path analyzer should attribute).
+///
+/// ThreadedRuntime selects this channel for every IPC edge of the plan
+/// except reliability-enabled ones (retry/timeout needs the requeue
+/// semantics of BlockingChannel — see docs/architecture.md, "Channel
+/// selection").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/message.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace spi::core {
+
+/// Thrown out of a blocked (or spinning) push/pop when the owning
+/// runtime aborts the run: the worker unwinds without recording an error
+/// of its own (another worker's failure is the root cause).
+struct ChannelInterrupted : std::runtime_error {
+  ChannelInterrupted() : std::runtime_error("SPI channel: interrupted by abort") {}
+};
+
+/// Per-call flight-recording context: who is touching the channel. A
+/// null pointer at the call site means recording is off (construction
+/// -time token placement and every run without a recorder attached).
+struct ChannelFlightCtx {
+  obs::FlightRecorder* recorder = nullptr;
+  std::int32_t proc = 0;
+  std::int32_t actor = -1;
+  std::int64_t iteration = 0;
+};
+
+/// Nullable registry handles for the channel's block accounting. The
+/// block *count* is incremented whenever the fast path failed and the
+/// caller had to wait at all; the block *duration* covers the whole wait
+/// (spin + yield + park). Null pointers skip the accounting entirely —
+/// including the monotonic clock reads.
+struct SpscCounters {
+  obs::Counter* producer_blocks = nullptr;
+  obs::Counter* consumer_blocks = nullptr;
+  obs::Counter* producer_block_micros = nullptr;
+  obs::Counter* consumer_block_micros = nullptr;
+};
+
+/// Lock-free single-producer / single-consumer token channel over a
+/// preallocated slab. Exactly one thread may call the producer API
+/// (acquire/publish/push) and exactly one thread the consumer API
+/// (front/pop/pop_into) — the dataflow edge guarantees it.
+class SpscChannel {
+ public:
+  /// \param edge         dataflow edge id (flight events, errors)
+  /// \param capacity     slot count — the plan's equation-2 bound for
+  ///                     BBS, UBS credit window otherwise (plus delay
+  ///                     tokens); clamped to >= 1
+  /// \param frame_bound  bytes of the largest token the edge can carry
+  ///                     (b_max for VTS-converted edges); clamped to >= 1
+  /// \param abort        optional run-abort flag checked while waiting;
+  ///                     a blocked call throws ChannelInterrupted once it
+  ///                     is set (after interrupt() wakes parked waiters)
+  SpscChannel(df::EdgeId edge, std::size_t capacity, std::size_t frame_bound,
+              std::atomic<bool>* abort = nullptr);
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  void set_counters(const SpscCounters& counters) { counters_ = counters; }
+
+  [[nodiscard]] df::EdgeId edge() const { return edge_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t frame_bound() const { return frame_bound_; }
+  /// Published-but-unconsumed tokens (approximate across threads).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  // --- producer side -------------------------------------------------
+
+  /// Waits for a free slot and returns its frame_bound-byte span. The
+  /// caller packs/encodes directly into it and calls publish(). Blocking
+  /// escalates spin -> yield -> park; throws ChannelInterrupted on abort.
+  [[nodiscard]] std::span<std::uint8_t> acquire(const ChannelFlightCtx* flight = nullptr);
+
+  /// Non-blocking acquire; false when the channel is full.
+  [[nodiscard]] bool try_acquire(std::span<std::uint8_t>& slot) noexcept;
+
+  /// Publishes the acquired slot's first `frame_bytes` bytes with one
+  /// release store (this is the kSend instant). Throws std::length_error
+  /// beyond frame_bound.
+  void publish(std::size_t frame_bytes, const ChannelFlightCtx* flight = nullptr);
+
+  /// Convenience: acquire + copy + publish (the one copy the ComputeFn
+  /// contract forces on the runtime; direct users avoid it with
+  /// acquire/publish).
+  void push(std::span<const std::uint8_t> token, const ChannelFlightCtx* flight = nullptr);
+
+  // --- consumer side -------------------------------------------------
+
+  /// Waits for a published token and returns its in-slab span (valid
+  /// until pop()). Throws ChannelInterrupted on abort. If the channel is
+  /// non-empty when the abort lands, the remaining tokens stay readable.
+  [[nodiscard]] std::span<const std::uint8_t> front(const ChannelFlightCtx* flight = nullptr);
+
+  /// Non-blocking front; false when the channel is empty.
+  [[nodiscard]] bool try_front(std::span<const std::uint8_t>& token) noexcept;
+
+  /// Consumes the front token (records the kReceive event, then frees the
+  /// slot with one release store).
+  void pop(const ChannelFlightCtx* flight = nullptr);
+
+  /// front + copy-out + pop. `out.assign` reuses the caller's buffer
+  /// capacity, so a warmed-up receive loop performs no allocation.
+  void pop_into(Bytes& out, const ChannelFlightCtx* flight = nullptr);
+
+  /// Wakes parked waiters so they can observe the abort flag. Safe from
+  /// any thread.
+  void interrupt();
+
+ private:
+  enum class Side : std::uint8_t { kProducer, kConsumer };
+
+  /// Slow path: spin -> yield -> park until `ready()` (a lambda polling
+  /// the opposing index) holds or abort is set. Returns false on abort
+  /// with the condition still unmet.
+  template <class Ready>
+  bool wait(Side side, Ready&& ready, const ChannelFlightCtx* flight);
+
+  void wake_peer() noexcept;
+  [[nodiscard]] bool aborted() const noexcept {
+    return abort_ != nullptr && abort_->load(std::memory_order_relaxed);
+  }
+
+  const df::EdgeId edge_;
+  const std::size_t capacity_;
+  const std::size_t frame_bound_;
+  std::vector<std::uint8_t> slab_;      ///< capacity_ * frame_bound_ bytes
+  std::vector<std::uint32_t> sizes_;    ///< published byte count per slot
+  std::atomic<bool>* abort_;
+  SpscCounters counters_;
+
+  // Producer-owned state (shared tail_ on its own cache line; the rest
+  // is touched only by the producing thread).
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< published count
+  std::uint64_t tail_local_ = 0;   ///< producer's mirror of tail_
+  std::uint64_t head_cache_ = 0;   ///< producer's last view of head_
+  std::size_t tail_idx_ = 0;       ///< producer's wrapped slot index
+  std::int64_t send_seq_ = 0;      ///< flight-event sequence (producer)
+
+  // Consumer-owned state.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumed count
+  std::uint64_t head_local_ = 0;
+  std::uint64_t tail_cache_ = 0;
+  std::size_t head_idx_ = 0;
+  std::int64_t recv_seq_ = 0;
+
+  // Park state (cold): eventcount-style. waiters_ is checked lock-free
+  // by the signaling side; the mutex serializes only actual parks/wakes.
+  alignas(64) std::atomic<std::uint32_t> waiters_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+};
+
+}  // namespace spi::core

@@ -1,200 +1,33 @@
 #include "core/threaded_runtime.hpp"
 
-#include <chrono>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
 
 namespace spi::core {
 
-namespace {
-
-/// Internal unwind signal when another worker failed.
-struct Aborted : std::runtime_error {
-  Aborted() : std::runtime_error("ThreadedRuntime: aborted") {}
-};
-
-void sleep_us(std::int64_t micros) {
-  if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
-}
-
-}  // namespace
-
-ThreadedRuntime::BlockingChannel::BlockingChannel(df::EdgeId edge, std::size_t capacity_tokens,
-                                                  std::atomic<bool>& abort,
-                                                  ChannelCounters counters)
-    : edge_(edge), capacity_(capacity_tokens), abort_(abort), counters_(counters) {}
-
-void ThreadedRuntime::BlockingChannel::enable_reliability(const sim::FaultPlan* plan,
-                                                          const sim::RetryPolicy& policy) {
-  policy_ = &policy;
-  sender_ = std::make_unique<ReliableSender>(edge_, plan, policy);
-  receiver_ = std::make_unique<ReliableReceiver>(edge_);
-}
-
-void ThreadedRuntime::BlockingChannel::enqueue(Bytes frame, const FlightCtx* flight) {
-  std::unique_lock lock(mutex_);
-  if (queue_.size() >= capacity_) {
-    counters_.producer_blocks->inc();
-    if (flight)
-      flight->recorder->record(flight->proc, obs::FlightEventKind::kBlockBegin, flight->actor,
-                               edge_, send_seq_, flight->iteration, /*aux=*/1);
-    const std::int64_t t0 = obs::monotonic_ns();
-    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || abort_.load(); });
-    counters_.producer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
-    if (flight)
-      flight->recorder->record(flight->proc, obs::FlightEventKind::kBlockEnd, flight->actor,
-                               edge_, send_seq_, flight->iteration, /*aux=*/1);
-  }
-  if (abort_.load()) throw Aborted{};
-  queue_.push_back(std::move(frame));
-  not_empty_.notify_one();
-}
-
-Bytes ThreadedRuntime::BlockingChannel::dequeue(const FlightCtx* flight) {
-  std::unique_lock lock(mutex_);
-  if (queue_.empty()) {
-    counters_.consumer_blocks->inc();
-    if (flight)
-      flight->recorder->record(flight->proc, obs::FlightEventKind::kBlockBegin, flight->actor,
-                               edge_, recv_seq_, flight->iteration, /*aux=*/0);
-    const std::int64_t t0 = obs::monotonic_ns();
-    if (policy_) {
-      // Reliable mode: an empty channel past the deadline means the
-      // peer is lost (or the wire eats everything) — degrade with a
-      // typed error instead of hanging the worker forever.
-      const bool signaled =
-          not_empty_.wait_for(lock, std::chrono::microseconds(policy_->timeout_us),
-                              [&] { return !queue_.empty() || abort_.load(); });
-      counters_.consumer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
-      if (!signaled) {
-        counters_.timeouts->inc();
-        throw sim::ChannelError(sim::ChannelErrorKind::kReceiveTimeout, edge_, 0,
-                                "no frame within " + std::to_string(policy_->timeout_us) +
-                                    "us");
-      }
-    } else {
-      not_empty_.wait(lock, [&] { return !queue_.empty() || abort_.load(); });
-      counters_.consumer_block_micros->inc((obs::monotonic_ns() - t0) / 1000);
-    }
-    if (flight)
-      flight->recorder->record(flight->proc, obs::FlightEventKind::kBlockEnd, flight->actor,
-                               edge_, recv_seq_, flight->iteration, /*aux=*/0);
-  }
-  if (abort_.load() && queue_.empty()) throw Aborted{};
-  Bytes frame = std::move(queue_.front());
-  queue_.pop_front();
-  not_full_.notify_one();
-  return frame;
-}
-
-void ThreadedRuntime::BlockingChannel::execute(const TransmitScript& script,
-                                               std::int64_t payload_bytes,
-                                               const FlightCtx* flight) {
-  for (const TransmitStep& step : script.steps) {
-    sleep_us(step.delay_us);
-    if (!step.dropped()) {
-      enqueue(step.frame, flight);
-      if (step.duplicate) enqueue(step.frame, flight);
-    }
-    if (step.backoff_us > 0) {
-      sleep_us(step.backoff_us);
-      counters_.backoff_histogram->observe(static_cast<double>(step.backoff_us));
-    }
-  }
-  if (script.retries() > 0) {
-    counters_.retries->inc(script.retries());
-    if (flight)
-      flight->recorder->record(flight->proc, obs::FlightEventKind::kRetry, flight->actor, edge_,
-                               script.retries(), flight->iteration);
-  }
-  if (script.dropped > 0) counters_.dropped_frames->inc(script.dropped);
-  if (script.total_backoff_us > 0) counters_.backoff_micros->inc(script.total_backoff_us);
-  if (!script.delivered) {
-    counters_.send_failures->inc();
-    throw sim::ChannelError(sim::ChannelErrorKind::kRetriesExhausted, edge_, script.attempts(),
-                            "every transmission dropped or corrupted");
-  }
-  counters_.messages->inc();
-  counters_.payload_bytes->inc(payload_bytes);
-}
-
-void ThreadedRuntime::BlockingChannel::push(Bytes token, const FlightCtx* flight) {
-  const auto payload_bytes = static_cast<std::int64_t>(token.size());
-  if (!sender_) {
-    counters_.messages->inc();
-    counters_.payload_bytes->inc(payload_bytes);
-    enqueue(std::move(token), flight);
-  } else {
-    execute(sender_->plan_transmit(token), payload_bytes, flight);
-  }
-  if (flight) {
-    // The token is now visible to the receiver: this is the causal
-    // send edge the analyzer matches a consumer's wait against.
-    flight->recorder->record(flight->proc, obs::FlightEventKind::kSend, flight->actor, edge_,
-                             send_seq_, flight->iteration, /*aux=*/0);
-  }
-  ++send_seq_;
-}
-
-void ThreadedRuntime::BlockingChannel::push_faultless(Bytes token) {
-  if (!sender_) {
-    push(std::move(token));
-    return;
-  }
-  const auto payload_bytes = static_cast<std::int64_t>(token.size());
-  execute(sender_->plan_transmit_faultless(token), payload_bytes, nullptr);
-  ++send_seq_;
-}
-
-Bytes ThreadedRuntime::BlockingChannel::pop(const FlightCtx* flight) {
-  if (!receiver_) {
-    Bytes token = dequeue(flight);
-    if (flight)
-      flight->recorder->record(flight->proc, obs::FlightEventKind::kReceive, flight->actor,
-                               edge_, recv_seq_, flight->iteration, /*aux=*/0);
-    ++recv_seq_;
-    return token;
-  }
-  for (;;) {
-    const Bytes frame = dequeue(flight);
-    ReliableReceiver::Result result = receiver_->accept(frame);
-    switch (result.verdict) {
-      case ReliableReceiver::Verdict::kAccept:
-        if (flight)
-          flight->recorder->record(flight->proc, obs::FlightEventKind::kReceive, flight->actor,
-                                   edge_, recv_seq_, flight->iteration, /*aux=*/0);
-        ++recv_seq_;
-        return std::move(result.payload);
-      case ReliableReceiver::Verdict::kCorrupt:
-        counters_.crc_failures->inc();
-        break;  // the sender already scheduled a retransmission
-      case ReliableReceiver::Verdict::kDuplicate:
-        counters_.duplicates->inc();
-        break;
-    }
-  }
-}
-
-void ThreadedRuntime::BlockingChannel::interrupt() {
-  std::lock_guard lock(mutex_);
-  not_full_.notify_all();
-  not_empty_.notify_all();
-}
-
 ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, obs::MetricRegistry* metrics)
-    : ThreadedRuntime(plan, ReliabilityOptions{}, metrics) {}
+    : ThreadedRuntime(plan, ChannelPolicy::kAuto, ReliabilityOptions{}, metrics) {}
 
 ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, ReliabilityOptions reliability,
                                  obs::MetricRegistry* metrics)
+    : ThreadedRuntime(plan, ChannelPolicy::kAuto, reliability, metrics) {}
+
+ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, ChannelPolicy policy,
+                                 ReliabilityOptions reliability, obs::MetricRegistry* metrics)
     : plan_(plan),
       graph_(plan.vts.graph),
       reliability_(reliability),
+      policy_(policy),
       owned_registry_(metrics ? nullptr : std::make_unique<obs::MetricRegistry>()),
       registry_(metrics ? metrics : owned_registry_.get()),
       compute_(graph_.actor_count()),
       local_fifo_(graph_.edge_count()),
-      channels_(graph_.edge_count()),
+      spsc_(graph_.edge_count()),
+      blocking_(graph_.edge_count()),
+      edge_messages_(graph_.edge_count(), nullptr),
+      edge_payload_bytes_(graph_.edge_count(), nullptr),
       fired_(graph_.actor_count(), 0) {
   if (reliability_.enabled) reliability_.policy().validate();
   init();
@@ -208,15 +41,17 @@ void ThreadedRuntime::init() {
     const std::int64_t per_iter = spec.prod_tokens * spec.src_firings_per_iteration;
     const std::int64_t window = spec.bbs_capacity_tokens.value_or(1);
     const std::int64_t capacity = window * per_iter + spec.delay_tokens;
+    const auto ei = static_cast<std::size_t>(spec.edge);
+    const bool reliable = reliability_.enabled && spec.reliable;
 
     const obs::Labels labels{{"channel", spec.name}};
     ChannelCounters counters;
     counters.messages = &registry_->counter(
         "spi_threaded_messages_total", labels,
-        "Interprocessor tokens moved through one blocking SPI channel");
+        "Interprocessor tokens moved through one SPI channel");
     counters.payload_bytes = &registry_->counter(
         "spi_threaded_payload_bytes_total", labels,
-        "Payload bytes moved through one blocking SPI channel");
+        "Payload bytes moved through one SPI channel");
     counters.producer_blocks =
         &registry_->counter("spi_threaded_producer_blocks_total", labels,
                             "Times a sender hit the channel's capacity and waited");
@@ -257,31 +92,89 @@ void ThreadedRuntime::init() {
     }
     channel_counters_.push_back(counters);
 
-    auto channel = std::make_unique<BlockingChannel>(
-        spec.edge, static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)), abort_,
-        counters);
-    if (reliability_.enabled && spec.reliable)
-      channel->enable_reliability(reliability_.faults, reliability_.policy());
-    channels_[static_cast<std::size_t>(spec.edge)] = std::move(channel);
+    if (!reliable) {
+      // Plain edges batch message/byte accounting per firing in fire();
+      // reliable channels count per attempt inside the protocol.
+      edge_messages_[ei] = counters.messages;
+      edge_payload_bytes_[ei] = counters.payload_bytes;
+    }
+
+    // Channel selection (docs/architecture.md): the lock-free slab
+    // channel wherever the plan's static knowledge allows it; the
+    // mutex-based fallback where the reliable protocol needs requeue and
+    // deadline waits, or when the policy forces it.
+    if (reliable || policy_ == ChannelPolicy::kBlockingOnly) {
+      auto channel = std::make_unique<BlockingChannel>(
+          spec.edge, static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)), abort_,
+          counters);
+      if (reliable) channel->enable_reliability(reliability_.faults, reliability_.policy());
+      blocking_[ei] = std::move(channel);
+    } else {
+      const df::VtsEdgeInfo& info = plan_.vts.edges[ei];
+      const std::int64_t frame_bound =
+          info.converted ? info.b_max_bytes : spec.token_bytes;
+      auto channel = std::make_unique<SpscChannel>(
+          spec.edge, static_cast<std::size_t>(std::max<std::int64_t>(1, capacity)),
+          static_cast<std::size_t>(std::max<std::int64_t>(1, frame_bound)), &abort_);
+      channel->set_counters(counters.spsc());
+      spsc_[ei] = std::move(channel);
+      ++spsc_count_;
+    }
   }
 
   // Initial tokens. Placed through the faultless path: delay tokens are
   // part of the compiled system, not traffic the fault plan may eat.
+  // Plain channels no longer count per token, so account for the
+  // placement here (reliable execute() counts for itself).
   for (std::size_t i = 0; i < graph_.edge_count(); ++i) {
     const df::Edge& e = graph_.edge(static_cast<df::EdgeId>(i));
     const bool dynamic = plan_.vts.edges[i].converted;
+    const std::size_t token_bytes = dynamic ? 0 : static_cast<std::size_t>(e.token_bytes);
     for (std::int64_t d = 0; d < e.delay; ++d) {
-      Bytes token = dynamic ? Bytes{} : Bytes(static_cast<std::size_t>(e.token_bytes), 0);
-      if (channels_[i])
-        channels_[i]->push_faultless(std::move(token));
-      else
-        local_fifo_[i].push_back(std::move(token));
+      if (spsc_[i]) {
+        Bytes token(token_bytes, 0);
+        spsc_[i]->push({token.data(), token.size()});
+      } else if (blocking_[i]) {
+        blocking_[i]->push_faultless(Bytes(token_bytes, 0));
+      } else {
+        local_fifo_[i].push_back(Bytes(token_bytes, 0));
+        continue;
+      }
+      if (edge_messages_[i]) {
+        edge_messages_[i]->inc();
+        edge_payload_bytes_[i]->inc(static_cast<std::int64_t>(token_bytes));
+      }
+    }
+  }
+
+  // Persistent per-(proc, step) firing contexts: the outer vectors and
+  // the input token buffers are built once and keep their heap capacity
+  // across iterations, so a warmed-up firing's channel path allocates
+  // nothing.
+  contexts_.resize(plan_.programs.size());
+  for (std::size_t p = 0; p < plan_.programs.size(); ++p) {
+    const std::vector<FiringStep>& program = plan_.programs[p];
+    contexts_[p].resize(program.size());
+    for (std::size_t s = 0; s < program.size(); ++s) {
+      FiringContext& ctx = contexts_[p][s];
+      const FiringStep& step = program[s];
+      ctx.actor = step.actor;
+      ctx.in_edges = step.in_edges;
+      ctx.out_edges = step.out_edges;
+      ctx.inputs.resize(ctx.in_edges.size());
+      for (std::size_t i = 0; i < ctx.in_edges.size(); ++i) {
+        const df::Edge& e = graph_.edge(ctx.in_edges[i]);
+        ctx.inputs[i].resize(static_cast<std::size_t>(e.cons.value()));
+      }
+      ctx.outputs.resize(ctx.out_edges.size());
     }
   }
 }
 
 void ThreadedRuntime::interrupt_all() {
-  for (auto& channel : channels_)
+  for (auto& channel : spsc_)
+    if (channel) channel->interrupt();
+  for (auto& channel : blocking_)
     if (channel) channel->interrupt();
 }
 
@@ -327,64 +220,91 @@ ThreadedRunStats ThreadedRuntime::counter_totals() const {
   return totals;
 }
 
-void ThreadedRuntime::fire(const FiringStep& step, std::int32_t proc, std::int64_t iteration) {
+void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int32_t proc,
+                           std::int64_t iteration) {
   const df::ActorId actor = step.actor;
   const auto a = static_cast<std::size_t>(actor);
   const std::int64_t span_start_us = trace_ ? trace_->now_us() : 0;
-  const FlightCtx flight_ctx{flight_, proc, actor, iteration};
-  const FlightCtx* flight = flight_ ? &flight_ctx : nullptr;
+  const ChannelFlightCtx flight_ctx{flight_, proc, actor, iteration};
+  const ChannelFlightCtx* flight = flight_ ? &flight_ctx : nullptr;
   if (flight)
     flight_->record(proc, obs::FlightEventKind::kFireBegin, actor, -1, 0, iteration);
-  FiringContext ctx;
-  ctx.actor = actor;
   ctx.invocation = fired_[a]++;
-  ctx.in_edges = step.in_edges;
-  ctx.out_edges = step.out_edges;
 
-  ctx.inputs.resize(ctx.in_edges.size());
   for (std::size_t i = 0; i < ctx.in_edges.size(); ++i) {
     const df::EdgeId eid = ctx.in_edges[i];
+    const auto ei = static_cast<std::size_t>(eid);
     const df::Edge& e = graph_.edge(eid);
-    BlockingChannel* channel = channels_[static_cast<std::size_t>(eid)].get();
-    ctx.inputs[i].reserve(static_cast<std::size_t>(e.cons.value()));
+    // A compute may have moved tokens out last firing; restore the slot
+    // count before refilling (capacity survives, so no steady-state
+    // allocation).
+    ctx.inputs[i].resize(static_cast<std::size_t>(e.cons.value()));
     for (std::int64_t t = 0; t < e.cons.value(); ++t) {
-      if (channel) {
-        ctx.inputs[i].push_back(channel->pop(flight));
+      Bytes& slot = ctx.inputs[i][static_cast<std::size_t>(t)];
+      if (spsc_[ei]) {
+        spsc_[ei]->pop_into(slot, flight);
+      } else if (blocking_[ei]) {
+        slot = blocking_[ei]->pop(flight);
       } else {
-        auto& fifo = local_fifo_[static_cast<std::size_t>(eid)];
+        auto& fifo = local_fifo_[ei];
         if (fifo.empty())
           throw std::logic_error("ThreadedRuntime: local token underflow on " + e.name);
-        ctx.inputs[i].push_back(std::move(fifo.front()));
+        slot = std::move(fifo.front());
         fifo.pop_front();
       }
     }
   }
 
-  ctx.outputs.resize(ctx.out_edges.size());
-  if (compute_[a]) {
+  const bool have_compute = static_cast<bool>(compute_[a]);
+  if (have_compute) {
+    for (auto& out : ctx.outputs) out.clear();
     compute_[a](ctx);
-  } else {
-    for (std::size_t i = 0; i < ctx.out_edges.size(); ++i) {
-      const df::Edge& e = graph_.edge(ctx.out_edges[i]);
-      for (std::int64_t t = 0; t < e.prod.value(); ++t)
-        ctx.outputs[i].emplace_back(static_cast<std::size_t>(e.token_bytes), 0);
-    }
   }
 
   for (std::size_t i = 0; i < ctx.out_edges.size(); ++i) {
     const df::EdgeId eid = ctx.out_edges[i];
+    const auto ei = static_cast<std::size_t>(eid);
     const df::Edge& e = graph_.edge(eid);
-    const df::VtsEdgeInfo& info = plan_.vts.edges[static_cast<std::size_t>(eid)];
-    if (static_cast<std::int64_t>(ctx.outputs[i].size()) != e.prod.value())
-      throw std::logic_error("ThreadedRuntime: wrong token count on " + e.name);
-    BlockingChannel* channel = channels_[static_cast<std::size_t>(eid)].get();
-    for (Bytes& token : ctx.outputs[i]) {
-      if (info.converted && static_cast<std::int64_t>(token.size()) > info.b_max_bytes)
-        throw std::length_error("ThreadedRuntime: packed token exceeds b_max on " + e.name);
-      if (channel)
-        channel->push(std::move(token), flight);
-      else
-        local_fifo_[static_cast<std::size_t>(eid)].push_back(std::move(token));
+    const df::VtsEdgeInfo& info = plan_.vts.edges[ei];
+    std::int64_t batch_bytes = 0;
+    if (!have_compute) {
+      // Default compute: full-rate zero tokens. On the SPSC path they go
+      // straight into the slab — acquire, zero-fill, publish; no Bytes.
+      const auto token_bytes = static_cast<std::size_t>(e.token_bytes);
+      for (std::int64_t t = 0; t < e.prod.value(); ++t) {
+        if (spsc_[ei]) {
+          const std::span<std::uint8_t> slot = spsc_[ei]->acquire(flight);
+          std::memset(slot.data(), 0, token_bytes);
+          spsc_[ei]->publish(token_bytes, flight);
+        } else if (blocking_[ei]) {
+          blocking_[ei]->push(Bytes(token_bytes, 0), flight);
+        } else {
+          local_fifo_[ei].emplace_back(token_bytes, 0);
+        }
+        batch_bytes += static_cast<std::int64_t>(token_bytes);
+      }
+    } else {
+      if (static_cast<std::int64_t>(ctx.outputs[i].size()) != e.prod.value())
+        throw std::logic_error("ThreadedRuntime: wrong token count on " + e.name);
+      for (Bytes& token : ctx.outputs[i]) {
+        if (info.converted && static_cast<std::int64_t>(token.size()) > info.b_max_bytes)
+          throw std::length_error("ThreadedRuntime: packed token exceeds b_max on " + e.name);
+        batch_bytes += static_cast<std::int64_t>(token.size());
+        if (spsc_[ei])
+          spsc_[ei]->push({token.data(), token.size()}, flight);
+        else if (blocking_[ei])
+          blocking_[ei]->push(std::move(token), flight);
+        else
+          local_fifo_[ei].push_back(std::move(token));
+      }
+    }
+    // One batched registry update per (firing, edge) instead of two
+    // atomic RMWs per token — the per-token hot path touches no shared
+    // counters. Null entries: local edges (uncounted, as before) and
+    // reliable channels (count per attempt themselves).
+    if ((spsc_[ei] || blocking_[ei]) && edge_messages_[ei]) {
+      edge_messages_[ei]->inc(e.prod.value());
+      edge_payload_bytes_[ei]->inc(batch_bytes);
     }
   }
 
@@ -397,10 +317,13 @@ void ThreadedRuntime::fire(const FiringStep& step, std::int32_t proc, std::int64
 
 void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
   try {
-    const std::vector<FiringStep>& program = plan_.programs[static_cast<std::size_t>(proc)];
+    const auto p = static_cast<std::size_t>(proc);
+    const std::vector<FiringStep>& program = plan_.programs[p];
+    std::vector<FiringContext>& contexts = contexts_[p];
     for (std::int64_t iter = 0; iter < iterations && !abort_.load(); ++iter)
-      for (const FiringStep& step : program) fire(step, proc, iter);
-  } catch (const Aborted&) {
+      for (std::size_t s = 0; s < program.size(); ++s)
+        fire(program[s], contexts[s], proc, iter);
+  } catch (const ChannelInterrupted&) {
     // Unwound by another worker's failure; nothing to record.
   } catch (...) {
     {

@@ -4,26 +4,34 @@
 /// blocking SPI channels.
 ///
 /// The paper's preliminary SPI was exactly this: a software library for
-/// multiprocessor signal processing. Here every interprocessor channel
-/// is a bounded, thread-safe FIFO of tokens: a BBS channel blocks the
-/// producer at its equation-2 capacity (back-pressure the static
-/// analysis guarantees is never exercised in a correctly scheduled
-/// system, kept as a safety net); a UBS channel blocks at its credit
-/// window. Dataflow determinacy guarantees the parallel result is
-/// identical to FunctionalRuntime's sequential interleaving, whatever
-/// the thread schedule — the tests assert it.
+/// multiprocessor signal processing. Every interprocessor edge is a
+/// bounded, single-producer/single-consumer token FIFO: a BBS channel
+/// back-pressures the producer at its equation-2 capacity (a safety net
+/// the static analysis guarantees is never exercised in a correctly
+/// scheduled system); a UBS channel at its credit window. Dataflow
+/// determinacy guarantees the parallel result is identical to
+/// FunctionalRuntime's sequential interleaving, whatever the thread
+/// schedule — the tests assert it.
+///
+/// Channel selection (docs/architecture.md): plain edges ride the
+/// lock-free zero-copy SpscChannel — a slab sized from the plan's
+/// equation-2 bound, no lock and no heap allocation in steady state.
+/// Reliability-enabled edges keep the mutex-based BlockingChannel, whose
+/// requeue/timeout semantics the retry protocol needs. ChannelPolicy
+/// can force the blocking fallback everywhere (parity tests, paranoid
+/// deployments).
 ///
 /// Actor compute functions are the same ComputeFn used by
 /// FunctionalRuntime, so an application wires up once and runs on either
 /// engine.
 ///
 /// Reliability (docs/reliability.md): construct with ReliabilityOptions
-/// and every interprocessor channel becomes a reliable link over an
-/// (optionally faulty) wire — sequenced CRC-checked frames, bounded
-/// retry with exponential backoff + deterministic jitter, duplicate
-/// suppression, receive timeouts. Because the FaultPlan is keyed by
-/// (edge, sequence, attempt), a lossy run delivers exactly the payloads
-/// of a lossless run; persistent faults surface a typed
+/// and every reliable interprocessor channel becomes a reliable link
+/// over an (optionally faulty) wire — sequenced CRC-checked frames,
+/// bounded retry with exponential backoff + deterministic jitter,
+/// duplicate suppression, receive timeouts. Because the FaultPlan is
+/// keyed by (edge, sequence, attempt), a lossy run delivers exactly the
+/// payloads of a lossless run; persistent faults surface a typed
 /// sim::ChannelError from run() instead of hanging.
 ///
 /// Observability (docs/observability.md): every channel feeds lock-free
@@ -31,19 +39,20 @@
 /// and block *durations* per side, and under reliability the
 /// retry/drop/CRC/duplicate/timeout counters plus a backoff histogram —
 /// either a registry the caller provides (shared with the compile
-/// pipeline) or a private one. Attach a RuntimeTraceRecorder to get
-/// wall-clock Chrome trace JSON of every firing, diffable in Perfetto
-/// against the timed simulator's trace of the same system.
+/// pipeline) or a private one. Message/byte counters are batched per
+/// firing, so the per-token hot path touches no atomics. Attach a
+/// RuntimeTraceRecorder to get wall-clock Chrome trace JSON of every
+/// firing, diffable in Perfetto against the timed simulator's trace of
+/// the same system.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 
+#include "core/blocking_channel.hpp"
 #include "core/functional.hpp"
-#include "core/reliable_link.hpp"
+#include "core/spsc_channel.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime_trace.hpp"
@@ -65,6 +74,14 @@ struct ReliabilityOptions {
   [[nodiscard]] const sim::RetryPolicy& policy() const {
     return faults ? faults->retry() : retry;
   }
+};
+
+/// Which channel implementation plain (non-reliable) IPC edges get.
+enum class ChannelPolicy : std::uint8_t {
+  kAuto,          ///< lock-free SpscChannel; BlockingChannel only where the
+                  ///< reliable protocol demands it (the default)
+  kBlockingOnly,  ///< mutex-based BlockingChannel everywhere (the
+                  ///< pre-slab behavior; parity tests and fallback)
 };
 
 /// Aggregated channel statistics of one run() (see
@@ -95,11 +112,17 @@ class ThreadedRuntime {
   /// reachable through metrics(). The plan must outlive the runtime.
   explicit ThreadedRuntime(const ExecutablePlan& plan, obs::MetricRegistry* metrics = nullptr);
 
-  /// Reliable-transport variant: interprocessor channels speak the
-  /// sequenced retry protocol (spi_reliable_* counters), optionally over
-  /// the fault plan in `reliability`.
+  /// Reliable-transport variant: reliable interprocessor channels speak
+  /// the sequenced retry protocol (spi_reliable_* counters), optionally
+  /// over the fault plan in `reliability`.
   ThreadedRuntime(const ExecutablePlan& plan, ReliabilityOptions reliability,
                   obs::MetricRegistry* metrics = nullptr);
+
+  /// Full-control variant: additionally picks the channel implementation
+  /// for plain edges (ChannelPolicy::kBlockingOnly forces the mutex
+  /// fallback everywhere — the parity tests compare both paths).
+  ThreadedRuntime(const ExecutablePlan& plan, ChannelPolicy policy,
+                  ReliabilityOptions reliability = {}, obs::MetricRegistry* metrics = nullptr);
 
   /// Convenience overloads running the facade's plan().
   explicit ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics = nullptr)
@@ -122,12 +145,14 @@ class ThreadedRuntime {
 
   /// Attaches a flight recorder (docs/observability.md): every firing,
   /// interprocessor send/receive and blocking wait becomes a causal
-  /// event, wait-free on the hot path. The recorder's proc_count must
-  /// match the plan's. Actor/edge names are installed from the plan so
-  /// post-mortem dumps are self-describing. Not owned; must outlive
-  /// run(). Null detaches. If the recorder has a postmortem_path and
-  /// run() fails with sim::ChannelError, the collected log is written
-  /// there before the error is rethrown.
+  /// event, wait-free on the hot path. On SPSC channels kBlockBegin/
+  /// kBlockEnd are emitted only when a wait actually parks the thread —
+  /// spin waits are not blocks. The recorder's proc_count must match the
+  /// plan's. Actor/edge names are installed from the plan so post-mortem
+  /// dumps are self-describing. Not owned; must outlive run(). Null
+  /// detaches. If the recorder has a postmortem_path and run() fails
+  /// with sim::ChannelError, the collected log is written there before
+  /// the error is rethrown.
   void set_flight_recorder(obs::FlightRecorder* recorder);
 
   /// Runs `iterations` graph iterations across proc_count() threads and
@@ -145,6 +170,9 @@ class ThreadedRuntime {
   [[nodiscard]] const ThreadedRunStats& stats() const { return stats_; }
 
   [[nodiscard]] const ReliabilityOptions& reliability() const { return reliability_; }
+  [[nodiscard]] ChannelPolicy channel_policy() const { return policy_; }
+  /// How many IPC edges ride the lock-free SPSC path this run.
+  [[nodiscard]] std::int64_t spsc_channel_count() const { return spsc_count_; }
 
   /// The registry the channel counters live in (the caller-provided one,
   /// or the runtime's own). Counters are cumulative across runs and
@@ -153,90 +181,11 @@ class ThreadedRuntime {
   [[nodiscard]] const obs::MetricRegistry& metrics() const { return *registry_; }
 
  private:
-  /// Lock-free registry handles of one channel's counters. Reliability
-  /// pointers are null when the protocol is off.
-  struct ChannelCounters {
-    obs::Counter* messages = nullptr;
-    obs::Counter* payload_bytes = nullptr;
-    obs::Counter* producer_blocks = nullptr;
-    obs::Counter* consumer_blocks = nullptr;
-    obs::Counter* producer_block_micros = nullptr;
-    obs::Counter* consumer_block_micros = nullptr;
-    obs::Counter* retries = nullptr;
-    obs::Counter* dropped_frames = nullptr;
-    obs::Counter* crc_failures = nullptr;
-    obs::Counter* duplicates = nullptr;
-    obs::Counter* timeouts = nullptr;
-    obs::Counter* send_failures = nullptr;
-    obs::Counter* backoff_micros = nullptr;
-    obs::Histogram* backoff_histogram = nullptr;
-  };
-
-  /// Per-call flight-recording context: who is touching the channel.
-  /// Null pointer = recording off (the construction-time token placement
-  /// and every run without a recorder attached).
-  struct FlightCtx {
-    obs::FlightRecorder* recorder = nullptr;
-    std::int32_t proc = 0;
-    std::int32_t actor = -1;
-    std::int64_t iteration = 0;
-  };
-
-  /// Thread-safe bounded FIFO for one interprocessor edge. In plain mode
-  /// it moves raw tokens; in reliable mode it moves sequenced frames
-  /// produced/consumed by the per-edge protocol state machines (each
-  /// touched only by its single producing / consuming thread).
-  class BlockingChannel {
-   public:
-    BlockingChannel(df::EdgeId edge, std::size_t capacity_tokens, std::atomic<bool>& abort,
-                    ChannelCounters counters);
-
-    /// Enables the reliable protocol. `plan` may be null (perfect wire);
-    /// `policy` must outlive the channel.
-    void enable_reliability(const sim::FaultPlan* plan, const sim::RetryPolicy& policy);
-
-    void push(Bytes token, const FlightCtx* flight = nullptr);
-    /// Initial-token placement: sequenced framing without fault
-    /// injection, so construction cannot fail under a hostile plan.
-    void push_faultless(Bytes token);
-    [[nodiscard]] Bytes pop(const FlightCtx* flight = nullptr);
-    void interrupt();  ///< wake all waiters (used on abort)
-
-   private:
-    void enqueue(Bytes frame, const FlightCtx* flight);  ///< capacity-blocking raw enqueue
-    /// Blocking raw dequeue (timeout in reliable mode).
-    [[nodiscard]] Bytes dequeue(const FlightCtx* flight);
-    void execute(const TransmitScript& script, std::int64_t payload_bytes,
-                 const FlightCtx* flight);
-
-    df::EdgeId edge_;
-    std::mutex mutex_;
-    std::condition_variable not_full_;
-    std::condition_variable not_empty_;
-    std::deque<Bytes> queue_;
-    std::size_t capacity_;
-    std::atomic<bool>& abort_;
-    ChannelCounters counters_;
-    // Reliable mode (null/empty otherwise). Sender state is touched only
-    // by the edge's producing thread, receiver state only by its
-    // consuming thread — dataflow edges are single-producer,
-    // single-consumer by construction.
-    std::unique_ptr<ReliableSender> sender_;
-    std::unique_ptr<ReliableReceiver> receiver_;
-    const sim::RetryPolicy* policy_ = nullptr;
-    /// Flight-event sequence numbers. send_seq_ is touched only by the
-    /// edge's producing thread, recv_seq_ only by its consuming thread
-    /// (channels are SPSC by construction), so plain int64 suffices.
-    /// Initial tokens advance send_seq_ unrecorded, which is correct:
-    /// delay tokens are initially available, not sent during the run.
-    std::int64_t send_seq_ = 0;
-    std::int64_t recv_seq_ = 0;
-  };
-
   void init();
   void interrupt_all();
   void worker(std::int32_t proc, std::int64_t iterations);
-  void fire(const FiringStep& step, std::int32_t proc, std::int64_t iteration);
+  void fire(const FiringStep& step, FiringContext& ctx, std::int32_t proc,
+            std::int64_t iteration);
   [[nodiscard]] ThreadedRunStats counter_totals() const;
   /// Writes the flight recorder's post-mortem dump when the pending
   /// first_error_ is a sim::ChannelError and a dump path is configured.
@@ -245,18 +194,32 @@ class ThreadedRuntime {
   const ExecutablePlan& plan_;
   const df::Graph& graph_;  ///< the VTS-converted graph
   ReliabilityOptions reliability_;
+  ChannelPolicy policy_ = ChannelPolicy::kAuto;
   std::unique_ptr<obs::MetricRegistry> owned_registry_;  ///< when none was provided
   obs::MetricRegistry* registry_ = nullptr;
   obs::RuntimeTraceRecorder* trace_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
   std::vector<ComputeFn> compute_;
   /// Per-edge local FIFOs (touched only by the owning processor's
-  /// thread) and cross-processor blocking channels, both indexed by
-  /// edge id (null channel = processor-local edge). Direct indexing
-  /// keeps the per-token hot path free of map lookups.
+  /// thread) and cross-processor channels, all indexed by edge id.
+  /// Exactly one of spsc_/blocking_ is non-null for an IPC edge; both
+  /// null = processor-local edge. Direct indexing keeps the per-token
+  /// hot path free of map lookups.
   std::vector<std::deque<Bytes>> local_fifo_;
-  std::vector<std::unique_ptr<BlockingChannel>> channels_;
+  std::vector<std::unique_ptr<SpscChannel>> spsc_;
+  std::vector<std::unique_ptr<BlockingChannel>> blocking_;
+  std::int64_t spsc_count_ = 0;
+  /// Per-edge message counters for the per-firing batch increments
+  /// (indexed by edge id; null entries = local edge or reliable channel,
+  /// which counts for itself).
+  std::vector<obs::Counter*> edge_messages_;
+  std::vector<obs::Counter*> edge_payload_bytes_;
   std::vector<ChannelCounters> channel_counters_;  ///< for stats aggregation
+  /// Per-(proc, step) firing contexts, built once and reused every
+  /// iteration so input/output buffers keep their heap capacity —
+  /// steady-state firings allocate nothing on the channel path. Each
+  /// context is touched only by its processor's thread.
+  std::vector<std::vector<FiringContext>> contexts_;
   std::vector<std::int64_t> fired_;  ///< per actor, owned by its processor's thread
   std::atomic<bool> abort_{false};
   std::mutex error_mutex_;
