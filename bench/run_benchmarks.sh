@@ -15,8 +15,11 @@
 #     ],
 #     "derived": {
 #       "flight_recorder_overhead_pct": P,  # recorded vs bare threaded run
-#       "spsc_stream_speedup": S            # BlockingChannel / SpscChannel
-#     }                                     #   mean streaming time ratio
+#       "spsc_stream_speedup": S,           # BlockingChannel / SpscChannel
+#                                           #   mean streaming time ratio
+#       "obs_snapshot_us": U,               # one /metrics + /runtime render
+#       "heartbeat_overhead_pct": H         # watchdog + telemetry server
+#     }                                     #   attached vs bare threaded run
 #   }
 #
 # BENCHMARK_MIN_TIME can shrink runs for smoke use (default 0.05s).
@@ -25,7 +28,7 @@ set -eu
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_results.json}
 MIN_TIME=${BENCHMARK_MIN_TIME:-0.05}
-SUITES="micro_flight micro_spi micro_dsp micro_compile micro_channel"
+SUITES="micro_flight micro_spi micro_dsp micro_compile micro_channel micro_obs"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "run_benchmarks.sh: no $BUILD_DIR/bench — build the repo first" >&2
@@ -81,6 +84,12 @@ if bare and recorded:
 spsc, blocking = mean_time("BM_SpscStream"), mean_time("BM_BlockingStream")
 if spsc and blocking:
     derived["spsc_stream_speedup"] = round(blocking / spsc, 2)
+snapshot = mean_time("BM_ObsSnapshot")
+if snapshot:
+    derived["obs_snapshot_us"] = round(snapshot / 1e3, 2)
+bare_run, watched = mean_time("BM_ThreadedRunBare"), mean_time("BM_ThreadedRunWatched")
+if bare_run and watched:
+    derived["heartbeat_overhead_pct"] = round(100.0 * (watched - bare_run) / bare_run, 2)
 
 doc = {"schema": 1, "suites": suites, "benchmarks": rows, "derived": derived}
 with open(out_path, "w") as f:
@@ -93,4 +102,10 @@ if "flight_recorder_overhead_pct" in derived:
 if "spsc_stream_speedup" in derived:
     print(f"run_benchmarks.sh: SPSC streaming speedup "
           f"{derived['spsc_stream_speedup']}x vs BlockingChannel", file=sys.stderr)
+if "obs_snapshot_us" in derived:
+    print(f"run_benchmarks.sh: telemetry snapshot render "
+          f"{derived['obs_snapshot_us']} us", file=sys.stderr)
+if "heartbeat_overhead_pct" in derived:
+    print(f"run_benchmarks.sh: live telemetry overhead "
+          f"{derived['heartbeat_overhead_pct']}%", file=sys.stderr)
 PY

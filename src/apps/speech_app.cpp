@@ -268,6 +268,24 @@ std::vector<double> ErrorGenApp::compute_errors_threaded(std::span<const double>
   return std::move(*result);
 }
 
+std::vector<double> ErrorGenApp::compute_errors_threaded(std::span<const double> frame,
+                                                         std::span<const double> coeffs,
+                                                         const core::RunOptions& run_options,
+                                                         core::ReliabilityOptions reliability,
+                                                         obs::MetricRegistry* metrics,
+                                                         core::ChannelPolicy policy) const {
+  if (frame.size() > params_.max_frame_size)
+    throw std::length_error("ErrorGenApp: frame exceeds the declared bound");
+  if (coeffs.size() > params_.max_order)
+    throw std::length_error("ErrorGenApp: order exceeds the declared bound");
+
+  core::ThreadedRuntime runtime(system_->plan(), policy, reliability, metrics);
+  auto result = std::make_shared<std::vector<double>>(frame.size(), 0.0);
+  wire_error_gen(runtime, frame, coeffs, result);
+  runtime.run(run_options);
+  return std::move(*result);
+}
+
 sim::ExecStats ErrorGenApp::run_timed(std::size_t sample_size, std::size_t order,
                                       const SpeechTimingModel& timing, std::int64_t iterations,
                                       const sim::CommBackend* backend) const {

@@ -136,6 +136,19 @@ class ErrorGenApp {
       core::ReliabilityOptions reliability = {}, obs::MetricRegistry* metrics = nullptr,
       core::ChannelPolicy policy = core::ChannelPolicy::kAuto) const;
 
+  /// compute_errors_threaded with full control of the run — iteration
+  /// count, live telemetry endpoint, watchdog (core::RunOptions,
+  /// docs/observability.md). The speech computes are iteration-
+  /// independent (every firing re-sends the same frame sections), so
+  /// any iterations >= 1 produces the same bits; the scrape and soak
+  /// tests use extra iterations to keep the pipeline busy while
+  /// observers attach.
+  [[nodiscard]] std::vector<double> compute_errors_threaded(
+      std::span<const double> frame, std::span<const double> coeffs,
+      const core::RunOptions& run_options, core::ReliabilityOptions reliability = {},
+      obs::MetricRegistry* metrics = nullptr,
+      core::ChannelPolicy policy = core::ChannelPolicy::kAuto) const;
+
   /// Figure 6: timed execution at a given run-time sample size and
   /// predictor order; returns per-iteration statistics. `backend`
   /// defaults to this system's SPI backend (pass an MpiBackend for the

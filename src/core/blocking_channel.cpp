@@ -41,7 +41,18 @@ void BlockingChannel::enqueue(Bytes frame, const ChannelFlightCtx* flight) {
   }
   if (abort_.load()) throw ChannelInterrupted{};
   queue_.push_back(std::move(frame));
+  if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
   not_empty_.notify_one();
+}
+
+std::size_t BlockingChannel::size() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t BlockingChannel::high_watermark() const {
+  std::lock_guard lock(mutex_);
+  return high_watermark_;
 }
 
 Bytes BlockingChannel::dequeue(const ChannelFlightCtx* flight) {
@@ -86,6 +97,10 @@ Bytes BlockingChannel::dequeue(const ChannelFlightCtx* flight) {
 void BlockingChannel::execute(const TransmitScript& script, std::int64_t payload_bytes,
                               const ChannelFlightCtx* flight) {
   for (const TransmitStep& step : script.steps) {
+    // A long retransmission script (many attempts with backoff) must
+    // not outlive a run abort — the watchdog relies on senders
+    // unwinding at the next attempt boundary.
+    if (abort_.load()) throw ChannelInterrupted{};
     sleep_us(step.delay_us);
     if (!step.dropped()) {
       enqueue(step.frame, flight);

@@ -71,6 +71,16 @@ class BlockingChannel {
 
   [[nodiscard]] bool reliable() const { return sender_ != nullptr; }
 
+  [[nodiscard]] df::EdgeId edge() const { return edge_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Queued-but-unconsumed frames right now (takes the channel mutex —
+  /// scrape-path cost, not worker-path cost).
+  [[nodiscard]] std::size_t size() const;
+  /// Highest queue depth ever reached (frames). Tracked in enqueue()
+  /// under the mutex the enqueue already holds, so it adds no extra
+  /// synchronization to the worker path.
+  [[nodiscard]] std::size_t high_watermark() const;
+
   void push(Bytes token, const ChannelFlightCtx* flight = nullptr);
   /// Initial-token placement: sequenced framing without fault
   /// injection, so construction cannot fail under a hostile plan.
@@ -86,11 +96,12 @@ class BlockingChannel {
                const ChannelFlightCtx* flight);
 
   df::EdgeId edge_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;  ///< mutable: const depth/watermark accessors lock it
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<Bytes> queue_;
   std::size_t capacity_;
+  std::size_t high_watermark_ = 0;  ///< guarded by mutex_
   std::atomic<bool>& abort_;
   ChannelCounters counters_;
   // Reliable mode (null/empty otherwise). Sender state is touched only

@@ -143,6 +143,16 @@ void SpscChannel::publish(std::size_t frame_bytes, const ChannelFlightCtx* fligh
   sizes_[tail_idx_] = static_cast<std::uint32_t>(frame_bytes);
   if (++tail_idx_ == capacity_) tail_idx_ = 0;
   ++tail_local_;
+  // Occupancy watermark from the producer's (conservative) view of the
+  // consumer: head_cache_ only lags head_, so this depth can only
+  // over-estimate — the watermark never under-reports pressure. The
+  // shared store happens at most `capacity_` times over the channel's
+  // lifetime.
+  const std::uint64_t depth = tail_local_ - head_cache_;
+  if (depth > watermark_local_) {
+    watermark_local_ = depth;
+    high_watermark_.store(depth, std::memory_order_relaxed);
+  }
   tail_.store(tail_local_, std::memory_order_release);
   wake_peer();
   if (flight && flight->recorder) {

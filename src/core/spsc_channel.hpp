@@ -111,6 +111,14 @@ class SpscChannel {
     return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
                                     head_.load(std::memory_order_acquire));
   }
+  /// Highest occupancy (tokens) ever seen by the producer at publish
+  /// time — the live signal for how tight the plan's eq.-2 bound really
+  /// is. Readable from any thread (/runtime endpoint); maintained with
+  /// producer-local arithmetic plus a relaxed store only when the
+  /// maximum actually grows (at most `capacity` times per run).
+  [[nodiscard]] std::size_t high_watermark() const {
+    return static_cast<std::size_t>(high_watermark_.load(std::memory_order_relaxed));
+  }
 
   // --- producer side -------------------------------------------------
 
@@ -183,6 +191,12 @@ class SpscChannel {
   std::uint64_t head_cache_ = 0;   ///< producer's last view of head_
   std::size_t tail_idx_ = 0;       ///< producer's wrapped slot index
   std::int64_t send_seq_ = 0;      ///< flight-event sequence (producer)
+  std::uint64_t watermark_local_ = 0;  ///< producer's running max depth
+  /// Published copy of watermark_local_, stored only on increase (so
+  /// the hot path pays one predictable branch, no shared-line traffic
+  /// in steady state). Lives on the producer's cache line: only the
+  /// producer writes it, and readers are cold scrape paths.
+  std::atomic<std::uint64_t> high_watermark_{0};
 
   // Consumer-owned state.
   alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumed count

@@ -2,8 +2,12 @@
 
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <thread>
+
+#include "obs/obs_server.hpp"
+#include "obs/text_escape.hpp"
 
 namespace spi::core {
 
@@ -92,6 +96,21 @@ void ThreadedRuntime::init() {
     }
     channel_counters_.push_back(counters);
 
+    // Live occupancy gauges (refreshed on scrape, never on the hot
+    // path): depth right now, the high watermark so far, and the static
+    // capacity the channel was built with — watermark vs. capacity is
+    // the "is the eq.-2 bound tight?" signal /runtime serves.
+    depth_gauges_.push_back(&registry_->gauge(
+        "spi_channel_depth_tokens", labels,
+        "Tokens currently queued in one SPI channel (scrape-time sample)"));
+    watermark_gauges_.push_back(&registry_->gauge(
+        "spi_channel_high_watermark_tokens", labels,
+        "Highest occupancy one SPI channel ever reached this process"));
+    registry_
+        ->gauge("spi_channel_capacity_tokens", labels,
+                "Configured token capacity of one SPI channel (eq.-2 bound + delays)")
+        .set(static_cast<double>(std::max<std::int64_t>(1, capacity)));
+
     if (!reliable) {
       // Plain edges batch message/byte accounting per firing in fire();
       // reliable channels count per attempt inside the protocol.
@@ -146,6 +165,11 @@ void ThreadedRuntime::init() {
       }
     }
   }
+
+  // One published heartbeat/wait-state slot per worker, cache-line
+  // aligned so the per-firing stores stay worker-private.
+  worker_count_ = plan_.programs.size();
+  worker_state_ = std::make_unique<WorkerState[]>(worker_count_);
 
   // Persistent per-(proc, step) firing contexts: the outer vectors and
   // the input token buffers are built once and keep their heap capacity
@@ -221,7 +245,7 @@ ThreadedRunStats ThreadedRuntime::counter_totals() const {
 }
 
 void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int32_t proc,
-                           std::int64_t iteration) {
+                           std::int64_t iteration, WorkerState& ws) {
   const df::ActorId actor = step.actor;
   const auto a = static_cast<std::size_t>(actor);
   const std::int64_t span_start_us = trace_ ? trace_->now_us() : 0;
@@ -230,11 +254,17 @@ void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int3
   if (flight)
     flight_->record(proc, obs::FlightEventKind::kFireBegin, actor, -1, 0, iteration);
   ctx.invocation = fired_[a]++;
+  ws.actor.store(actor, std::memory_order_relaxed);
 
+  ws.waiting_side.store(0, std::memory_order_relaxed);
   for (std::size_t i = 0; i < ctx.in_edges.size(); ++i) {
     const df::EdgeId eid = ctx.in_edges[i];
     const auto ei = static_cast<std::size_t>(eid);
     const df::Edge& e = graph_.edge(eid);
+    // Publish which channel we are about to consume from: if the pop
+    // blocks forever, this is what lets the watchdog name the edge.
+    // Relaxed stores to the worker's own cache line — no shared traffic.
+    ws.waiting_edge.store(eid, std::memory_order_relaxed);
     // A compute may have moved tokens out last firing; restore the slot
     // count before refilling (capacity survives, so no steady-state
     // allocation).
@@ -255,16 +285,24 @@ void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int3
     }
   }
 
+  // Inputs consumed: while the compute runs, waiting_edge = -1 with the
+  // actor set is the "inside a compute function" state the watchdog
+  // classifies as slow-actor.
+  ws.waiting_edge.store(-1, std::memory_order_relaxed);
+  ws.waiting_side.store(-1, std::memory_order_relaxed);
+
   const bool have_compute = static_cast<bool>(compute_[a]);
   if (have_compute) {
     for (auto& out : ctx.outputs) out.clear();
     compute_[a](ctx);
   }
 
+  ws.waiting_side.store(1, std::memory_order_relaxed);
   for (std::size_t i = 0; i < ctx.out_edges.size(); ++i) {
     const df::EdgeId eid = ctx.out_edges[i];
     const auto ei = static_cast<std::size_t>(eid);
     const df::Edge& e = graph_.edge(eid);
+    ws.waiting_edge.store(eid, std::memory_order_relaxed);
     const df::VtsEdgeInfo& info = plan_.vts.edges[ei];
     std::int64_t batch_bytes = 0;
     if (!have_compute) {
@@ -308,6 +346,10 @@ void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int3
     }
   }
 
+  ws.waiting_edge.store(-1, std::memory_order_relaxed);
+  ws.waiting_side.store(-1, std::memory_order_relaxed);
+  ws.actor.store(-1, std::memory_order_relaxed);
+
   if (flight)
     flight_->record(proc, obs::FlightEventKind::kFireEnd, actor, -1, 0, iteration);
   if (trace_)
@@ -316,13 +358,22 @@ void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int3
 }
 
 void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
+  const auto p = static_cast<std::size_t>(proc);
+  WorkerState& ws = worker_state_[p];
+  std::uint64_t epoch = 0;  ///< local heartbeat counter, published per firing
   try {
-    const auto p = static_cast<std::size_t>(proc);
     const std::vector<FiringStep>& program = plan_.programs[p];
     std::vector<FiringContext>& contexts = contexts_[p];
-    for (std::int64_t iter = 0; iter < iterations && !abort_.load(); ++iter)
-      for (std::size_t s = 0; s < program.size(); ++s)
-        fire(program[s], contexts[s], proc, iter);
+    for (std::int64_t iter = 0; iter < iterations && !abort_.load(); ++iter) {
+      ws.iteration.store(iter, std::memory_order_relaxed);
+      for (std::size_t s = 0; s < program.size(); ++s) {
+        ws.step.store(static_cast<std::int32_t>(s), std::memory_order_relaxed);
+        fire(program[s], contexts[s], proc, iter, ws);
+        // The heartbeat: one relaxed store to a worker-private cache
+        // line per completed firing — the watchdog's only hot-path cost.
+        ws.epoch.store(++epoch, std::memory_order_relaxed);
+      }
+    }
   } catch (const ChannelInterrupted&) {
     // Unwound by another worker's failure; nothing to record.
   } catch (...) {
@@ -333,23 +384,74 @@ void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
     abort_.store(true);
     interrupt_all();
   }
+  ws.done.store(true, std::memory_order_relaxed);
 }
 
 void ThreadedRuntime::run(std::int64_t iterations) {
+  RunOptions options;
+  options.iterations = iterations;
+  run(options);
+}
+
+void ThreadedRuntime::run(const RunOptions& options) {
+  const std::int64_t iterations = options.iterations;
   if (iterations < 0) throw std::invalid_argument("ThreadedRuntime::run: negative iterations");
   abort_.store(false);
   first_error_ = nullptr;
   // Reset at entry, aggregate on every exit path: stats() is never stale
   // from a previous run, even when this run throws.
   stats_ = ThreadedRunStats{};
+  run_iterations_ = iterations;
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    WorkerState& ws = worker_state_[i];
+    ws.epoch.store(0, std::memory_order_relaxed);
+    ws.iteration.store(0, std::memory_order_relaxed);
+    ws.step.store(-1, std::memory_order_relaxed);
+    ws.actor.store(-1, std::memory_order_relaxed);
+    ws.waiting_edge.store(-1, std::memory_order_relaxed);
+    ws.waiting_side.store(-1, std::memory_order_relaxed);
+    ws.done.store(false, std::memory_order_relaxed);
+  }
   const ThreadedRunStats base = counter_totals();
+
+  // The watchdog is declared before the server on purpose: destruction
+  // runs in reverse order, so the server (whose /healthz hook reads the
+  // watchdog) always dies first.
+  std::optional<obs::ProgressWatchdog> watchdog;
+  if (options.watchdog.enabled) {
+    obs::ProgressWatchdog::Hooks hooks;
+    hooks.snapshot = [this] { return worker_snapshots(); };
+    hooks.actor_name = [this](std::int32_t a) { return actor_display_name(a); };
+    hooks.channel_name = [this](std::int32_t e) { return channel_display_name(e); };
+    hooks.on_stall = [this, &options](const obs::StallReport& report) {
+      handle_stall(report, options.watchdog);
+    };
+    watchdog.emplace(options.watchdog, std::move(hooks));
+  }
+  std::optional<obs::ObsServer> server;
+  if (options.obs_port >= 0) {
+    obs::ObsServer::Options server_options;
+    server_options.port = options.obs_port;
+    server_options.bind_address = options.obs_bind;
+    server_options.registry = registry_;
+    server_options.refresh = [this] { refresh_channel_gauges(); };
+    server_options.runtime_json = [this] { return runtime_status_json(); };
+    if (watchdog)
+      server_options.health = [w = &*watchdog] { return w->health(); };
+    server.emplace(std::move(server_options));
+    server->start();
+    if (options.on_obs_start) options.on_obs_start(server->port());
+  }
+  running_.store(true, std::memory_order_relaxed);
+  if (watchdog) watchdog->start();
 
   // Every spawned worker is joined on every exit path. Channel or
   // compute failures unwind inside worker() (abort flag + interrupt),
   // so the join loop below always terminates; if spawning itself fails
   // partway, the already-running workers are aborted and joined before
   // the exception leaves — no detached or leaked threads, which is also
-  // what makes the TSan job's reports trustworthy.
+  // what makes the TSan job's reports trustworthy. The watchdog and
+  // server are stack optionals, so that path also tears them down.
   std::vector<std::thread> threads;
   threads.reserve(plan_.programs.size());
   try {
@@ -361,9 +463,14 @@ void ThreadedRuntime::run(std::int64_t iterations) {
     interrupt_all();
     for (std::thread& t : threads)
       if (t.joinable()) t.join();
+    running_.store(false, std::memory_order_relaxed);
     throw;
   }
   for (std::thread& t : threads) t.join();
+
+  if (watchdog) watchdog->stop();
+  if (server) server->stop();
+  running_.store(false, std::memory_order_relaxed);
 
   const ThreadedRunStats now = counter_totals();
   stats_.messages = now.messages - base.messages;
@@ -384,6 +491,29 @@ void ThreadedRuntime::run(std::int64_t iterations) {
   }
 }
 
+namespace {
+
+/// "flight.json" + "deadlock" -> "flight.stall-deadlock.json" — the
+/// classification rides in the dump filename so an operator (or the
+/// tooling ctest tier) knows what killed the run before opening it.
+std::string stall_dump_path(const std::string& base, const std::string& classification) {
+  const std::string suffix = ".stall-" + classification + ".json";
+  if (base.size() >= 5 && base.compare(base.size() - 5, 5, ".json") == 0)
+    return base.substr(0, base.size() - 5) + suffix;
+  return base + suffix;
+}
+
+void write_file_best_effort(const std::string& path, const std::string& content) {
+  try {
+    std::ofstream out(path, std::ios::binary);
+    if (out) out << content;
+  } catch (...) {
+    // Best effort — a failing dump must not mask the original error.
+  }
+}
+
+}  // namespace
+
 void ThreadedRuntime::maybe_dump_flight_postmortem() {
   if (!flight_ || flight_->postmortem_path().empty()) return;
   try {
@@ -392,14 +522,154 @@ void ThreadedRuntime::maybe_dump_flight_postmortem() {
     // Channel-level death is what the flight recorder exists for: dump
     // everything captured so the analyzer can reconstruct the final
     // moments. Best effort — a failing dump must not mask the error.
-    try {
-      std::ofstream out(flight_->postmortem_path(), std::ios::binary);
-      if (out) out << flight_->collect().to_json();
-    } catch (...) {
-    }
+    write_file_best_effort(flight_->postmortem_path(), flight_->collect().to_json());
+  } catch (const obs::StallError& stall) {
+    // Watchdog abort: same dump, classification in the filename.
+    write_file_best_effort(
+        stall_dump_path(flight_->postmortem_path(), stall.report().classification),
+        flight_->collect().to_json());
   } catch (...) {
     // Compute exceptions and internal errors: no dump.
   }
+}
+
+void ThreadedRuntime::handle_stall(const obs::StallReport& report,
+                                   const obs::WatchdogOptions& options) {
+  // Runs on the watchdog's monitor thread while the workers are wedged.
+  // First the /runtime snapshot + report (always), then either hand the
+  // StallError to run() — which dumps the flight log with the
+  // classification in the filename and rethrows — or, for a
+  // non-aborting watchdog, dump the flight log right here (run() will
+  // never see an error).
+  const std::string dir = options.dump_dir.empty() ? std::string(".") : options.dump_dir;
+  write_file_best_effort(dir + "/spi_stall." + report.classification + ".json",
+                         "{\"report\":" + report.to_json() +
+                             ",\"runtime\":" + runtime_status_json() + "}\n");
+  if (options.abort_on_stall) {
+    {
+      std::lock_guard lock(error_mutex_);
+      if (!first_error_) first_error_ = std::make_exception_ptr(obs::StallError(report));
+    }
+    abort_.store(true);
+    interrupt_all();
+  } else if (flight_ && !flight_->postmortem_path().empty()) {
+    write_file_best_effort(
+        stall_dump_path(flight_->postmortem_path(), report.classification),
+        flight_->collect().to_json());
+  }
+}
+
+std::vector<obs::WorkerSnapshot> ThreadedRuntime::worker_snapshots() const {
+  std::vector<obs::WorkerSnapshot> out(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    const WorkerState& ws = worker_state_[i];
+    obs::WorkerSnapshot& snap = out[i];
+    snap.proc = static_cast<std::int32_t>(i);
+    snap.epoch = ws.epoch.load(std::memory_order_relaxed);
+    snap.iteration = ws.iteration.load(std::memory_order_relaxed);
+    snap.step = ws.step.load(std::memory_order_relaxed);
+    snap.actor = ws.actor.load(std::memory_order_relaxed);
+    snap.waiting_edge = ws.waiting_edge.load(std::memory_order_relaxed);
+    snap.waiting_side = ws.waiting_side.load(std::memory_order_relaxed);
+    snap.done = ws.done.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::string ThreadedRuntime::actor_display_name(std::int32_t actor) const {
+  if (actor < 0 || static_cast<std::size_t>(actor) >= graph_.actor_count()) return {};
+  return graph_.actor(actor).name;
+}
+
+std::string ThreadedRuntime::channel_display_name(std::int32_t edge) const {
+  if (edge < 0 || static_cast<std::size_t>(edge) >= graph_.edge_count()) return {};
+  if (const ChannelSpec* spec = plan_.find_channel(edge)) return spec->name;
+  return graph_.edge(edge).name;
+}
+
+void ThreadedRuntime::refresh_channel_gauges() {
+  for (std::size_t c = 0; c < plan_.channels.size(); ++c) {
+    const auto ei = static_cast<std::size_t>(plan_.channels[c].edge);
+    std::size_t depth = 0;
+    std::size_t watermark = 0;
+    if (spsc_[ei]) {
+      depth = spsc_[ei]->size();
+      watermark = spsc_[ei]->high_watermark();
+    } else if (blocking_[ei]) {
+      depth = blocking_[ei]->size();
+      watermark = blocking_[ei]->high_watermark();
+    }
+    depth_gauges_[c]->set(static_cast<double>(depth));
+    watermark_gauges_[c]->set(static_cast<double>(watermark));
+  }
+}
+
+std::string ThreadedRuntime::runtime_status_json() const {
+  std::string out = "{\"graph\":\"" + obs::detail::json_escaped(plan_.graph_name) + "\"";
+  out += ",\"running\":" + std::string(running_.load(std::memory_order_relaxed) ? "true"
+                                                                                : "false");
+  out += ",\"proc_count\":" + std::to_string(worker_count_);
+  out += ",\"iterations_target\":" + std::to_string(run_iterations_);
+
+  const std::vector<obs::WorkerSnapshot> workers = worker_snapshots();
+  std::int64_t min_iteration = 0;
+  bool first = true;
+  for (const obs::WorkerSnapshot& w : workers) {
+    const std::int64_t progressed = w.done ? run_iterations_ : w.iteration;
+    if (first || progressed < min_iteration) min_iteration = progressed;
+    first = false;
+  }
+  out += ",\"min_iteration\":" + std::to_string(min_iteration);
+
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const obs::WorkerSnapshot& w = workers[i];
+    if (i) out += ",";
+    out += "{\"proc\":" + std::to_string(w.proc);
+    out += ",\"epoch\":" + std::to_string(w.epoch);
+    out += ",\"iteration\":" + std::to_string(w.iteration);
+    out += ",\"step\":" + std::to_string(w.step);
+    out += ",\"actor\":" + std::to_string(w.actor);
+    out += ",\"actor_name\":\"" + obs::detail::json_escaped(actor_display_name(w.actor));
+    out += "\",\"waiting_edge\":" + std::to_string(w.waiting_edge);
+    out += ",\"waiting_side\":" + std::to_string(w.waiting_side);
+    out += std::string(",\"done\":") + (w.done ? "true" : "false") + "}";
+  }
+  out += "]";
+
+  // Channel occupancy vs. the plan's bound: only IPC channels appear —
+  // processor-local FIFOs are single-threaded state that cannot be read
+  // from a scrape thread without a race.
+  out += ",\"channels\":[";
+  for (std::size_t c = 0; c < plan_.channels.size(); ++c) {
+    const ChannelSpec& spec = plan_.channels[c];
+    const auto ei = static_cast<std::size_t>(spec.edge);
+    std::size_t depth = 0;
+    std::size_t watermark = 0;
+    std::size_t capacity = 0;
+    const char* kind = "local";
+    if (spsc_[ei]) {
+      kind = "spsc";
+      depth = spsc_[ei]->size();
+      watermark = spsc_[ei]->high_watermark();
+      capacity = spsc_[ei]->capacity();
+    } else if (blocking_[ei]) {
+      kind = "blocking";
+      depth = blocking_[ei]->size();
+      watermark = blocking_[ei]->high_watermark();
+      capacity = blocking_[ei]->capacity();
+    }
+    if (c) out += ",";
+    out += "{\"edge\":" + std::to_string(spec.edge);
+    out += ",\"name\":\"" + obs::detail::json_escaped(spec.name);
+    out += "\",\"kind\":\"" + std::string(kind);
+    out += "\",\"depth_tokens\":" + std::to_string(depth);
+    out += ",\"high_watermark_tokens\":" + std::to_string(watermark);
+    out += ",\"capacity_tokens\":" + std::to_string(capacity);
+    out += std::string(",\"reliable\":") + (spec.reliable ? "true" : "false") + "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace spi::core

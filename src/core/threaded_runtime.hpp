@@ -47,8 +47,10 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "core/blocking_channel.hpp"
 #include "core/functional.hpp"
@@ -56,6 +58,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime_trace.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/fault.hpp"
 
 namespace spi::core {
@@ -101,6 +104,26 @@ struct ThreadedRunStats {
   std::int64_t duplicates = 0;       ///< stale-sequence frames discarded
   std::int64_t timeouts = 0;         ///< receive deadlines that expired
   std::int64_t backoff_micros = 0;   ///< wall-clock µs senders spent backing off
+};
+
+/// Everything one run() needs beyond the iteration count: the live
+/// telemetry endpoint and the progress watchdog (docs/observability.md,
+/// "Live telemetry"). The plain-iteration overload run(n) is equivalent
+/// to run({.iterations = n}).
+struct RunOptions {
+  std::int64_t iterations = 1;
+  /// >= 0: serve /metrics, /metrics.json, /healthz and /runtime on this
+  /// TCP port for the duration of the run (0 = kernel-assigned
+  /// ephemeral port — see on_obs_start). < 0 (default): no server.
+  int obs_port = -1;
+  std::string obs_bind = "127.0.0.1";
+  /// Called once the telemetry server is listening, with the bound
+  /// port (resolves obs_port = 0).
+  std::function<void(int)> on_obs_start;
+  /// Stall detection (watchdog.enabled). On stall: post-mortems are
+  /// dumped, watchdog.on_stall fires, and with abort_on_stall the run
+  /// is interrupted and run() throws obs::StallError.
+  obs::WatchdogOptions watchdog;
 };
 
 /// Multithreaded execution engine for a compiled plan.
@@ -165,6 +188,29 @@ class ThreadedRuntime {
   /// after a throw it reflects the partial run.
   void run(std::int64_t iterations);
 
+  /// Full-control run: optionally mounts the embedded telemetry server
+  /// (options.obs_port) and the progress watchdog (options.watchdog)
+  /// for the duration of the run. A watchdog stall with abort_on_stall
+  /// interrupts the workers and throws obs::StallError after writing
+  /// the post-mortems (flight dump with the stall classification in
+  /// the filename, plus the /runtime snapshot + report into
+  /// watchdog.dump_dir).
+  void run(const RunOptions& options);
+
+  /// The current per-worker heartbeat/state snapshot (relaxed reads of
+  /// the workers' published atomics; meaningful during and after run()).
+  [[nodiscard]] std::vector<obs::WorkerSnapshot> worker_snapshots() const;
+
+  /// The /runtime endpoint body: graph identity, per-worker state and
+  /// per-channel depth / high-watermark vs. capacity. Valid strict JSON.
+  /// Callable from any thread while run() executes.
+  [[nodiscard]] std::string runtime_status_json() const;
+
+  /// Pushes every channel's current depth and high watermark into the
+  /// spi_channel_* gauges (called by the server before each scrape;
+  /// callable manually for registry-only consumers).
+  void refresh_channel_gauges();
+
   /// Aggregated channel statistics of the last run() (partial if it
   /// threw).
   [[nodiscard]] const ThreadedRunStats& stats() const { return stats_; }
@@ -181,15 +227,39 @@ class ThreadedRuntime {
   [[nodiscard]] const obs::MetricRegistry& metrics() const { return *registry_; }
 
  private:
+  /// Per-worker published state, one cache line per worker so heartbeat
+  /// stores never contend: the worker writes with relaxed stores (the
+  /// only hot-path cost), the watchdog/scrape threads read with relaxed
+  /// loads. Approximate across fields by design — liveness needs only
+  /// "does the epoch ever change".
+  struct alignas(64) WorkerState {
+    std::atomic<std::uint64_t> epoch{0};        ///< firings completed
+    std::atomic<std::int64_t> iteration{0};
+    std::atomic<std::int32_t> step{-1};
+    std::atomic<std::int32_t> actor{-1};        ///< -1 between firings
+    std::atomic<std::int32_t> waiting_edge{-1}; ///< channel op in progress
+    std::atomic<std::int32_t> waiting_side{-1}; ///< 0 consume / 1 produce
+    std::atomic<bool> done{false};
+  };
+
   void init();
   void interrupt_all();
   void worker(std::int32_t proc, std::int64_t iterations);
   void fire(const FiringStep& step, FiringContext& ctx, std::int32_t proc,
-            std::int64_t iteration);
+            std::int64_t iteration, WorkerState& ws);
   [[nodiscard]] ThreadedRunStats counter_totals() const;
   /// Writes the flight recorder's post-mortem dump when the pending
-  /// first_error_ is a sim::ChannelError and a dump path is configured.
+  /// first_error_ is a sim::ChannelError (recorder's postmortem_path
+  /// verbatim) or an obs::StallError (same path with ".stall-<kind>"
+  /// inserted before the extension) and a dump path is configured.
   void maybe_dump_flight_postmortem();
+  /// Monitor-thread stall handling: writes the report + /runtime
+  /// snapshot into dump_dir, dumps the flight log for non-aborting
+  /// watchdogs, and on abort_on_stall records StallError and
+  /// interrupts the workers.
+  void handle_stall(const obs::StallReport& report, const obs::WatchdogOptions& options);
+  [[nodiscard]] std::string actor_display_name(std::int32_t actor) const;
+  [[nodiscard]] std::string channel_display_name(std::int32_t edge) const;
 
   const ExecutablePlan& plan_;
   const df::Graph& graph_;  ///< the VTS-converted graph
@@ -221,6 +291,16 @@ class ThreadedRuntime {
   /// context is touched only by its processor's thread.
   std::vector<std::vector<FiringContext>> contexts_;
   std::vector<std::int64_t> fired_;  ///< per actor, owned by its processor's thread
+  /// Heartbeat/wait state, one aligned slot per worker (see
+  /// WorkerState). Allocated once in init(); reset at run() entry.
+  std::unique_ptr<WorkerState[]> worker_state_;
+  std::size_t worker_count_ = 0;
+  /// Depth/watermark gauges per plan channel (indexed like
+  /// channel_counters_), refreshed on scrape — never on the hot path.
+  std::vector<obs::Gauge*> depth_gauges_;
+  std::vector<obs::Gauge*> watermark_gauges_;
+  std::int64_t run_iterations_ = 0;  ///< written before workers/server start
+  std::atomic<bool> running_{false};
   std::atomic<bool> abort_{false};
   std::mutex error_mutex_;
   std::exception_ptr first_error_;

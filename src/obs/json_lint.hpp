@@ -1,0 +1,177 @@
+/// \file json_lint.hpp
+/// Tiny strict JSON validator shared by tools/json_check and the test
+/// suites that assert exporter/endpoint output is well-formed (the live
+/// telemetry scrape tests hammer /metrics.json and /runtime from client
+/// threads and validate every response). Recursive-descent over the
+/// whole input; a document is valid iff it is exactly one JSON value
+/// followed by nothing but whitespace.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace spi::obs::detail {
+
+class JsonLint {
+ public:
+  explicit JsonLint(const std::string& text) : text_(text) {}
+
+  /// Returns an empty string on success, else "offset N: message".
+  std::string validate() {
+    skip_ws();
+    if (!value()) return error_;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after JSON value");
+    return {};
+  }
+
+ private:
+  bool fail_bool(const std::string& message) {
+    if (error_.empty()) error_ = "offset " + std::to_string(pos_) + ": " + message;
+    return false;
+  }
+  std::string fail(const std::string& message) {
+    fail_bool(message);
+    return error_;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return fail_bool("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool value() {
+    if (depth_ > 256) return fail_bool("nesting too deep");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++depth_;
+    consume('{');
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail_bool("expected string key");
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return fail_bool("expected ':' after key");
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return true;
+      }
+      return fail_bool("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    ++depth_;
+    consume('[');
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return true;
+      }
+      return fail_bool("expected ',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    consume('"');
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail_bool("raw control char in string");
+      if (c == '\\') {
+        ++pos_;
+        const char esc = peek();
+        if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_)
+            if (!std::isxdigit(static_cast<unsigned char>(peek())))
+              return fail_bool("bad \\u escape");
+          continue;
+        }
+        if (std::string("\"\\/bfnrt").find(esc) == std::string::npos)
+          return fail_bool("bad escape character");
+      }
+      ++pos_;
+    }
+    return fail_bool("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail_bool("expected a value");
+    if (consume('0')) {
+      // no leading zeros
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail_bool("bad fraction");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail_bool("bad exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+/// Validates `text` as one strict JSON document. Empty result = valid;
+/// otherwise "offset N: message".
+[[nodiscard]] inline std::string json_validate(const std::string& text) {
+  return JsonLint(text).validate();
+}
+
+}  // namespace spi::obs::detail

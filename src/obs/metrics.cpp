@@ -121,11 +121,20 @@ void Histogram::observe(double v) noexcept {
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
+  // Internally consistent under concurrent observe(): `count` is
+  // derived from the bucket reads (never read from count_ separately),
+  // so the exported cumulative +Inf bucket always equals `count`; and
+  // `sum` is read after the buckets — observe() updates bucket before
+  // sum, so a mid-snapshot observation can make the exported sum lead
+  // the counted set, never report counted observations missing from it.
   Snapshot s;
   s.upper_bounds = upper_bounds_;
   s.buckets.reserve(buckets_.size());
-  for (const auto& b : buckets_) s.buckets.push_back(b.load(std::memory_order_relaxed));
-  s.count = count_.load(std::memory_order_relaxed);
+  for (const auto& b : buckets_) {
+    const std::int64_t n = b.load(std::memory_order_relaxed);
+    s.buckets.push_back(n);
+    s.count += n;
+  }
   s.sum = sum_.load(std::memory_order_relaxed);
   return s;
 }
@@ -249,10 +258,40 @@ double MetricRegistry::gauge_value(const std::string& name, const Labels& labels
   return it != series_.end() && it->second.gauge ? it->second.gauge->value() : 0.0;
 }
 
-std::string MetricRegistry::to_json() const {
+std::vector<MetricRegistry::SeriesSnapshot> MetricRegistry::collect() const {
+  // One tight pass under the lock reading each live value exactly once.
+  // Formatting happens outside the lock from this frozen copy, so a
+  // mid-scrape update can shift values between two series but can never
+  // make one series internally inconsistent or tear a formatted line.
   std::lock_guard lock(mutex_);
+  std::vector<SeriesSnapshot> out;
+  out.reserve(series_.size());
+  for (const auto& [key, s] : series_) {
+    SeriesSnapshot snap;
+    snap.name = s.name;
+    snap.labels = s.labels;
+    snap.help = s.help;
+    if (s.counter) {
+      snap.kind = SeriesSnapshot::Kind::kCounter;
+      snap.counter_value = s.counter->value();
+    } else if (s.gauge) {
+      snap.kind = SeriesSnapshot::Kind::kGauge;
+      snap.gauge_value = s.gauge->value();
+    } else if (s.histogram) {
+      snap.kind = SeriesSnapshot::Kind::kHistogram;
+      snap.histogram = s.histogram->snapshot();
+    } else {
+      continue;  // registered name with no instrument yet
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string MetricRegistry::to_json() const {
+  const std::vector<SeriesSnapshot> snapshot = collect();
   std::ostringstream out;
-  auto emit_header = [&](const Series& s) {
+  auto emit_header = [&](const SeriesSnapshot& s) {
     out << "\n    {\"name\":\"";
     append_json_escaped(out, s.name);
     out << "\",\"labels\":";
@@ -261,30 +300,30 @@ std::string MetricRegistry::to_json() const {
 
   out << "{\n  \"counters\": [";
   bool first = true;
-  for (const auto& [key, s] : series_) {
-    if (!s.counter) continue;
+  for (const auto& s : snapshot) {
+    if (s.kind != SeriesSnapshot::Kind::kCounter) continue;
     if (!first) out << ",";
     first = false;
     emit_header(s);
-    out << ",\"value\":" << s.counter->value() << "}";
+    out << ",\"value\":" << s.counter_value << "}";
   }
   out << "\n  ],\n  \"gauges\": [";
   first = true;
-  for (const auto& [key, s] : series_) {
-    if (!s.gauge) continue;
+  for (const auto& s : snapshot) {
+    if (s.kind != SeriesSnapshot::Kind::kGauge) continue;
     if (!first) out << ",";
     first = false;
     emit_header(s);
-    out << ",\"value\":" << render_double(s.gauge->value()) << "}";
+    out << ",\"value\":" << render_double(s.gauge_value) << "}";
   }
   out << "\n  ],\n  \"histograms\": [";
   first = true;
-  for (const auto& [key, s] : series_) {
-    if (!s.histogram) continue;
+  for (const auto& s : snapshot) {
+    if (s.kind != SeriesSnapshot::Kind::kHistogram) continue;
     if (!first) out << ",";
     first = false;
     emit_header(s);
-    const Histogram::Snapshot snap = s.histogram->snapshot();
+    const Histogram::Snapshot& snap = s.histogram;
     out << ",\"count\":" << snap.count << ",\"sum\":" << render_double(snap.sum)
         << ",\"buckets\":[";
     std::int64_t cumulative = 0;
@@ -305,12 +344,14 @@ std::string MetricRegistry::to_json() const {
 }
 
 std::string MetricRegistry::to_prometheus() const {
-  std::lock_guard lock(mutex_);
+  const std::vector<SeriesSnapshot> snapshot = collect();
   std::ostringstream out;
   // One # HELP / # TYPE block per metric name, series grouped beneath.
   std::string open_name;
-  for (const auto& [key, s] : series_) {
-    const char* type = s.counter ? "counter" : s.gauge ? "gauge" : "histogram";
+  for (const auto& s : snapshot) {
+    const char* type = s.kind == SeriesSnapshot::Kind::kCounter  ? "counter"
+                       : s.kind == SeriesSnapshot::Kind::kGauge ? "gauge"
+                                                                : "histogram";
     if (s.name != open_name) {
       open_name = s.name;
       if (!s.help.empty()) {
@@ -320,16 +361,16 @@ std::string MetricRegistry::to_prometheus() const {
       }
       out << "# TYPE " << s.name << " " << type << "\n";
     }
-    if (s.counter) {
+    if (s.kind == SeriesSnapshot::Kind::kCounter) {
       out << s.name;
       append_prom_labels(out, s.labels);
-      out << " " << s.counter->value() << "\n";
-    } else if (s.gauge) {
+      out << " " << s.counter_value << "\n";
+    } else if (s.kind == SeriesSnapshot::Kind::kGauge) {
       out << s.name;
       append_prom_labels(out, s.labels);
-      out << " " << render_double(s.gauge->value()) << "\n";
-    } else if (s.histogram) {
-      const Histogram::Snapshot snap = s.histogram->snapshot();
+      out << " " << render_double(s.gauge_value) << "\n";
+    } else {
+      const Histogram::Snapshot& snap = s.histogram;
       std::int64_t cumulative = 0;
       for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
         cumulative += snap.buckets[i];

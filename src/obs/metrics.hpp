@@ -134,6 +134,26 @@ class MetricRegistry {
   /// Value of one exact (name, labels) gauge (0 when absent).
   [[nodiscard]] double gauge_value(const std::string& name, const Labels& labels = {}) const;
 
+  /// One collected time series: the live values frozen at collect()
+  /// time, decoupled from the instrument they came from.
+  struct SeriesSnapshot {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::int64_t counter_value = 0;
+    double gauge_value = 0.0;
+    Histogram::Snapshot histogram;
+  };
+
+  /// Freezes every registered series in one pass under the registry
+  /// lock. Both exporters format from this, never from live
+  /// instruments, so concurrent updates cannot tear an export
+  /// mid-format; each histogram snapshot keeps its +Inf cumulative
+  /// bucket equal to its count.
+  [[nodiscard]] std::vector<SeriesSnapshot> collect() const;
+
   /// {"counters":[...],"gauges":[...],"histograms":[...]} — stable
   /// (name, labels) ordering.
   [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,92 @@
+/// \file obs_server.hpp
+/// Dependency-free embedded HTTP/1.0 telemetry server.
+///
+/// One acceptor thread over plain POSIX sockets, one request per
+/// connection (`Connection: close`), no keep-alive, no TLS, no
+/// third-party code — the live layer a `spi_served` daemon mounts
+/// unchanged, and small enough to embed in every ThreadedRuntime::run()
+/// behind `RunOptions::obs_port`. Endpoints (see docs/observability.md,
+/// "Live telemetry"):
+///
+///   GET /              endpoint index (text/plain)
+///   GET /metrics       Prometheus text exposition of the registry
+///   GET /metrics.json  the registry's JSON exporter
+///   GET /healthz       liveness/progress verdict (200 ok, 503 stalled)
+///   GET /runtime       live runtime snapshot: per-worker state and
+///                      per-channel depth/high-watermark vs. bound
+///
+/// Binding port 0 (the default) asks the kernel for an ephemeral port;
+/// `port()` reports the bound one — tests and `--obs-port 0` runs print
+/// it instead of racing for a fixed port. The server owns no data: it
+/// renders through the hooks in Options, all of which must stay valid
+/// between start() and stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
+
+namespace spi::obs {
+
+/// One rendered HTTP response (routing result, pre-serialization).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class ObsServer {
+ public:
+  struct Options {
+    int port = 0;                       ///< 0 = kernel-assigned ephemeral port
+    std::string bind_address = "127.0.0.1";
+    MetricRegistry* registry = nullptr; ///< /metrics + /metrics.json source
+    /// Called before rendering /metrics, /metrics.json and /runtime —
+    /// the runtime refreshes its channel-depth gauges here.
+    std::function<void()> refresh;
+    /// /runtime body (a JSON document). Absent: /runtime returns 404.
+    std::function<std::string()> runtime_json;
+    /// /healthz verdict. Absent: /healthz reports ok with verdict
+    /// "no-watchdog" (the server answering is the only liveness fact).
+    std::function<HealthStatus()> health;
+  };
+
+  explicit ObsServer(Options options);
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+  ~ObsServer();
+
+  /// Binds, listens and spawns the acceptor thread. Throws
+  /// std::runtime_error when the socket cannot be set up.
+  void start();
+  /// Stops accepting, closes the listener and joins the acceptor.
+  void stop();
+
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+  /// The bound TCP port (resolves port-0 requests), 0 before start().
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] std::int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Pure routing: method + target -> response. Exposed so unit tests
+  /// cover every endpoint without sockets.
+  [[nodiscard]] HttpResponse handle(const std::string& method, const std::string& target) const;
+
+ private:
+  void serve();
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> requests_{0};
+};
+
+}  // namespace spi::obs

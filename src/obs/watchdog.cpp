@@ -1,0 +1,245 @@
+#include "obs/watchdog.hpp"
+
+#include <chrono>
+#include <map>
+
+#include "obs/metrics.hpp"
+#include "obs/text_escape.hpp"
+
+namespace spi::obs {
+
+const char* to_string(StallKind kind) {
+  switch (kind) {
+    case StallKind::kNone: return "none";
+    case StallKind::kDeadlock: return "deadlock";
+    case StallKind::kLivelock: return "livelock";
+    case StallKind::kSlowActor: return "slow-actor";
+  }
+  return "none";
+}
+
+namespace {
+
+void append_worker_json(std::string& out, const WorkerSnapshot& w) {
+  out += "{\"proc\":" + std::to_string(w.proc);
+  out += ",\"epoch\":" + std::to_string(w.epoch);
+  out += ",\"iteration\":" + std::to_string(w.iteration);
+  out += ",\"step\":" + std::to_string(w.step);
+  out += ",\"actor\":" + std::to_string(w.actor);
+  out += ",\"waiting_edge\":" + std::to_string(w.waiting_edge);
+  out += ",\"waiting_side\":" + std::to_string(w.waiting_side);
+  out += std::string(",\"done\":") + (w.done ? "true" : "false") + "}";
+}
+
+}  // namespace
+
+std::string StallReport::to_json() const {
+  std::string out = "{\"classification\":\"";
+  out += to_string(kind);
+  out += "\",\"edge\":" + std::to_string(edge);
+  out += ",\"channel\":\"" + detail::json_escaped(channel);
+  out += "\",\"actor\":" + std::to_string(actor);
+  out += ",\"actor_name\":\"" + detail::json_escaped(actor_name);
+  out += "\",\"window_ms\":" + std::to_string(window_ms);
+  out += ",\"stalled_ms\":" + std::to_string(stalled_ms);
+  out += ",\"message\":\"" + detail::json_escaped(message);
+  out += "\",\"workers\":[";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (i) out += ",";
+    append_worker_json(out, workers[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string HealthStatus::to_json() const {
+  std::string out = std::string("{\"ok\":") + (ok ? "true" : "false");
+  out += ",\"verdict\":\"" + detail::json_escaped(verdict);
+  out += "\",\"last_progress_ms\":" + std::to_string(last_progress_ms);
+  out += ",\"window_ms\":" + std::to_string(window_ms) + "}";
+  return out;
+}
+
+StallError::StallError(StallReport report)
+    : std::runtime_error("SPI watchdog: " + report.message), report_(std::move(report)) {}
+
+ProgressWatchdog::ProgressWatchdog(WatchdogOptions options, Hooks hooks)
+    : options_(std::move(options)), hooks_(std::move(hooks)) {
+  if (!hooks_.snapshot)
+    throw std::invalid_argument("ProgressWatchdog: a snapshot hook is required");
+  if (options_.window_ms <= 0)
+    throw std::invalid_argument("ProgressWatchdog: window_ms must be positive");
+  last_progress_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+}
+
+ProgressWatchdog::~ProgressWatchdog() { stop(); }
+
+void ProgressWatchdog::start() {
+  std::lock_guard lock(mutex_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  last_progress_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+  thread_ = std::thread([this] { monitor(); });
+}
+
+void ProgressWatchdog::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mutex_);
+  running_ = false;
+}
+
+StallReport ProgressWatchdog::last_report() const {
+  std::lock_guard lock(mutex_);
+  return last_report_;
+}
+
+HealthStatus ProgressWatchdog::health() const {
+  HealthStatus status;
+  status.window_ms = options_.window_ms;
+  status.last_progress_ms =
+      (monotonic_ns() - last_progress_ns_.load(std::memory_order_relaxed)) / 1'000'000;
+  if (stalled_.load(std::memory_order_relaxed)) {
+    std::lock_guard lock(mutex_);
+    status.ok = false;
+    status.verdict = "stalled: " + last_report_.message;
+  }
+  return status;
+}
+
+StallReport ProgressWatchdog::classify(const std::vector<WorkerSnapshot>& workers,
+                                       std::int64_t stalled_ms) const {
+  StallReport report;
+  report.window_ms = options_.window_ms;
+  report.stalled_ms = stalled_ms;
+  report.workers = workers;
+
+  // Only live (not-done) workers can hold the run up; a done worker's
+  // frozen epoch is success, not a stall.
+  std::vector<const WorkerSnapshot*> live;
+  for (const WorkerSnapshot& w : workers)
+    if (!w.done) live.push_back(&w);
+  if (live.empty()) {
+    report.kind = StallKind::kNone;
+    report.classification = to_string(report.kind);
+    report.message = "all workers done";
+    return report;
+  }
+
+  // A worker inside a compute function (an actor is set, no channel op
+  // in flight) dominates the diagnosis: everyone else is back-pressure
+  // downstream/upstream of it.
+  const WorkerSnapshot* busy = nullptr;
+  bool all_waiting = true;
+  for (const WorkerSnapshot* w : live) {
+    if (w->waiting_edge < 0) {
+      all_waiting = false;
+      if (w->actor >= 0 && busy == nullptr) busy = w;
+    }
+  }
+
+  if (busy != nullptr) {
+    report.kind = StallKind::kSlowActor;
+    report.actor = busy->actor;
+    if (hooks_.actor_name) report.actor_name = hooks_.actor_name(busy->actor);
+    report.message = "no progress for " + std::to_string(stalled_ms) + "ms; actor '" +
+                     (report.actor_name.empty() ? std::to_string(report.actor)
+                                                : report.actor_name) +
+                     "' on proc " + std::to_string(busy->proc) +
+                     " is executing and not returning";
+  } else if (all_waiting) {
+    // Every live worker is parked on a channel: a cyclic (or dead-edge)
+    // wait. Name the channel with the most waiters — in the
+    // dropped-forever reliability case that is the dead edge, with the
+    // producer retransmitting into it and the consumer timing out on it.
+    std::map<std::int32_t, int> waiters;
+    for (const WorkerSnapshot* w : live) ++waiters[w->waiting_edge];
+    std::int32_t edge = live.front()->waiting_edge;
+    int best = 0;
+    for (const auto& [e, n] : waiters)
+      if (n > best) {
+        best = n;
+        edge = e;
+      }
+    report.kind = StallKind::kDeadlock;
+    report.edge = edge;
+    if (hooks_.channel_name) report.channel = hooks_.channel_name(edge);
+    report.message = "no progress for " + std::to_string(stalled_ms) +
+                     "ms; all workers blocked on channels, most on '" +
+                     (report.channel.empty() ? "edge " + std::to_string(edge)
+                                             : report.channel) +
+                     "' (edge " + std::to_string(edge) + ")";
+  } else {
+    report.kind = StallKind::kLivelock;
+    report.message = "no progress for " + std::to_string(stalled_ms) +
+                     "ms; workers are running but no firing completes";
+  }
+  report.classification = to_string(report.kind);
+  // The classification leads the message so log lines, StallError
+  // what() and /healthz verdicts all name the verdict verbatim.
+  report.message = report.classification + (": " + report.message);
+  return report;
+}
+
+void ProgressWatchdog::monitor() {
+  const std::int64_t poll_ms = options_.effective_poll_ms();
+  const std::int64_t window_ns = options_.window_ms * 1'000'000;
+  std::vector<std::uint64_t> last_epochs;
+  bool fired = false;
+
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(poll_ms), [this] { return stop_; });
+    if (stop_) break;
+
+    lock.unlock();
+    const std::vector<WorkerSnapshot> workers = hooks_.snapshot();
+    const std::int64_t now = monotonic_ns();
+
+    bool progressed = last_epochs.size() != workers.size();
+    bool all_done = !workers.empty();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (!workers[i].done) all_done = false;
+      if (!progressed && (workers[i].epoch != last_epochs[i] || workers[i].done))
+        progressed = true;
+    }
+    last_epochs.resize(workers.size());
+    for (std::size_t i = 0; i < workers.size(); ++i) last_epochs[i] = workers[i].epoch;
+
+    if (progressed || all_done) {
+      last_progress_ns_.store(now, std::memory_order_relaxed);
+      if (fired || stalled_.load(std::memory_order_relaxed)) {
+        // Progress resumed after a (non-aborting) stall: re-arm.
+        stalled_.store(false, std::memory_order_relaxed);
+        fired = false;
+      }
+      lock.lock();
+      continue;
+    }
+
+    const std::int64_t stalled_ns =
+        now - last_progress_ns_.load(std::memory_order_relaxed);
+    if (!fired && stalled_ns >= window_ns) {
+      const StallReport report = classify(workers, stalled_ns / 1'000'000);
+      if (report.kind != StallKind::kNone) {
+        {
+          std::lock_guard report_lock(mutex_);
+          last_report_ = report;
+        }
+        stalled_.store(true, std::memory_order_relaxed);
+        fired = true;
+        if (options_.on_stall) options_.on_stall(report);
+        if (hooks_.on_stall) hooks_.on_stall(report);
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace spi::obs

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/json_lint.hpp"
 
 namespace spi::obs {
 namespace {
@@ -218,6 +221,63 @@ TEST(Metrics, ExportersEscapeHostileStrings) {
   for (std::string line; std::getline(lines, line);)
     if (line.rfind("# HELP spi_hostile_total", 0) == 0) ++help_lines;
   EXPECT_EQ(help_lines, 1u);
+}
+
+// Snapshot consistency (docs/observability.md "Live telemetry"): an
+// export taken while writers are mutating the registry must still be a
+// well-formed document with internally consistent values.  collect()
+// freezes every series in one pass under the registry lock; the
+// histogram snapshot derives its count from the bucket reads, so the
+// exported +Inf cumulative always equals the exported count even when
+// observe() races the export.
+TEST(Metrics, ExportIsConsistentUnderConcurrentWrites) {
+  MetricRegistry registry;
+  Counter& counter = registry.counter("spi_hammer_total", {{"channel", "c0"}});
+  Histogram& hist = registry.histogram("spi_hammer_us", Histogram::exponential_bounds(1, 2, 8));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      counter.inc();
+      hist.observe(static_cast<double>(i++ % 300));
+    }
+  });
+
+  for (int round = 0; round < 200; ++round) {
+    const std::string json = registry.to_json();
+    EXPECT_EQ(detail::json_validate(json), "") << json;
+    const std::string prom = registry.to_prometheus();
+    // Parse the histogram lines back out: the +Inf cumulative bucket
+    // must equal the _count line — a torn snapshot breaks this.
+    std::int64_t inf_bucket = -1, count = -1;
+    std::istringstream lines(prom);
+    for (std::string line; std::getline(lines, line);) {
+      if (line.rfind("spi_hammer_us_bucket{le=\"+Inf\"} ", 0) == 0)
+        inf_bucket = std::stoll(line.substr(line.rfind(' ') + 1));
+      else if (line.rfind("spi_hammer_us_count ", 0) == 0)
+        count = std::stoll(line.substr(line.rfind(' ') + 1));
+    }
+    ASSERT_GE(inf_bucket, 0) << prom;
+    ASSERT_GE(count, 0) << prom;
+    EXPECT_EQ(inf_bucket, count);
+  }
+  stop.store(true);
+  writer.join();
+
+  // Quiescent export agrees with the instruments exactly.
+  const auto series = registry.collect();
+  bool saw_counter = false, saw_hist = false;
+  for (const MetricRegistry::SeriesSnapshot& s : series) {
+    if (s.name == "spi_hammer_total") {
+      saw_counter = true;
+      EXPECT_EQ(s.counter_value, counter.value());
+    } else if (s.name == "spi_hammer_us") {
+      saw_hist = true;
+      EXPECT_EQ(s.histogram.count, hist.count());
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
 }
 
 TEST(Metrics, ScopedTimerRecordsElapsedSeconds) {

@@ -41,7 +41,16 @@
 ///
 /// Exit codes: 0 success, 1 I/O or compile error, 2 usage, 3 a reliable
 /// channel degraded gracefully (sim::ChannelError — retries exhausted or
-/// receive timeout) instead of hanging.
+/// receive timeout) instead of hanging, 4 the progress watchdog aborted
+/// a stalled threaded run (obs::StallError — see --watchdog-ms).
+///
+/// Live telemetry (docs/observability.md): --obs-port N mounts the
+/// embedded HTTP server on the threaded run (N = 0 picks an ephemeral
+/// port, printed to stderr as "obs server listening on ..."), serving
+/// /metrics, /metrics.json, /healthz and /runtime. --watchdog-ms W arms
+/// the progress watchdog: when no worker completes a firing for W
+/// milliseconds the stall is classified (deadlock/livelock/slow-actor),
+/// post-mortems are dumped and the run exits 4.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,6 +86,7 @@ int usage() {
                "                   [--flight-out FILE]\n"
                "                   [--emit-plan FILE] [--fault-plan FILE] [--reliability]\n"
                "                   [--run N] [--run-threads N] [--mpi]\n"
+               "                   [--obs-port N] [--watchdog-ms N]\n"
                "                   <file | - | --load-plan FILE>\n");
   return 2;
 }
@@ -137,6 +147,8 @@ int main(int argc, char** argv) {
   std::string load_plan_path;
   std::int64_t run_iterations = 0;
   std::int64_t thread_iterations = 0;
+  int obs_port = -1;
+  std::int64_t watchdog_ms = 0;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -181,6 +193,25 @@ int main(int argc, char** argv) {
         return 2;
       }
       (arg == "--run" ? run_iterations : thread_iterations) = n;
+    } else if (arg == "--obs-port") {
+      if (++i >= argc) return usage();
+      char* end = nullptr;
+      const long long value = std::strtoll(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || value < 0 || value > 65535) {
+        std::fprintf(stderr, "spi_compile: --obs-port needs a port in [0, 65535], got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      obs_port = static_cast<int>(value);
+    } else if (arg == "--watchdog-ms") {
+      if (++i >= argc) return usage();
+      const std::int64_t value = parse_iterations(argv[i]);
+      if (value < 0) {
+        std::fprintf(stderr,
+                     "spi_compile: --watchdog-ms needs a positive window, got '%s'\n", argv[i]);
+        return 2;
+      }
+      watchdog_ms = value;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return usage();
     } else {
@@ -202,6 +233,12 @@ int main(int argc, char** argv) {
   }
   if (!flight_out.empty() && run_iterations <= 0 && thread_iterations <= 0) {
     std::fprintf(stderr, "spi_compile: --flight-out needs --run N or --run-threads N\n");
+    return 2;
+  }
+  if ((obs_port >= 0 || watchdog_ms > 0) && thread_iterations <= 0) {
+    std::fprintf(stderr,
+                 "spi_compile: --obs-port/--watchdog-ms need --run-threads N "
+                 "(they observe the live threaded run)\n");
     return 2;
   }
   const bool both_engines = run_iterations > 0 && thread_iterations > 0;
@@ -364,8 +401,23 @@ int main(int argc, char** argv) {
         flight->set_postmortem_path(flight_path);
         runtime.set_flight_recorder(&*flight);
       }
+      spi::core::RunOptions run_options;
+      run_options.iterations = thread_iterations;
+      run_options.obs_port = obs_port;
+      if (obs_port >= 0) {
+        // The bound port goes to stderr: stdout may belong to a metrics
+        // document, and scripts (the CI live-scrape smoke) parse this
+        // line to find an ephemeral port.
+        run_options.on_obs_start = [](int port) {
+          std::fprintf(stderr, "spi_compile: obs server listening on 127.0.0.1:%d\n", port);
+        };
+      }
+      if (watchdog_ms > 0) {
+        run_options.watchdog.enabled = true;
+        run_options.watchdog.window_ms = watchdog_ms;
+      }
       try {
-        runtime.run(thread_iterations);
+        runtime.run(run_options);
       } catch (const spi::sim::ChannelError& e) {
         // Graceful degradation: the reliable transport gave up on one
         // channel within its deadline instead of hanging the pipeline.
@@ -375,6 +427,16 @@ int main(int argc, char** argv) {
           std::printf("%s", metrics_format == "json" ? registry.to_json().c_str()
                                                      : registry.to_prometheus().c_str());
         return 3;
+      } catch (const spi::obs::StallError& e) {
+        // The watchdog aborted a wedged run: the classification and the
+        // blocking channel are on stderr, the post-mortems are on disk
+        // (spi_stall.<kind>.json + the flight dump when --flight-out).
+        std::fprintf(stderr, "spi_compile: %s\n", e.what());
+        if (flight) flight->publish_metrics(registry);
+        if (metrics)
+          std::printf("%s", metrics_format == "json" ? registry.to_json().c_str()
+                                                     : registry.to_prometheus().c_str());
+        return 4;
       }
       const spi::core::ThreadedRunStats& ts = runtime.stats();
       std::fprintf(report_out,
