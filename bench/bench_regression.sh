@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Benchmark-regression gate: diffs a freshly measured benchmark document
+# (bench/run_benchmarks.sh output) against the committed baseline
+# BENCH_results.json, benchmark by benchmark on real_time_ns, and fails
+# when any gated benchmark slowed down beyond the tolerance. This is the
+# longitudinal companion to bench/perf_smoke.sh (which only compares two
+# benchmarks from the same run): it pins the compile path and the
+# channel hot paths against the numbers the repo ships.
+#
+#   bench/bench_regression.sh [CANDIDATE] [BASELINE] [REPORT]
+#
+#   CANDIDATE  fresh document            (default artifacts/BENCH_results.json)
+#   BASELINE   committed document        (default BENCH_results.json)
+#   REPORT     text report artifact      (default artifacts/bench_regression.txt)
+#
+# Environment:
+#   BENCH_REGRESSION_TOLERANCE_PCT  allowed slowdown per benchmark
+#                                   (default 25 — generous enough for
+#                                   runner jitter, tight enough to catch
+#                                   an accidental complexity regression)
+#   BENCH_REGRESSION_SUITES         space-separated suites to gate
+#                                   (default "micro_compile micro_channel")
+#
+# A gated benchmark present in the baseline but missing from the
+# candidate fails the gate too: silently dropping a benchmark must not
+# read as a pass. New benchmarks (in the candidate only) are reported
+# and allowed — that is how the baseline grows.
+set -eu
+
+CANDIDATE=${1:-artifacts/BENCH_results.json}
+BASELINE=${2:-BENCH_results.json}
+REPORT=${3:-artifacts/bench_regression.txt}
+TOLERANCE=${BENCH_REGRESSION_TOLERANCE_PCT:-25}
+SUITES=${BENCH_REGRESSION_SUITES:-"micro_compile micro_channel"}
+
+for f in "$CANDIDATE" "$BASELINE"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_regression.sh: missing $f" >&2
+    exit 1
+  fi
+done
+mkdir -p "$(dirname "$REPORT")"
+
+python3 - "$CANDIDATE" "$BASELINE" "$REPORT" "$TOLERANCE" $SUITES <<'PY'
+import json, sys
+
+cand_path, base_path, report_path, tolerance = sys.argv[1:5]
+suites = set(sys.argv[5:])
+tolerance = float(tolerance)
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["suite"], r["name"]): r["real_time_ns"]
+            for r in doc.get("benchmarks", []) if r["suite"] in suites}
+
+cand, base = load(cand_path), load(base_path)
+
+lines = [f"benchmark regression gate: tolerance {tolerance:.0f}%, "
+         f"suites {' '.join(sorted(suites))}",
+         f"candidate {cand_path}  baseline {base_path}", ""]
+failed = []
+for key in sorted(base):
+    suite, name = key
+    if key not in cand:
+        failed.append(key)
+        lines.append(f"MISSING   {suite}/{name}: in baseline but not in candidate")
+        continue
+    new, old = cand[key], base[key]
+    delta = 100.0 * (new - old) / old if old else 0.0
+    verdict = "ok"
+    if delta > tolerance:
+        verdict = "REGRESSED"
+        failed.append(key)
+    lines.append(f"{verdict:10s}{suite}/{name}: {old:.0f} -> {new:.0f} ns "
+                 f"({delta:+.1f}%)")
+for key in sorted(set(cand) - set(base)):
+    lines.append(f"new       {key[0]}/{key[1]}: {cand[key]:.0f} ns (no baseline yet)")
+
+lines.append("")
+lines.append(f"{len(failed)} regression(s) across {len(base)} gated benchmark(s)"
+             if failed else
+             f"all {len(base)} gated benchmark(s) within tolerance")
+report = "\n".join(lines) + "\n"
+with open(report_path, "w") as f:
+    f.write(report)
+sys.stderr.write(report)
+sys.exit(1 if failed else 0)
+PY

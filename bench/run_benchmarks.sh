@@ -18,8 +18,12 @@
 #       "spsc_stream_speedup": S,           # BlockingChannel / SpscChannel
 #                                           #   mean streaming time ratio
 #       "obs_snapshot_us": U,               # one /metrics + /runtime render
-#       "heartbeat_overhead_pct": H         # watchdog + telemetry server
-#     }                                     #   attached vs bare threaded run
+#       "heartbeat_overhead_pct": H,        # watchdog + telemetry server
+#                                           #   attached vs bare threaded run
+#       "compile_10k_actor_ms": M,          # slowest 10k-actor topology
+#                                           #   through the full pipeline
+#       "incremental_recompile_speedup": S  # full compile / trace-replay
+#     }                                     #   recompile after an exec edit
 #   }
 #
 # BENCHMARK_MIN_TIME can shrink runs for smoke use (default 0.05s).
@@ -91,6 +95,22 @@ bare_run, watched = mean_time("BM_ThreadedRunBare"), mean_time("BM_ThreadedRunWa
 if bare_run and watched:
     derived["heartbeat_overhead_pct"] = round(100.0 * (watched - bare_run) / bare_run, 2)
 
+def time_of(name):
+    for r in rows:
+        if r["name"] == name:
+            return r["real_time_ns"]
+    return None
+
+tenk = [time_of(f"BM_Compile10k{t}") for t in ("Chain", "Tree", "RandomScc")]
+tenk = [t for t in tenk if t]
+if tenk:
+    derived["compile_10k_actor_ms"] = round(max(tenk) / 1e6, 2)
+# Speedup measured at 512 actors, where the resynchronization greedy
+# phase (the expensive part the trace replay skips) is actually active.
+full, fast = time_of("BM_FullRecompile/512"), time_of("BM_IncrementalRecompile/512")
+if full and fast:
+    derived["incremental_recompile_speedup"] = round(full / fast, 1)
+
 doc = {"schema": 1, "suites": suites, "benchmarks": rows, "derived": derived}
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=False)
@@ -108,4 +128,10 @@ if "obs_snapshot_us" in derived:
 if "heartbeat_overhead_pct" in derived:
     print(f"run_benchmarks.sh: live telemetry overhead "
           f"{derived['heartbeat_overhead_pct']}%", file=sys.stderr)
+if "compile_10k_actor_ms" in derived:
+    print(f"run_benchmarks.sh: 10k-actor compile (slowest topology) "
+          f"{derived['compile_10k_actor_ms']} ms", file=sys.stderr)
+if "incremental_recompile_speedup" in derived:
+    print(f"run_benchmarks.sh: incremental recompile speedup "
+          f"{derived['incremental_recompile_speedup']}x vs full compile", file=sys.stderr)
 PY

@@ -68,10 +68,13 @@ struct ScheduleStage {
 };
 
 /// Stage 3 — the IPC/synchronization graph plus the optional
-/// resynchronization transformation (paper Sections 4, 4.1).
+/// resynchronization transformation (paper Sections 4, 4.1). The trace
+/// records the resynchronizer's decision sequence; incremental
+/// recompilation replays it instead of re-searching (resync.hpp).
 struct SyncStage {
   sched::SyncGraphBuild build;
   std::optional<sched::ResyncReport> resync;
+  sched::ResyncTrace trace;
 };
 
 /// Stage 4 — per-channel protocol selection: SPI mode, BBS/UBS,
@@ -109,5 +112,78 @@ struct ProtocolStage {
 [[nodiscard]] ExecutablePlan compile_plan(const df::Graph& application,
                                           const sched::Assignment& assignment,
                                           const SpiSystemOptions& options = {});
+
+/// Fingerprints of the compile inputs (PlanFingerprints in plan.hpp):
+/// `topology` hashes everything a stage other than exec-time analysis
+/// depends on — actors, edges, rates, delays, token geometry, processor
+/// assignment, sync/resync options; `exec` hashes the per-actor exec
+/// cycles alone. FNV-1a, stable across runs.
+[[nodiscard]] std::uint64_t topology_fingerprint(const df::Graph& g,
+                                                 const sched::Assignment& assignment,
+                                                 const SpiSystemOptions& options);
+[[nodiscard]] std::uint64_t exec_fingerprint(const df::Graph& g);
+
+/// One actor's new exec-cycles value for IncrementalCompiler::recompile().
+struct ExecUpdate {
+  df::ActorId actor = df::kInvalidActor;
+  std::int64_t exec_cycles = 1;
+};
+
+/// Incremental recompilation driver (docs/architecture.md, "Incremental
+/// recompilation"). Owns the application graph and the last full
+/// compile's plan + resynchronization trace, and re-runs only the stages
+/// an edit invalidates:
+///
+///  * exec-only edits (recompile()) — the common scenario-retune case —
+///    reuse VTS, repetitions, PASS, HSDF, the sync-graph structure, the
+///    protocol/channel stage and the firing programs wholesale. Only the
+///    exec-dependent values are recomputed: task exec times are patched
+///    in place, the resynchronizer's recorded decision trace is replayed
+///    with the throughput verdicts re-checked against the new exec
+///    profile (a few warm policy-iteration solves), and the MCM scalars
+///    plus witness cycle are re-derived. The result is byte-identical
+///    (to_json) to a from-scratch compile of the edited graph.
+///  * when a replayed verdict flips (the edit changed which candidate
+///    edges preserve throughput), the fast path is abandoned and a full
+///    compile runs — still correct, just not incremental.
+///
+/// With options.metrics set, recompiles record
+/// spi_recompile_phase_seconds{phase=patch_exec|resync_replay} gauges,
+/// spi_recompile_total_seconds and spi_recompile_full (1 = fell back).
+class IncrementalCompiler {
+ public:
+  IncrementalCompiler(df::Graph application, sched::Assignment assignment,
+                      SpiSystemOptions options = {});
+
+  /// Full staged compile of the current graph; (re)caches the plan and
+  /// the resynchronization trace. Same throwing behaviour as
+  /// compile_plan().
+  const ExecutablePlan& compile();
+
+  /// The last compiled plan; throws std::logic_error before compile().
+  [[nodiscard]] const ExecutablePlan& plan() const;
+
+  /// Applies per-actor exec updates and recompiles. Takes the fast path
+  /// described above when possible; falls back to compile() when a
+  /// resynchronization verdict flips (or nothing is cached yet).
+  const ExecutablePlan& recompile(const std::vector<ExecUpdate>& updates);
+
+  /// True when the last recompile() reused the cached stages; false when
+  /// it fell back to a full compile.
+  [[nodiscard]] bool last_recompile_incremental() const { return last_incremental_; }
+
+  [[nodiscard]] const df::Graph& application() const { return app_; }
+
+ private:
+  bool try_incremental();
+
+  df::Graph app_;
+  sched::Assignment assignment_;
+  SpiSystemOptions options_;
+  ExecutablePlan plan_;
+  sched::ResyncTrace trace_;
+  bool compiled_ = false;
+  bool last_incremental_ = false;
+};
 
 }  // namespace spi::core

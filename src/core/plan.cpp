@@ -341,6 +341,12 @@ std::string ExecutablePlan::report() const {
         << resync->edges_removed << " redundant, acks " << resync->acks_before << " -> "
         << resync->acks_after << ", MCM " << resync->mcm_before << " -> " << resync->mcm_after
         << "\n";
+    if (!resync->critical_cycle.empty()) {
+      out << "  critical cycle (bounds throughput):";
+      for (std::int32_t t : resync->critical_cycle)
+        out << " " << sync_graph.task(t).name;
+      out << "\n";
+    }
   }
   out << "  messages/iteration: " << messages_per_iteration << "\n";
   return out.str();
@@ -417,6 +423,10 @@ void ExecutablePlan::publish_metrics(obs::MetricRegistry& registry) const {
         .set(resync->mcm_before);
     registry.gauge("spi_plan_resync_mcm_after", {}, "Maximum cycle mean after resynchronization")
         .set(resync->mcm_after);
+    registry
+        .gauge("spi_plan_critical_cycle_tasks", {},
+               "Tasks on the witness critical cycle realizing the post-resync MCM")
+        .set(static_cast<double>(resync->critical_cycle.size()));
   }
 }
 
@@ -434,8 +444,15 @@ std::string ExecutablePlan::to_json() const {
         << ", \"edges_added\": " << resync->edges_added
         << ", \"edges_removed\": " << resync->edges_removed
         << ", \"mcm_before\": " << format_double(resync->mcm_before)
-        << ", \"mcm_after\": " << format_double(resync->mcm_after) << "},\n";
+        << ", \"mcm_after\": " << format_double(resync->mcm_after)
+        << ", \"critical_cycle\": ";
+    write_int_array(out, resync->critical_cycle);
+    out << "},\n";
   }
+  // uint64 fingerprints are serialized as strings: JSON numbers above
+  // 2^53 are not representable exactly.
+  out << "  \"fingerprints\": {\"topology\": \"" << fingerprints.topology
+      << "\", \"exec\": \"" << fingerprints.exec << "\"},\n";
   out << "  \"costs\": {\"send_enqueue_cycles\": " << costs.send_enqueue_cycles
       << ", \"offload_fixed_cycles\": " << costs.offload_fixed_cycles
       << ", \"ack_wire_bytes\": " << costs.ack_wire_bytes << "},\n";
@@ -572,7 +589,16 @@ ExecutablePlan ExecutablePlan::from_json(std::string_view text) {
         static_cast<std::size_t>(r->at("edges_removed").as_int("edges_removed"));
     report.mcm_before = r->at("mcm_before").as_double("mcm_before");
     report.mcm_after = r->at("mcm_after").as_double("mcm_after");
+    if (const JsonValue* cycle = r->find("critical_cycle"))
+      for (std::int64_t t : cycle->as_int_vector("critical_cycle"))
+        report.critical_cycle.push_back(static_cast<std::int32_t>(t));
     plan.resync = report;
+  }
+
+  if (const JsonValue* fp = root.find("fingerprints")) {
+    plan.fingerprints.topology =
+        std::stoull(fp->at("topology").as_string("fingerprints.topology"));
+    plan.fingerprints.exec = std::stoull(fp->at("exec").as_string("fingerprints.exec"));
   }
 
   const JsonValue& costs = root.at("costs");

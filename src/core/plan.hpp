@@ -96,6 +96,19 @@ struct FiringStep {
   std::vector<df::EdgeId> out_edges;
 };
 
+/// FNV-1a fingerprints of a plan's compile inputs, stored in the emitted
+/// JSON. `topology` covers everything except actor exec times (actor
+/// names and count, edges, rates, delays, token geometry, the processor
+/// assignment and the sync/resync options); `exec` covers the per-actor
+/// exec cycles alone. Incremental recompilation (core/pipeline.hpp)
+/// reuses a cached plan's stages when `topology` matches and only `exec`
+/// changed; a plan-serving daemon can make the same check without
+/// recompiling.
+struct PlanFingerprints {
+  std::uint64_t topology = 0;
+  std::uint64_t exec = 0;
+};
+
 /// The compiled, serializable SPI system.
 struct ExecutablePlan {
   /// Schema version of the JSON encoding; bumped on breaking changes.
@@ -119,6 +132,8 @@ struct ExecutablePlan {
   /// Edge-id -> index into channels (-1 = processor-local edge). Built
   /// once at plan emission; makes channel_for() O(1).
   std::vector<std::int32_t> channel_index;
+  /// Input fingerprints for incremental-recompile / cache-match checks.
+  PlanFingerprints fingerprints;
 
   [[nodiscard]] sched::Proc proc_of(df::ActorId a) const {
     return proc_of_actor.at(static_cast<std::size_t>(a));

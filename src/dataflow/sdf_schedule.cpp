@@ -1,6 +1,7 @@
 #include "dataflow/sdf_schedule.hpp"
 
 #include <algorithm>
+#include <queue>
 #include <stdexcept>
 
 namespace spi::df {
@@ -66,29 +67,46 @@ SequentialSchedule build_sequential_schedule(const Graph& g, const Repetitions& 
   const std::int64_t total = reps.total_firings();
   schedule.firings.reserve(static_cast<std::size_t>(total));
 
-  for (std::int64_t step = 0; step < total; ++step) {
-    ActorId chosen = kInvalidActor;
-    std::int64_t best_score = 0;
-    for (std::size_t a = 0; a < g.actor_count(); ++a) {
-      const auto id = static_cast<ActorId>(a);
-      if (!fireable(g, state, id)) continue;
-      if (policy == SchedulePolicy::kFirstFireable) {
-        chosen = id;
-        break;
-      }
-      const std::int64_t score = demand_score(g, id);
-      if (chosen == kInvalidActor || score < best_score) {
-        chosen = id;
-        best_score = score;
-      }
+  // Both policies pick the fireable actor minimizing a static key:
+  // (demand_score, id) for kMinBufferDemand, (0, id) — i.e. lowest id —
+  // for kFirstFireable. Since an actor's fireability is destroyed only by
+  // firing that actor itself (each edge has a single consumer, so its
+  // input tokens never shrink otherwise), a min-heap over the fireable
+  // set with in-queue flags reproduces the former full scan's choice
+  // exactly, in O(deg + log V) per firing instead of O(V·deg).
+  std::vector<std::int64_t> key(g.actor_count(), 0);
+  if (policy == SchedulePolicy::kMinBufferDemand)
+    for (std::size_t a = 0; a < g.actor_count(); ++a)
+      key[a] = demand_score(g, static_cast<ActorId>(a));
+
+  using Entry = std::pair<std::int64_t, ActorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> fireable_heap;
+  std::vector<char> queued(g.actor_count(), 0);
+  const auto enqueue_if_fireable = [&](ActorId id) {
+    const auto slot = static_cast<std::size_t>(id);
+    if (!queued[slot] && fireable(g, state, id)) {
+      queued[slot] = 1;
+      fireable_heap.emplace(key[slot], id);
     }
-    if (chosen == kInvalidActor) {
+  };
+  for (std::size_t a = 0; a < g.actor_count(); ++a)
+    enqueue_if_fireable(static_cast<ActorId>(a));
+
+  for (std::int64_t step = 0; step < total; ++step) {
+    if (fireable_heap.empty()) {
       schedule.admissible = false;  // deadlock before quota completion
       schedule.firings.clear();
       return schedule;
     }
+    const ActorId chosen = fireable_heap.top().second;
+    fireable_heap.pop();
+    queued[static_cast<std::size_t>(chosen)] = 0;
     fire(g, state, chosen);
     schedule.firings.push_back(chosen);
+    // Firing affects only the fired actor (tokens consumed, quota spent)
+    // and the consumers of its output edges (tokens produced).
+    enqueue_if_fireable(chosen);
+    for (EdgeId eid : g.out_edges(chosen)) enqueue_if_fireable(g.edge(eid).snk);
   }
 
   schedule.admissible = true;

@@ -2,23 +2,32 @@
 
 #include <algorithm>
 
+#include "sched/mcm.hpp"
+
 namespace spi::sched {
 
 namespace {
 
 constexpr auto kRemovable = {SyncEdgeKind::kAck, SyncEdgeKind::kResync};
 
-/// Number of active removable edges that a new edge x -> y with delay
+/// A removable edge in the compact form the candidate scan ranks against.
+struct Removable {
+  std::int32_t src = 0;
+  std::int32_t snk = 0;
+  std::int64_t delay = 0;
+};
+
+/// Number of removable edges that a new edge x -> y with delay
 /// `candidate_delay` would make redundant, given all-pairs min delays of
 /// the current graph. This is a ranking heuristic: the exact redundancy
-/// test re-runs after insertion.
-std::size_t cover_count(const SyncGraph& g,
+/// test re-runs after insertion. The removable list is precomputed per
+/// round — the scan calls this for every (x, y) candidate pair, so
+/// iterating the full edge list here would dominate the compile.
+std::size_t cover_count(const std::vector<Removable>& removables,
                         const std::vector<std::vector<std::int64_t>>& dist,
                         std::int32_t x, std::int32_t y, std::int64_t candidate_delay) {
   std::size_t covered = 0;
-  for (const SyncEdge& e : g.edges()) {
-    if (e.removed) continue;
-    if (e.kind != SyncEdgeKind::kAck && e.kind != SyncEdgeKind::kResync) continue;
+  for (const Removable& e : removables) {
     // e = (src, snk, d) becomes redundant via src ~> x -> y ~> snk when
     // dist(src,x) + candidate_delay + dist(y,snk) <= d.
     const std::int64_t to_x = dist[static_cast<std::size_t>(e.src)][static_cast<std::size_t>(x)];
@@ -31,74 +40,144 @@ std::size_t cover_count(const SyncGraph& g,
 
 }  // namespace
 
-ResyncReport resynchronize(SyncGraph& g, const ResyncOptions& options) {
+ResyncReport resynchronize(SyncGraph& g, const ResyncOptions& options, ResyncTrace* trace) {
   ResyncReport report;
   report.acks_before = g.count_active(SyncEdgeKind::kAck);
   report.mcm_before = g.max_cycle_mean();
 
+  const auto active_removable_indices = [&] {
+    std::vector<std::size_t> v;
+    for (std::size_t i = 0; i < g.edges().size(); ++i) {
+      const SyncEdge& e = g.edges()[i];
+      if (!e.removed && (e.kind == SyncEdgeKind::kAck || e.kind == SyncEdgeKind::kResync))
+        v.push_back(i);
+    }
+    return v;
+  };
+  const auto now_removed = [&](const std::vector<std::size_t>& snapshot) {
+    std::vector<std::size_t> v;
+    for (std::size_t i : snapshot)
+      if (g.edges()[i].removed) v.push_back(i);
+    return v;
+  };
+  if (trace) {
+    *trace = {};
+    trace->pre_resync_edges = g.edges().size();
+  }
+
   // Phase 1: drop already-redundant acknowledgement edges.
+  const auto before_phase1 = trace ? active_removable_indices() : std::vector<std::size_t>{};
   report.edges_removed += g.remove_redundant(kRemovable);
+  if (trace) trace->phase1_removed = now_removed(before_phase1);
 
-  // Phase 2: greedy insertion.
+  // Phase 2: greedy insertion. Skipped beyond the size gate: each round
+  // is O(V^2) candidate pairs over an all-pairs table, which is the right
+  // trade at schedule-sized graphs but not at 10k tasks (where phase 1 —
+  // near-linear with the path engine — already elides the bulk of acks).
   const auto n = static_cast<std::int32_t>(g.task_count());
-  while (report.edges_added < options.max_added) {
-    const auto dist = df::all_pairs_min_delay(g.digraph());
+  if (g.task_count() <= options.greedy_max_tasks) {
+    // Throughput checks reuse one policy-iteration solver across every
+    // inserted candidate: the converged policy is a warm start that the
+    // single added arc perturbs only locally, so re-solves cost a couple
+    // of O(V+E) sweeps instead of a from-scratch MCM run per candidate.
+    HowardSolver solver;
+    std::vector<std::ptrdiff_t> solver_arc_of_edge;
+    const auto exec_of = [&](std::int32_t t) {
+      return static_cast<double>(g.task(t).exec_cycles);
+    };
+    if (options.preserve_throughput) {
+      solver_arc_of_edge.assign(g.edges().size(), -1);
+      std::vector<McmArc> arcs;
+      for (std::size_t i = 0; i < g.edges().size(); ++i) {
+        const SyncEdge& e = g.edges()[i];
+        if (e.removed) continue;
+        solver_arc_of_edge[i] = static_cast<std::ptrdiff_t>(arcs.size());
+        arcs.push_back(McmArc{e.src, e.snk, exec_of(e.src), e.delay});
+      }
+      solver.reset(g.task_count(), std::move(arcs));
+    }
+    while (report.edges_added < options.max_added) {
+      std::vector<Removable> removables;
+      for (const SyncEdge& e : g.edges())
+        if (!e.removed && (e.kind == SyncEdgeKind::kAck || e.kind == SyncEdgeKind::kResync))
+          removables.push_back(Removable{e.src, e.snk, e.delay});
+      // No candidate can cover min_cover edges when fewer remain at all.
+      if (removables.size() < options.min_cover) break;
 
-    std::int32_t best_x = -1, best_y = -1;
-    std::int64_t best_delay = 0;
-    std::size_t best_cover = options.min_cover - 1;
-    for (std::int32_t x = 0; x < n; ++x) {
-      for (std::int32_t y = 0; y < n; ++y) {
-        if (x == y || g.proc_of(x) == g.proc_of(y)) continue;
-        // Candidate delays: 0 (same-iteration ordering) and 1 (pipelined,
-        // one iteration of slack — often the only throughput-preserving
-        // way to cover acknowledgement edges). Smaller delay preferred on
-        // equal cover since it is the stronger constraint.
-        for (std::int64_t d : {std::int64_t{0}, std::int64_t{1}}) {
-          // Feasibility: a zero-delay edge x->y must not close a
-          // zero-delay cycle; delayed candidates are always feasible.
-          if (d == 0 && dist[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] == 0)
-            continue;
-          const std::size_t cover = cover_count(g, dist, x, y, d);
-          if (cover > best_cover) {
-            best_cover = cover;
-            best_x = x;
-            best_y = y;
-            best_delay = d;
+      const auto dist = df::all_pairs_min_delay(g.digraph());
+
+      std::int32_t best_x = -1, best_y = -1;
+      std::int64_t best_delay = 0;
+      std::size_t best_cover = options.min_cover - 1;
+      for (std::int32_t x = 0; x < n; ++x) {
+        for (std::int32_t y = 0; y < n; ++y) {
+          if (x == y || g.proc_of(x) == g.proc_of(y)) continue;
+          // Candidate delays: 0 (same-iteration ordering) and 1 (pipelined,
+          // one iteration of slack — often the only throughput-preserving
+          // way to cover acknowledgement edges). Smaller delay preferred on
+          // equal cover since it is the stronger constraint.
+          for (std::int64_t d : {std::int64_t{0}, std::int64_t{1}}) {
+            // Feasibility: a zero-delay edge x->y must not close a
+            // zero-delay cycle; delayed candidates are always feasible.
+            if (d == 0 && dist[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] == 0)
+              continue;
+            const std::size_t cover = cover_count(removables, dist, x, y, d);
+            if (cover > best_cover) {
+              best_cover = cover;
+              best_x = x;
+              best_y = y;
+              best_delay = d;
+            }
           }
         }
       }
-    }
-    if (best_x < 0) break;
+      if (best_x < 0) break;
 
-    const std::size_t added_index = g.add_edge(
-        SyncEdge{best_x, best_y, best_delay, SyncEdgeKind::kResync, df::kInvalidEdge, false});
-
-    if (options.preserve_throughput) {
-      const double mcm = g.max_cycle_mean();
-      if (mcm > report.mcm_before * (1.0 + 1e-9)) {
-        g.edge(added_index).removed = true;  // reject: would slow the system
-        break;
+      const std::size_t added_index = g.add_edge(
+          SyncEdge{best_x, best_y, best_delay, SyncEdgeKind::kResync, df::kInvalidEdge, false});
+      if (trace) trace->rounds.push_back(ResyncTrace::Round{added_index, true, false, {}});
+      std::ptrdiff_t added_arc = -1;
+      if (options.preserve_throughput) {
+        added_arc = static_cast<std::ptrdiff_t>(
+            solver.add_arc(McmArc{best_x, best_y, exec_of(best_x), best_delay}));
+        solver_arc_of_edge.push_back(added_arc);
+        const double mcm = solver.solve().mcm;
+        if (mcm > report.mcm_before * (1.0 + 1e-9)) {
+          g.edge(added_index).removed = true;  // reject: would slow the system
+          solver.remove_arc(static_cast<std::size_t>(added_arc));
+          if (trace) trace->rounds.back().accepted = false;
+          break;
+        }
       }
-    }
 
-    // Exact removal sweep; if the ranking over-promised and fewer than
-    // min_cover edges actually fall, roll the candidate back.
-    const std::size_t removed_now = g.remove_redundant(kRemovable);
-    if (removed_now < options.min_cover) {
-      // Rolling back precisely is impossible once removals happened; only
-      // roll back when nothing useful was removed at all.
-      if (removed_now == 0) {
-        g.edge(added_index).removed = true;
-        break;
+      // Exact removal sweep; if the ranking over-promised and fewer than
+      // min_cover edges actually fall, roll the candidate back.
+      const auto swept = active_removable_indices();
+      const std::size_t removed_now = g.remove_redundant(kRemovable);
+      if (removed_now < options.min_cover) {
+        // Rolling back precisely is impossible once removals happened; only
+        // roll back when nothing useful was removed at all.
+        if (removed_now == 0) {
+          g.edge(added_index).removed = true;
+          if (added_arc >= 0) solver.remove_arc(static_cast<std::size_t>(added_arc));
+          if (trace) trace->rounds.back().rolled_back = true;
+          break;
+        }
       }
+      if (options.preserve_throughput)
+        for (std::size_t i : swept)
+          if (g.edges()[i].removed && solver_arc_of_edge[i] >= 0)
+            solver.remove_arc(static_cast<std::size_t>(solver_arc_of_edge[i]));
+      if (trace) trace->rounds.back().removed = now_removed(swept);
+      report.edges_added += 1;
+      report.edges_removed += removed_now;
     }
-    report.edges_added += 1;
-    report.edges_removed += removed_now;
   }
 
   report.acks_after = g.count_active(SyncEdgeKind::kAck);
-  report.mcm_after = g.max_cycle_mean();
+  McmResult after = g.max_cycle_mean_witness();
+  report.mcm_after = after.mcm;
+  report.critical_cycle = std::move(after.cycle_nodes);
   return report;
 }
 

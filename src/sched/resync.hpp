@@ -31,6 +31,10 @@ struct ResyncOptions {
   std::size_t min_cover = 2;
   /// Safety valve for the greedy loop.
   std::size_t max_added = 64;
+  /// Above this many tasks the O(V^2)-per-round greedy insertion phase is
+  /// skipped and only redundant-edge elimination runs — the phase-1 sweep
+  /// stays near-linear and is where almost all ack elisions come from.
+  std::size_t greedy_max_tasks = 2048;
 };
 
 struct ResyncReport {
@@ -40,6 +44,10 @@ struct ResyncReport {
   std::size_t acks_after = 0;
   double mcm_before = 0.0;  ///< iteration-period bound before
   double mcm_after = 0.0;   ///< and after (== before when preserved)
+  /// Witness critical cycle of mcm_after: the task ids (sync-graph
+  /// vertices) of the cycle whose mean realizes the bound. Empty when the
+  /// final graph is acyclic.
+  std::vector<std::int32_t> critical_cycle;
 
   /// Net change in synchronization messages per graph iteration
   /// (negative = saving).
@@ -48,10 +56,30 @@ struct ResyncReport {
   }
 };
 
+/// Decision trace of one resynchronize() run, recorded for incremental
+/// recompilation. Every decision except the per-insertion throughput
+/// check depends only on topology and delays — never on exec times — so
+/// an exec-only edit can *replay* the trace, re-evaluating just the
+/// throughput verdicts, and reuse the structural outcome wholesale when
+/// every verdict matches (see core/pipeline.cpp).
+struct ResyncTrace {
+  std::size_t pre_resync_edges = 0;  ///< edge count before any insertion
+  std::vector<std::size_t> phase1_removed;  ///< initial sweep's removals
+  struct Round {
+    std::size_t edge_index = 0;  ///< the inserted kResync edge
+    bool accepted = true;        ///< throughput verdict (false ended the run)
+    bool rolled_back = false;    ///< accepted but its sweep removed nothing
+    std::vector<std::size_t> removed;  ///< edges the post-insert sweep removed
+  };
+  std::vector<Round> rounds;
+};
+
 /// Runs redundant-edge elimination and greedy resynchronization on g.
 /// Only kAck and kResync edges are ever removed: IPC edges carry data and
 /// sequence edges are the processor schedules themselves. The graph is
 /// left deadlock-free; with preserve_throughput the MCM does not increase.
-ResyncReport resynchronize(SyncGraph& g, const ResyncOptions& options = {});
+/// When `trace` is non-null the decision sequence is recorded into it.
+ResyncReport resynchronize(SyncGraph& g, const ResyncOptions& options = {},
+                           ResyncTrace* trace = nullptr);
 
 }  // namespace spi::sched

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sched/sync_path.hpp"
+
 namespace spi::sched {
 
 std::size_t SyncGraph::add_edge(SyncEdge e) {
@@ -29,23 +31,25 @@ df::WeightedDigraph SyncGraph::digraph(std::optional<std::size_t> exclude) const
 bool SyncGraph::is_redundant(std::size_t edge_index) const {
   const SyncEdge& e = edges_.at(edge_index);
   if (e.removed) return true;
-  const df::WeightedDigraph g = digraph(edge_index);
-  const auto dist = df::min_delay_from(g, e.src);
-  const std::int64_t d = dist.at(static_cast<std::size_t>(e.snk));
-  return d != df::kUnreachable && d <= e.delay;
+  SyncPathEngine engine(*this);
+  // The search is capped at delay(e): any path found is a witness.
+  return engine.min_delay(e.src, e.snk, edge_index, e.delay) != df::kUnreachable;
 }
 
 std::size_t SyncGraph::remove_redundant(std::initializer_list<SyncEdgeKind> removable_kinds) {
   // A single ascending pass is complete: removing an edge never *creates*
   // redundancy elsewhere (it only removes witness paths), and each test
-  // runs against the current graph.
+  // runs against the current graph — the engine reads `removed` flags
+  // live, so one engine serves the whole sweep.
+  SyncPathEngine engine(*this);
   std::size_t removed = 0;
   for (std::size_t i = 0; i < edges_.size(); ++i) {
-    if (edges_[i].removed) continue;
+    const SyncEdge& e = edges_[i];
+    if (e.removed) continue;
     const bool removable =
-        std::find(removable_kinds.begin(), removable_kinds.end(), edges_[i].kind) !=
+        std::find(removable_kinds.begin(), removable_kinds.end(), e.kind) !=
         removable_kinds.end();
-    if (removable && is_redundant(i)) {
+    if (removable && engine.min_delay(e.src, e.snk, i, e.delay) != df::kUnreachable) {
       edges_[i].removed = true;
       ++removed;
     }
@@ -67,53 +71,31 @@ bool SyncGraph::is_deadlock_free() const {
   return df::topological_order(zero).has_value();
 }
 
-double SyncGraph::max_cycle_mean() const {
+double SyncGraph::max_cycle_mean(McmAlgorithm algorithm) const {
+  return max_cycle_mean_witness(algorithm).mcm;
+}
+
+McmResult SyncGraph::max_cycle_mean_witness(McmAlgorithm algorithm) const {
   if (!is_deadlock_free())
     throw std::logic_error("SyncGraph::max_cycle_mean: zero-delay cycle (deadlock)");
 
-  // Binary search on lambda; a cycle with mean > lambda exists iff the
-  // graph with edge weights exec(src) - lambda*delay has a positive cycle
-  // (Lawler). Node exec times are attributed to outgoing edges.
-  struct Arc {
-    std::int32_t src, snk;
-    std::int64_t delay;
-  };
-  std::vector<Arc> arcs;
-  for (const SyncEdge& e : edges_)
-    if (!e.removed) arcs.push_back(Arc{e.src, e.snk, e.delay});
-  if (arcs.empty()) return 0.0;
-
-  const std::size_t n = tasks_.size();
-  auto has_positive_cycle = [&](double lambda) {
-    std::vector<double> dist(n, 0.0);  // virtual zero-weight source to all
-    for (std::size_t iter = 0; iter < n; ++iter) {
-      bool changed = false;
-      for (const Arc& a : arcs) {
-        const double w = static_cast<double>(tasks_[static_cast<std::size_t>(a.src)].exec_cycles) -
-                         lambda * static_cast<double>(a.delay);
-        const double cand = dist[static_cast<std::size_t>(a.src)] + w;
-        if (cand > dist[static_cast<std::size_t>(a.snk)] + 1e-12) {
-          dist[static_cast<std::size_t>(a.snk)] = cand;
-          changed = true;
-        }
-      }
-      if (!changed) return false;  // converged: no positive cycle
-    }
-    return true;  // still relaxing after n passes
-  };
-
-  double total_exec = 0.0;
-  for (const TaskNode& t : tasks_) total_exec += static_cast<double>(t.exec_cycles);
-  double lo = 0.0, hi = total_exec;
-  if (!has_positive_cycle(0.0)) return 0.0;  // acyclic (in the delay sense)
-  for (int iter = 0; iter < 64 && hi - lo > 1e-9 * std::max(1.0, hi); ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (has_positive_cycle(mid))
-      lo = mid;
-    else
-      hi = mid;
+  // Node exec times are attributed to outgoing arcs, turning the cycle
+  // *mean* into the cycle *ratio* mcm.hpp solves.
+  std::vector<McmArc> arcs;
+  std::vector<std::size_t> edge_of_arc;
+  arcs.reserve(edges_.size());
+  edge_of_arc.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const SyncEdge& e = edges_[i];
+    if (e.removed) continue;
+    arcs.push_back(McmArc{e.src, e.snk,
+                          static_cast<double>(tasks_[static_cast<std::size_t>(e.src)].exec_cycles),
+                          e.delay});
+    edge_of_arc.push_back(i);
   }
-  return hi;
+  McmResult result = max_cycle_ratio(tasks_.size(), arcs, algorithm);
+  for (std::size_t& a : result.cycle_arcs) a = edge_of_arc[a];
+  return result;
 }
 
 ProcOrder proc_order_from_pass(const HsdfGraph& hsdf,
@@ -173,11 +155,13 @@ SyncGraphBuild build_sync_graph(const HsdfGraph& hsdf, const Assignment& assignm
   }
 
   // Classify protocols on the ack-free graph: a feedback IPC edge has a
-  // statically bounded buffer (eq. 2) -> BBS; feedforward -> UBS.
+  // statically bounded buffer (eq. 2) -> BBS; feedforward -> UBS. One
+  // path engine serves every bound query.
   std::vector<std::int64_t> ack_delay(build.ipc_edges.size(), 0);
+  SyncPathEngine engine(build.graph);
   for (std::size_t i = 0; i < build.ipc_edges.size(); ++i) {
     auto& [idx, protocol] = build.ipc_edges[i];
-    const auto bound = ipc_buffer_bound_tokens(build.graph, idx);
+    const auto bound = ipc_buffer_bound_tokens(build.graph, engine, idx);
     protocol = bound.has_value() ? SyncProtocol::kBbs : SyncProtocol::kUbs;
     ack_delay[i] = bound.value_or(options.ubs_credit_window);
   }
@@ -197,6 +181,12 @@ SyncGraphBuild build_sync_graph(const HsdfGraph& hsdf, const Assignment& assignm
 }
 
 std::optional<std::int64_t> ipc_buffer_bound_tokens(const SyncGraph& g, std::size_t edge_index) {
+  SyncPathEngine engine(g);
+  return ipc_buffer_bound_tokens(g, engine, edge_index);
+}
+
+std::optional<std::int64_t> ipc_buffer_bound_tokens(const SyncGraph& g, SyncPathEngine& engine,
+                                                    std::size_t edge_index) {
   const SyncEdge& e = g.edges().at(edge_index);
   if (e.kind != SyncEdgeKind::kIpc)
     throw std::invalid_argument("ipc_buffer_bound_tokens: not an IPC edge");
@@ -204,9 +194,10 @@ std::optional<std::int64_t> ipc_buffer_bound_tokens(const SyncGraph& g, std::siz
   // synchronization path from the consumer back to the producer: the
   // producer can run at most that many iterations ahead (equation 2's
   // token-count factor; multiply by c(e) of equation 1 for bytes).
-  const df::WeightedDigraph wd = g.digraph(edge_index);
-  const auto dist = df::min_delay_from(wd, e.snk);
-  const std::int64_t back = dist.at(static_cast<std::size_t>(e.src));
+  // Excluding e itself is for clarity only: a snk->src walk through
+  // e = (src -> snk) would visit src before using it, so a no-shorter
+  // e-free prefix always exists.
+  const std::int64_t back = engine.min_delay(e.snk, e.src, edge_index);
   if (back == df::kUnreachable) return std::nullopt;
   return e.delay + back;
 }

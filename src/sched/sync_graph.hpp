@@ -30,8 +30,11 @@
 #include "dataflow/graph_algos.hpp"
 #include "sched/assignment.hpp"
 #include "sched/hsdf.hpp"
+#include "sched/mcm.hpp"
 
 namespace spi::sched {
+
+class SyncPathEngine;  // sync_path.hpp
 
 enum class SyncEdgeKind : std::uint8_t {
   kSequence,  ///< same-processor schedule order (incl. loop-back edge)
@@ -58,6 +61,12 @@ class SyncGraph {
 
   [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
   [[nodiscard]] const TaskNode& task(std::int32_t t) const { return tasks_.at(static_cast<std::size_t>(t)); }
+  /// Updates one task's exec cycles in place. Exec times never affect the
+  /// graph's structure (edges, delays, redundancy), so incremental
+  /// recompilation patches exec-only edits without rebuilding.
+  void set_task_exec(std::int32_t t, std::int64_t exec_cycles) {
+    tasks_.at(static_cast<std::size_t>(t)).exec_cycles = exec_cycles;
+  }
   [[nodiscard]] Proc proc_of(std::int32_t t) const { return proc_.at(static_cast<std::size_t>(t)); }
   [[nodiscard]] std::int32_t proc_count() const { return proc_count_; }
 
@@ -88,8 +97,15 @@ class SyncGraph {
 
   /// Maximum cycle mean: max over cycles of (sum of task exec times) /
   /// (sum of edge delays) — the asymptotic iteration period of self-timed
-  /// execution. Returns 0 for acyclic graphs.
-  [[nodiscard]] double max_cycle_mean() const;
+  /// execution. Returns 0 for acyclic graphs. Solved with Howard's policy
+  /// iteration by default (mcm.hpp); kLawler selects the binary-search
+  /// oracle.
+  [[nodiscard]] double max_cycle_mean(McmAlgorithm algorithm = McmAlgorithm::kHoward) const;
+
+  /// As max_cycle_mean(), but also returns the witness critical cycle:
+  /// cycle_nodes are task ids, cycle_arcs are indices into edges().
+  [[nodiscard]] McmResult max_cycle_mean_witness(
+      McmAlgorithm algorithm = McmAlgorithm::kHoward) const;
 
  private:
   std::vector<TaskNode> tasks_;
@@ -141,6 +157,12 @@ using ProcOrder = std::vector<std::vector<std::int32_t>>;
 /// nullopt when no such path exists (feedforward edge — unbounded without
 /// back-pressure, hence UBS).
 [[nodiscard]] std::optional<std::int64_t> ipc_buffer_bound_tokens(const SyncGraph& g,
+                                                                  std::size_t edge_index);
+
+/// As above, but reusing a caller-held path engine — the form the compile
+/// pipeline uses when computing bounds for every IPC edge of one graph.
+[[nodiscard]] std::optional<std::int64_t> ipc_buffer_bound_tokens(const SyncGraph& g,
+                                                                  SyncPathEngine& engine,
                                                                   std::size_t edge_index);
 
 }  // namespace spi::sched

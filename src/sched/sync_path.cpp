@@ -1,0 +1,56 @@
+#include "sched/sync_path.hpp"
+
+#include <algorithm>
+
+namespace spi::sched {
+
+SyncPathEngine::SyncPathEngine(const SyncGraph& g)
+    : g_(&g),
+      adj_(g.task_count()),
+      dist_(g.task_count(), 0),
+      stamp_(g.task_count(), 0) {
+  refresh();
+}
+
+void SyncPathEngine::refresh() {
+  const auto& edges = g_->edges();
+  for (std::size_t i = edges_indexed_; i < edges.size(); ++i)
+    adj_[static_cast<std::size_t>(edges[i].src)].push_back(Arc{edges[i].snk, i});
+  edges_indexed_ = edges.size();
+}
+
+std::int64_t SyncPathEngine::min_delay(std::int32_t from, std::int32_t to,
+                                       std::optional<std::size_t> exclude, std::int64_t cap) {
+  if (from == to) return 0;
+  const auto& edges = g_->edges();
+  ++epoch_;
+  heap_.clear();
+  const auto greater = [](const auto& a, const auto& b) { return a.first > b.first; };
+
+  dist_[static_cast<std::size_t>(from)] = 0;
+  stamp_[static_cast<std::size_t>(from)] = epoch_;
+  heap_.emplace_back(0, from);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), greater);
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (u == to) return d;
+    if (d > dist_[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (const Arc& a : adj_[static_cast<std::size_t>(u)]) {
+      if (exclude && *exclude == a.edge) continue;
+      const SyncEdge& e = edges[a.edge];
+      if (e.removed) continue;
+      const std::int64_t cand = d + e.delay;
+      if (cap != df::kUnreachable && cand > cap) continue;
+      const auto v = static_cast<std::size_t>(a.to);
+      if (stamp_[v] == epoch_ && dist_[v] <= cand) continue;
+      dist_[v] = cand;
+      stamp_[v] = epoch_;
+      heap_.emplace_back(cand, a.to);
+      std::push_heap(heap_.begin(), heap_.end(), greater);
+    }
+  }
+  return df::kUnreachable;
+}
+
+}  // namespace spi::sched

@@ -1,0 +1,63 @@
+/// \file sync_path.hpp
+/// Shared minimum-delay path engine over a synchronization graph.
+///
+/// The redundancy test (Section 4.1), the equation-2 buffer bounds and the
+/// resynchronizer all reduce to "minimum total delay from u to v over the
+/// active edges, possibly ignoring one edge". The naive formulation —
+/// copy the graph minus one edge, run a full Dijkstra — is O(E) per query
+/// just for the copy, and the compile pipeline issues thousands of such
+/// queries. This engine is built once per graph:
+///
+///  * the adjacency is indexed once; `removed` flags are read live from
+///    the SyncGraph, so edges marked removed between queries need no
+///    rebuild (SyncGraph never erases edges — ids are stable);
+///  * scratch distance arrays are epoch-stamped, making per-query reset
+///    O(touched) instead of O(V);
+///  * the search stops as soon as the target settles, and any path whose
+///    delay already exceeds the caller's cap is pruned (the redundancy
+///    test only cares whether dist <= delay(e), not the exact value).
+///
+/// refresh() picks up edges appended since construction (the
+/// resynchronizer inserts candidates mid-run).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/sync_graph.hpp"
+
+namespace spi::sched {
+
+class SyncPathEngine {
+ public:
+  explicit SyncPathEngine(const SyncGraph& g);
+
+  /// Indexes edges appended to the graph since construction / last call.
+  void refresh();
+
+  /// Minimum total delay of an active-edge path from `from` to `to`,
+  /// skipping edge `exclude` entirely; returns df::kUnreachable when no
+  /// path exists or every path exceeds `cap` (pass kUnreachable for no
+  /// cap). from == to returns 0.
+  [[nodiscard]] std::int64_t min_delay(std::int32_t from, std::int32_t to,
+                                       std::optional<std::size_t> exclude = std::nullopt,
+                                       std::int64_t cap = df::kUnreachable);
+
+ private:
+  struct Arc {
+    std::int32_t to = 0;
+    std::size_t edge = 0;  ///< index into g_->edges(); delay/removed read live
+  };
+
+  const SyncGraph* g_;
+  std::vector<std::vector<Arc>> adj_;
+  std::size_t edges_indexed_ = 0;
+  // Epoch-stamped scratch: dist_[v] is valid iff stamp_[v] == epoch_.
+  std::vector<std::int64_t> dist_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::pair<std::int64_t, std::int32_t>> heap_;
+};
+
+}  // namespace spi::sched

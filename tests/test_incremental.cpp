@@ -1,0 +1,195 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace spi::core {
+namespace {
+
+/// Host/PE round trip (the speech-application pattern): acks fall to the
+/// phase-1 redundancy sweep.
+df::Graph roundtrip_graph() {
+  df::Graph g("roundtrip");
+  const df::ActorId send = g.add_actor("Send", 10);
+  const df::ActorId pe = g.add_actor("PE", 50);
+  const df::ActorId recv = g.add_actor("Recv", 10);
+  g.connect_simple(send, pe);
+  g.connect_simple(pe, recv);
+  return g;
+}
+
+sched::Assignment roundtrip_assignment() {
+  sched::Assignment assignment(3, 2);
+  assignment.assign(0, 0);
+  assignment.assign(1, 1);
+  assignment.assign(2, 0);
+  return assignment;
+}
+
+/// Parallel feedforward channels between two processors: with a widened
+/// credit window the resynchronizer's greedy phase actually inserts
+/// edges, so the recorded trace has rounds whose throughput verdicts the
+/// incremental path must re-check. A heavy self-looped actor on a third
+/// processor pins mcm_before well above the insertion's new cycle, so the
+/// candidate is accepted — until an exec edit pushes the new cycle's mean
+/// past the heavy loop and the recorded verdict flips.
+df::Graph parallel_graph(int channels) {
+  df::Graph g("parallel");
+  for (int i = 0; i < channels; ++i) {
+    const df::ActorId a = g.add_actor("src" + std::to_string(i), 10);
+    const df::ActorId b = g.add_actor("dst" + std::to_string(i), 10);
+    g.connect_simple(a, b);
+  }
+  const df::ActorId heavy = g.add_actor("heavy", 200);
+  g.connect_simple(heavy, heavy, 1);
+  return g;
+}
+
+sched::Assignment parallel_assignment(int channels) {
+  sched::Assignment assignment(static_cast<std::size_t>(2 * channels) + 1, 3);
+  for (int i = 0; i < channels; ++i) {
+    assignment.assign(2 * i, 0);
+    assignment.assign(2 * i + 1, 1);
+  }
+  assignment.assign(2 * channels, 2);
+  return assignment;
+}
+
+/// The incremental contract: recompile() after exec edits must emit a
+/// plan byte-identical to a from-scratch compile of the edited graph.
+void expect_byte_identical(IncrementalCompiler& inc, const df::Graph& edited,
+                           const sched::Assignment& assignment,
+                           const SpiSystemOptions& options) {
+  const std::string incremental = inc.plan().to_json();
+  const std::string fresh = compile_plan(edited, assignment, options).to_json();
+  ASSERT_EQ(incremental, fresh);
+}
+
+TEST(IncrementalCompiler, PlanBeforeCompileThrows) {
+  IncrementalCompiler inc(roundtrip_graph(), roundtrip_assignment());
+  EXPECT_THROW((void)inc.plan(), std::logic_error);
+}
+
+TEST(IncrementalCompiler, FirstCompileMatchesCompilePlan) {
+  const df::Graph g = roundtrip_graph();
+  const sched::Assignment assignment = roundtrip_assignment();
+  IncrementalCompiler inc(g, assignment);
+  inc.compile();
+  EXPECT_FALSE(inc.last_recompile_incremental());
+  EXPECT_EQ(inc.plan().to_json(), compile_plan(g, assignment).to_json());
+}
+
+TEST(IncrementalCompiler, ExecOnlyEditTakesFastPathAndMatchesByteForByte) {
+  const sched::Assignment assignment = roundtrip_assignment();
+  IncrementalCompiler inc(roundtrip_graph(), assignment);
+  inc.compile();
+
+  df::Graph edited = roundtrip_graph();
+  edited.actor(1).exec_cycles = 500;
+  inc.recompile({{1, 500}});
+  EXPECT_TRUE(inc.last_recompile_incremental());
+  expect_byte_identical(inc, edited, assignment, {});
+
+  // And again — repeated retunes keep replaying the same trace.
+  edited.actor(0).exec_cycles = 3;
+  edited.actor(2).exec_cycles = 7;
+  inc.recompile({{0, 3}, {2, 7}});
+  EXPECT_TRUE(inc.last_recompile_incremental());
+  expect_byte_identical(inc, edited, assignment, {});
+}
+
+TEST(IncrementalCompiler, RecompileBeforeCompileFallsBackToFull) {
+  const sched::Assignment assignment = roundtrip_assignment();
+  IncrementalCompiler inc(roundtrip_graph(), assignment);
+  inc.recompile({{1, 99}});
+  EXPECT_FALSE(inc.last_recompile_incremental());
+  df::Graph edited = roundtrip_graph();
+  edited.actor(1).exec_cycles = 99;
+  expect_byte_identical(inc, edited, assignment, {});
+}
+
+TEST(IncrementalCompiler, ReplaysInsertionRoundsWithVerdictsIntact) {
+  constexpr int kChannels = 4;
+  SpiSystemOptions options;
+  options.sync.ubs_credit_window = 2;
+  const sched::Assignment assignment = parallel_assignment(kChannels);
+  IncrementalCompiler inc(parallel_graph(kChannels), assignment, options);
+  inc.compile();
+  ASSERT_TRUE(inc.plan().resync.has_value());
+  ASSERT_GE(inc.plan().resync->edges_added, 1u);  // the trace has real rounds
+
+  df::Graph edited = parallel_graph(kChannels);
+  edited.actor(3).exec_cycles = 11;
+  inc.recompile({{3, 11}});
+  EXPECT_TRUE(inc.last_recompile_incremental());
+  expect_byte_identical(inc, edited, assignment, options);
+}
+
+/// Sweeping one actor's exec over a wide range must always reproduce the
+/// fresh compile byte-for-byte — via the fast path while the recorded
+/// resynchronization verdicts hold, via the full-compile fallback once an
+/// edit flips one. Both paths must occur across the sweep.
+TEST(IncrementalCompiler, VerdictFlipFallsBackToFullCompile) {
+  constexpr int kChannels = 4;
+  SpiSystemOptions options;
+  options.sync.ubs_credit_window = 2;
+  const sched::Assignment assignment = parallel_assignment(kChannels);
+  IncrementalCompiler inc(parallel_graph(kChannels), assignment, options);
+  inc.compile();
+
+  // The accepted insertion (dst0 -> src0, delay 1) closes the cycle
+  // src0 -> dst0 -> src0 with mean exec(src0)+exec(dst0). Raising both
+  // ends keeps each processor's schedule loop below the heavy actor's
+  // 200-cycle loop while pushing that new cycle past it — exactly the
+  // verdict flip the replay must detect.
+  bool saw_fast = false;
+  bool saw_fallback = false;
+  for (std::int64_t exec : {1, 5, 20, 80, 120, 2000, 50, 10}) {
+    df::Graph edited = parallel_graph(kChannels);
+    edited.actor(0).exec_cycles = exec;  // src0
+    edited.actor(1).exec_cycles = exec;  // dst0
+    inc.recompile({{0, exec}, {1, exec}});
+    (inc.last_recompile_incremental() ? saw_fast : saw_fallback) = true;
+    expect_byte_identical(inc, edited, assignment, options);
+  }
+  EXPECT_TRUE(saw_fast);
+  EXPECT_TRUE(saw_fallback);
+}
+
+TEST(IncrementalCompiler, FingerprintsSeparateTopologyFromExec) {
+  const df::Graph g = roundtrip_graph();
+  const sched::Assignment assignment = roundtrip_assignment();
+  const std::uint64_t topo = topology_fingerprint(g, assignment, {});
+  const std::uint64_t exec = exec_fingerprint(g);
+
+  df::Graph retuned = roundtrip_graph();
+  retuned.actor(1).exec_cycles = 500;
+  EXPECT_EQ(topology_fingerprint(retuned, assignment, {}), topo);
+  EXPECT_NE(exec_fingerprint(retuned), exec);
+
+  df::Graph extended = roundtrip_graph();
+  extended.connect_simple(2, 0, 1);
+  EXPECT_NE(topology_fingerprint(extended, assignment, {}), topo);
+  EXPECT_EQ(exec_fingerprint(extended), exec);
+
+  SpiSystemOptions wider;
+  wider.sync.ubs_credit_window = 2;
+  EXPECT_NE(topology_fingerprint(g, assignment, wider), topo);
+
+  const ExecutablePlan plan = compile_plan(g, assignment);
+  EXPECT_EQ(plan.fingerprints.topology, topo);
+  EXPECT_EQ(plan.fingerprints.exec, exec);
+}
+
+TEST(IncrementalCompiler, FingerprintsSurviveJsonRoundTrip) {
+  const ExecutablePlan plan = compile_plan(roundtrip_graph(), roundtrip_assignment());
+  const ExecutablePlan reparsed = ExecutablePlan::from_json(plan.to_json());
+  EXPECT_EQ(reparsed.fingerprints.topology, plan.fingerprints.topology);
+  EXPECT_EQ(reparsed.fingerprints.exec, plan.fingerprints.exec);
+  EXPECT_EQ(reparsed.to_json(), plan.to_json());
+}
+
+}  // namespace
+}  // namespace spi::core

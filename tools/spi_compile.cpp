@@ -18,6 +18,11 @@
 ///   spi_compile --metrics=json system.spi       # same registry as JSON
 ///   spi_compile --emit-plan p.json system.spi   # compile once, save the plan
 ///   spi_compile --load-plan p.json --run 500    # run a saved plan (no compile)
+///   spi_compile --incremental A=500 system.spi  # compile, retune actor A's exec
+///                                               # cycles to 500 and *re*compile
+///                                               # incrementally (repeatable flag;
+///                                               # all later output uses the
+///                                               # recompiled plan)
 ///   spi_compile --run 500 system.spi            # timed run, 500 iterations
 ///   spi_compile --run 500 --mpi system.spi      # ... under the MPI baseline
 ///   spi_compile --run-threads 500 system.spi    # real-thread run (default computes)
@@ -85,6 +90,7 @@ int usage() {
                "                   [--metrics[=json|prom]] [--trace-out FILE]\n"
                "                   [--flight-out FILE]\n"
                "                   [--emit-plan FILE] [--fault-plan FILE] [--reliability]\n"
+               "                   [--incremental ACTOR=CYCLES]...\n"
                "                   [--run N] [--run-threads N] [--mpi]\n"
                "                   [--obs-port N] [--watchdog-ms N]\n"
                "                   <file | - | --load-plan FILE>\n");
@@ -134,6 +140,15 @@ std::int64_t parse_iterations(const char* text) {
   return value;
 }
 
+/// "ActorName=123" for --incremental; returns false on malformed input.
+bool parse_exec_update(const std::string& text, std::string& name, std::int64_t& cycles) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  name = text.substr(0, eq);
+  cycles = parse_iterations(text.c_str() + eq + 1);
+  return cycles > 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +160,7 @@ int main(int argc, char** argv) {
   std::string fault_plan_path;
   std::string emit_plan_path;
   std::string load_plan_path;
+  std::vector<std::pair<std::string, std::int64_t>> exec_updates;
   std::int64_t run_iterations = 0;
   std::int64_t thread_iterations = 0;
   int obs_port = -1;
@@ -182,6 +198,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--load-plan") {
       if (++i >= argc) return usage();
       load_plan_path = argv[i];
+    } else if (arg == "--incremental") {
+      if (++i >= argc) return usage();
+      std::string name;
+      std::int64_t cycles = 0;
+      if (!parse_exec_update(argv[i], name, cycles)) {
+        std::fprintf(stderr,
+                     "spi_compile: --incremental needs ACTOR=CYCLES with positive cycles, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      exec_updates.emplace_back(std::move(name), cycles);
     } else if (arg == "--reliability") {
       reliability = true;
     } else if (arg == "--run" || arg == "--run-threads") {
@@ -225,6 +253,12 @@ int main(int argc, char** argv) {
   if (dot && !load_plan_path.empty()) {
     std::fprintf(stderr,
                  "spi_compile: --dot needs the application source, not a compiled plan\n");
+    return 2;
+  }
+  if (!exec_updates.empty() && !load_plan_path.empty()) {
+    std::fprintf(stderr,
+                 "spi_compile: --incremental needs the application source, not a compiled "
+                 "plan (it re-runs the exec-dependent analyses)\n");
     return 2;
   }
   if (!trace_out.empty() && run_iterations <= 0 && thread_iterations <= 0) {
@@ -292,7 +326,37 @@ int main(int argc, char** argv) {
       spi::core::SpiSystemOptions options;
       options.resynchronize = resync;
       options.metrics = &registry;
-      plan = spi::core::compile_plan(parsed.graph, parsed.assignment, options);
+      if (exec_updates.empty()) {
+        plan = spi::core::compile_plan(parsed.graph, parsed.assignment, options);
+      } else {
+        // Incremental demo: full compile, retune the named actors' exec
+        // cycles, recompile. Exec-only edits replay the cached
+        // resynchronization trace instead of re-running the pipeline.
+        std::vector<spi::core::ExecUpdate> updates;
+        updates.reserve(exec_updates.size());
+        for (const auto& [name, cycles] : exec_updates) {
+          const spi::df::ActorId id = parsed.graph.find_actor(name);
+          if (id == spi::df::kInvalidActor) {
+            std::fprintf(stderr, "spi_compile: --incremental: no actor named '%s'\n",
+                         name.c_str());
+            return 1;
+          }
+          updates.push_back(spi::core::ExecUpdate{id, cycles});
+        }
+        spi::core::IncrementalCompiler compiler(parsed.graph, parsed.assignment, options);
+        compiler.compile();
+        const std::int64_t t0 = spi::obs::monotonic_ns();
+        compiler.recompile(updates);
+        const std::int64_t recompile_ns = spi::obs::monotonic_ns() - t0;
+        plan = compiler.plan();
+        std::fprintf(report_out,
+                     "incremental recompile: %zu actor exec update%s applied via the %s "
+                     "path in %.1f us\n",
+                     updates.size(), updates.size() == 1 ? "" : "s",
+                     compiler.last_recompile_incremental() ? "incremental (trace-replay)"
+                                                           : "full-compile fallback",
+                     static_cast<double>(recompile_ns) * 1e-3);
+      }
     }
     if (!emit_plan_path.empty() && !write_file(emit_plan_path, plan.to_json())) return 1;
     if (sync_dot) {

@@ -117,6 +117,18 @@ int main(int argc, char** argv) {
       if (!read_file(plan_path, plan_text)) return 1;
       const spi::core::ExecutablePlan plan = spi::core::ExecutablePlan::from_json(plan_text);
       options.predicted_mcm = plan.predicted_mcm();
+      // Headline the compile-time witness next to the realized critical
+      // path: the tasks of the cycle whose mean IS the predicted MCM.
+      if (plan.resync && !plan.resync->critical_cycle.empty()) {
+        std::string cycle;
+        for (std::int32_t t : plan.resync->critical_cycle) {
+          if (!cycle.empty()) cycle += " -> ";
+          const std::string& name = plan.sync_graph.task(t).name;
+          cycle += name.empty() ? ("task" + std::to_string(t)) : name;
+        }
+        std::fprintf(stderr, "spi_trace_analyze: predicted critical cycle (MCM %.6g): %s\n",
+                     options.predicted_mcm, cycle.c_str());
+      }
     }
 
     const spi::obs::CriticalPathReport report = spi::obs::analyze_critical_path(log, options);
