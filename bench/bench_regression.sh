@@ -25,6 +25,12 @@
 # candidate fails the gate too: silently dropping a benchmark must not
 # read as a pass. New benchmarks (in the candidate only) are reported
 # and allowed — that is how the baseline grows.
+#
+# When both documents carry a "serve" section (the spi_served
+# throughput/latency curve bench/loadgen commits), its closed-loop
+# peak_rps is gated with the same tolerance — throughput, so the failure
+# direction is a *drop*, not a rise. A baseline with a serve section and
+# a candidate without one fails like a missing benchmark.
 set -eu
 
 CANDIDATE=${1:-artifacts/BENCH_results.json}
@@ -76,6 +82,26 @@ for key in sorted(base):
                  f"({delta:+.1f}%)")
 for key in sorted(set(cand) - set(base)):
     lines.append(f"new       {key[0]}/{key[1]}: {cand[key]:.0f} ns (no baseline yet)")
+
+def serve_peak(path):
+    with open(path) as f:
+        return json.load(f).get("serve", {}).get("peak_rps")
+
+base_peak, cand_peak = serve_peak(base_path), serve_peak(cand_path)
+if base_peak:
+    if not cand_peak:
+        failed.append(("serve", "peak_rps"))
+        lines.append("MISSING   serve/peak_rps: in baseline but not in candidate")
+    else:
+        delta = 100.0 * (cand_peak - base_peak) / base_peak
+        verdict = "ok"
+        if delta < -tolerance:
+            verdict = "REGRESSED"
+            failed.append(("serve", "peak_rps"))
+        lines.append(f"{verdict:10s}serve/peak_rps: {base_peak:.0f} -> {cand_peak:.0f} "
+                     f"req/s ({delta:+.1f}%)")
+elif cand_peak:
+    lines.append(f"new       serve/peak_rps: {cand_peak:.0f} req/s (no baseline yet)")
 
 lines.append("")
 lines.append(f"{len(failed)} regression(s) across {len(base)} gated benchmark(s)"

@@ -32,3 +32,10 @@ spi_gbench(micro_compile)
 spi_gbench(micro_flight)
 spi_gbench(micro_channel)
 spi_gbench(micro_obs)
+
+# Load harness for the plan server (docs/serving.md). Not a
+# google-benchmark binary: it drives a running spi_served over TCP, so
+# the CI perf loop and run_benchmarks.sh skip it by name and the serve
+# phase invokes it explicitly against a freshly started daemon.
+add_executable(loadgen ${CMAKE_SOURCE_DIR}/bench/loadgen.cpp)
+set_target_properties(loadgen PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

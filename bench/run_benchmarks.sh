@@ -13,7 +13,14 @@
 #       {"suite": "...", "name": "...", "real_time_ns": N,
 #        "cpu_time_ns": N, "iterations": N}, ...   # sorted (suite, name)
 #     ],
+#     "serve": {...},                       # spi_served throughput/latency
+#                                           #   curve (bench/loadgen --json-out,
+#                                           #   docs/serving.md); absent when
+#                                           #   the serving binaries are not
+#                                           #   built or SPI_SKIP_SERVE=1
 #     "derived": {
+#       "serve_peak_krps": K,               # closed-loop capacity, kreq/s
+#       "serve_p99_us": U,                  # burst p99 at the top offered rate
 #       "flight_recorder_overhead_pct": P,  # recorded vs bare threaded run
 #       "spsc_stream_speedup": S,           # BlockingChannel / SpscChannel
 #                                           #   mean streaming time ratio
@@ -55,8 +62,34 @@ for suite in $SUITES; do
   ran_suites="$ran_suites $suite"
 done
 
-python3 - "$OUT" "$TMP" $ran_suites <<'PY'
-import json, sys
+# Serve throughput/latency curve (docs/serving.md): start the plan
+# server, drive the load harness through the closed loop plus the
+# offered-rate steps, and fold the curve into the document. Skipped when
+# the serving binaries are not built or SPI_SKIP_SERVE=1.
+SERVE_JSON=""
+if [ "${SPI_SKIP_SERVE:-0}" != "1" ] && [ -x "$BUILD_DIR/tools/spi_served" ] \
+   && [ -x "$BUILD_DIR/bench/loadgen" ]; then
+  echo "run_benchmarks.sh: serve loadgen curve" >&2
+  "$BUILD_DIR/tools/spi_served" --port 0 --max-seconds 300 2> "$TMP/served.log" &
+  SERVED_PID=$!
+  port=""
+  for _ in $(seq 1 50); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$TMP/served.log" | head -1)
+    [ -n "$port" ] && break
+    sleep 0.2
+  done
+  if [ -n "$port" ] && "$BUILD_DIR/bench/loadgen" --port "$port" \
+       --duration-s "${LOADGEN_DURATION_S:-2}" --json-out "$TMP/serve_curve.json" >&2; then
+    SERVE_JSON="$TMP/serve_curve.json"
+  else
+    echo "run_benchmarks.sh: loadgen failed; omitting the serve section" >&2
+  fi
+  kill -TERM "$SERVED_PID" 2> /dev/null || true
+  wait "$SERVED_PID" 2> /dev/null || true
+fi
+
+SERVE_JSON="$SERVE_JSON" python3 - "$OUT" "$TMP" $ran_suites <<'PY'
+import json, os, sys
 
 out_path, tmp_dir, suites = sys.argv[1], sys.argv[2], sys.argv[3:]
 rows = []
@@ -112,6 +145,16 @@ if full and fast:
     derived["incremental_recompile_speedup"] = round(full / fast, 1)
 
 doc = {"schema": 1, "suites": suites, "benchmarks": rows, "derived": derived}
+serve_path = os.environ.get("SERVE_JSON") or ""
+if serve_path:
+    with open(serve_path) as f:
+        serve = json.load(f)
+    doc["serve"] = serve
+    derived["serve_peak_krps"] = round(serve["peak_rps"] / 1e3, 1)
+    offered = [s for s in serve.get("steps", []) if s.get("offered_rps")]
+    top = offered[-1] if offered else (serve.get("steps") or [None])[0]
+    if top:
+        derived["serve_p99_us"] = top["latency_us"]["p99"]
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=False)
     f.write("\n")
@@ -134,4 +177,8 @@ if "compile_10k_actor_ms" in derived:
 if "incremental_recompile_speedup" in derived:
     print(f"run_benchmarks.sh: incremental recompile speedup "
           f"{derived['incremental_recompile_speedup']}x vs full compile", file=sys.stderr)
+if "serve_peak_krps" in derived:
+    print(f"run_benchmarks.sh: serve capacity {derived['serve_peak_krps']} kreq/s "
+          f"(p99 {derived.get('serve_p99_us', '?')} us at the top offered rate)",
+          file=sys.stderr)
 PY

@@ -126,6 +126,22 @@ struct ParticleFilterApp::TrackState {
   std::int64_t resample_steps = 0;
 };
 
+/// The job states of one batch in queue order. Every actor of the graph
+/// fires exactly once per iteration (q == 1 throughout), so an actor's
+/// cumulative invocation count *is* the merged-PASS iteration index:
+/// iteration k executes step k % steps_per_job of job k / steps_per_job.
+struct ParticleFilterApp::BatchTrackState {
+  std::vector<std::shared_ptr<TrackState>> jobs;
+  std::int64_t steps_per_job = 1;
+
+  [[nodiscard]] TrackState& at(std::int64_t invocation) const {
+    return *jobs[static_cast<std::size_t>(invocation / steps_per_job)];
+  }
+  [[nodiscard]] std::int64_t local_step(std::int64_t invocation) const {
+    return invocation % steps_per_job;
+  }
+};
+
 std::shared_ptr<ParticleFilterApp::TrackState> ParticleFilterApp::make_track_state(
     const ParticleParams& params, std::size_t n, const dsp::CrackTrajectory& trajectory) {
   const std::size_t quota = params.particles / n;
@@ -146,27 +162,29 @@ std::shared_ptr<ParticleFilterApp::TrackState> ParticleFilterApp::make_track_sta
 
 template <class Runtime>
 void ParticleFilterApp::wire_tracking(Runtime& runtime,
-                                      const std::shared_ptr<TrackState>& shared) const {
+                                      const std::shared_ptr<BatchTrackState>& batch) const {
   const auto n = static_cast<std::size_t>(pe_count_);
   const std::size_t quota = params_.particles / n;
   const dsp::CrackModel model = params_.model;
   const auto total = static_cast<std::int64_t>(params_.particles);
 
-  runtime.set_compute(obs_, [this, shared](core::FiringContext& ctx) {
-    const double obs = shared->traj->observations.at(static_cast<std::size_t>(ctx.invocation));
+  runtime.set_compute(obs_, [this, batch](core::FiringContext& ctx) {
+    const TrackState& shared = batch->at(ctx.invocation);
+    const double obs =
+        shared.traj->observations.at(static_cast<std::size_t>(batch->local_step(ctx.invocation)));
     for (std::size_t i = 0; i < obs_edge_.size(); ++i)
       ctx.outputs[ctx.output_index(obs_edge_[i])] = {pack_f64(std::vector<double>{obs})};
   });
 
   for (std::size_t i = 0; i < n; ++i) {
-    runtime.set_compute(est_[i], [this, shared, i, model](core::FiringContext& ctx) {
-      auto& st = shared->pe[i];
+    runtime.set_compute(est_[i], [this, batch, i, model](core::FiringContext& ctx) {
+      auto& st = batch->at(ctx.invocation).pe[i];
       for (double& p : st.particles) p = model.step(p, st.rng);
       ctx.outputs[ctx.output_index(chain_eu_[i])] = {core::Bytes(4, 0)};
     });
 
-    runtime.set_compute(upd_[i], [this, shared, i, model](core::FiringContext& ctx) {
-      auto& st = shared->pe[i];
+    runtime.set_compute(upd_[i], [this, batch, i, model](core::FiringContext& ctx) {
+      auto& st = batch->at(ctx.invocation).pe[i];
       const double obs = unpack_f64(ctx.inputs[ctx.input_index(obs_edge_[i])][0]).at(0);
       // Weight accumulation (weights are globally normalized after every
       // iteration, so this composes across skipped resampling steps).
@@ -175,8 +193,8 @@ void ParticleFilterApp::wire_tracking(Runtime& runtime,
       ctx.outputs[ctx.output_index(chain_ul_[i])] = {core::Bytes(4, 0)};
     });
 
-    runtime.set_compute(lws_[i], [this, shared, i, n](core::FiringContext& ctx) {
-      auto& st = shared->pe[i];
+    runtime.set_compute(lws_[i], [this, batch, i, n](core::FiringContext& ctx) {
+      auto& st = batch->at(ctx.invocation).pe[i];
       double w_sum = 0.0, wp_sum = 0.0, w2_sum = 0.0;
       for (std::size_t p = 0; p < st.particles.size(); ++p) {
         w_sum += st.weights[p];
@@ -188,8 +206,9 @@ void ParticleFilterApp::wire_tracking(Runtime& runtime,
             pack_f64(std::vector<double>{w_sum, wp_sum, w2_sum})};
     });
 
-    runtime.set_compute(res_[i], [this, shared, i, n, quota, total](core::FiringContext& ctx) {
-      auto& st = shared->pe[i];
+    runtime.set_compute(res_[i], [this, batch, i, n, quota, total](core::FiringContext& ctx) {
+      TrackState& shared = batch->at(ctx.invocation);
+      auto& st = shared.pe[i];
       std::vector<double> w_sums(n);
       double w_total = 0.0, wp_acc = 0.0, w2_acc = 0.0;
       for (std::size_t j = 0; j < n; ++j) {
@@ -201,7 +220,7 @@ void ParticleFilterApp::wire_tracking(Runtime& runtime,
         w2_acc += sums.at(2);
       }
       if (i == 0)  // the global posterior-mean estimate (identical on all PEs)
-        shared->estimates.push_back(w_total > 0.0 ? wp_acc / w_total : 0.0);
+        shared.estimates.push_back(w_total > 0.0 ? wp_acc / w_total : 0.0);
 
       // Adaptive trigger: global ESS from the shared sums — every PE
       // reaches the same decision with no extra communication.
@@ -209,7 +228,7 @@ void ParticleFilterApp::wire_tracking(Runtime& runtime,
       const bool do_resample =
           w_total > 0.0 &&
           ess <= params_.resample_ess_fraction * static_cast<double>(total);
-      if (i == 0 && do_resample) ++shared->resample_steps;
+      if (i == 0 && do_resample) ++shared.resample_steps;
 
       st.exports.assign(n, {});
       if (do_resample) {
@@ -257,8 +276,8 @@ void ParticleFilterApp::wire_tracking(Runtime& runtime,
           core::Bytes(4, do_resample ? 1 : 0)};  // flag for Xch
     });
 
-    runtime.set_compute(xch_[i], [this, shared, i, n, quota, total](core::FiringContext& ctx) {
-      auto& st = shared->pe[i];
+    runtime.set_compute(xch_[i], [this, batch, i, n, quota, total](core::FiringContext& ctx) {
+      auto& st = batch->at(ctx.invocation).pe[i];
       const bool resampled = ctx.inputs[ctx.input_index(chain_rx_[i])][0][0] != 0;
       std::vector<double> merged = std::move(st.kept);
       for (std::size_t j = 0; j < n; ++j) {
@@ -276,12 +295,23 @@ void ParticleFilterApp::wire_tracking(Runtime& runtime,
   }
 }
 
+namespace {
+/// A single-trajectory run is a batch of one job.
+template <class Batch, class State>
+std::shared_ptr<Batch> one_job_batch(std::shared_ptr<State> state, std::size_t steps) {
+  auto batch = std::make_shared<Batch>();
+  batch->steps_per_job = std::max<std::int64_t>(1, static_cast<std::int64_t>(steps));
+  batch->jobs.push_back(std::move(state));
+  return batch;
+}
+}  // namespace
+
 TrackResult ParticleFilterApp::track(const dsp::CrackTrajectory& trajectory) const {
   auto shared =
       make_track_state(params_, static_cast<std::size_t>(pe_count_), trajectory);
 
   core::FunctionalRuntime runtime(*system_);
-  wire_tracking(runtime, shared);
+  wire_tracking(runtime, one_job_batch<BatchTrackState>(shared, trajectory.observations.size()));
   runtime.run(static_cast<std::int64_t>(trajectory.observations.size()));
 
   TrackResult result;
@@ -307,7 +337,7 @@ TrackResult ParticleFilterApp::track_threaded(const dsp::CrackTrajectory& trajec
       make_track_state(params_, static_cast<std::size_t>(pe_count_), trajectory);
 
   core::ThreadedRuntime runtime(system_->plan(), policy);
-  wire_tracking(runtime, shared);
+  wire_tracking(runtime, one_job_batch<BatchTrackState>(shared, trajectory.observations.size()));
   runtime.run(static_cast<std::int64_t>(trajectory.observations.size()));
 
   TrackResult result;
@@ -316,6 +346,51 @@ TrackResult ParticleFilterApp::track_threaded(const dsp::CrackTrajectory& trajec
   result.rmse_vs_truth = dsp::rmse(trajectory.truth, result.estimates);
   for (const auto& pe : shared->pe) result.particles_exchanged += pe.exported;
   return result;
+}
+
+std::vector<TrackResult> ParticleFilterApp::track_batch(std::span<const ParticleJobSpec> jobs,
+                                                        core::JobInstance& instance,
+                                                        const core::RunOptions* run_options) const {
+  if (jobs.empty()) return {};
+  const auto n = static_cast<std::size_t>(pe_count_);
+  const auto steps = static_cast<std::int64_t>(jobs.front().trajectory.observations.size());
+  if (steps <= 0)
+    throw std::invalid_argument("ParticleFilterApp::track_batch: empty trajectory");
+
+  auto batch = std::make_shared<BatchTrackState>();
+  batch->steps_per_job = steps;
+  batch->jobs.reserve(jobs.size());
+  for (const ParticleJobSpec& job : jobs) {
+    if (static_cast<std::int64_t>(job.trajectory.observations.size()) != steps)
+      throw std::invalid_argument(
+          "ParticleFilterApp::track_batch: jobs must share one trajectory length");
+    ParticleParams params = params_;
+    params.seed = job.seed;
+    batch->jobs.push_back(make_track_state(params, n, job.trajectory));
+  }
+
+  wire_tracking(instance, batch);
+  instance.reset_invocations();
+  if (run_options) {
+    core::RunOptions options = *run_options;
+    options.iterations = steps * static_cast<std::int64_t>(jobs.size());
+    instance.run_colocated(options);
+  } else {
+    instance.run_colocated(steps * static_cast<std::int64_t>(jobs.size()));
+  }
+
+  std::vector<TrackResult> results;
+  results.reserve(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    TrackState& shared = *batch->jobs[k];
+    TrackResult result;
+    result.estimates = std::move(shared.estimates);
+    result.resample_steps = shared.resample_steps;
+    result.rmse_vs_truth = dsp::rmse(jobs[k].trajectory.truth, result.estimates);
+    for (const auto& pe : shared.pe) result.particles_exchanged += pe.exported;
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 sim::ExecStats ParticleFilterApp::run_timed(std::size_t particles,

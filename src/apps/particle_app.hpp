@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/spi_system.hpp"
@@ -93,6 +94,31 @@ class ParticleFilterApp {
       const dsp::CrackTrajectory& trajectory,
       core::ChannelPolicy policy = core::ChannelPolicy::kAuto) const;
 
+  /// One queued tracking job: a trajectory to filter and the RNG seed of
+  /// its particle population (the default matches ParticleParams::seed,
+  /// so a default-seeded job reproduces track() bit for bit).
+  struct ParticleJobSpec {
+    dsp::CrackTrajectory trajectory;
+    std::uint64_t seed = 42;
+  };
+
+  /// Batched firing (docs/serving.md): tracks jobs.size() independent
+  /// trajectories colocated on the calling thread through `instance`
+  /// (built from this app's system().plan()). Every actor of this graph
+  /// fires once per iteration, so iteration k of the merged PASS is step
+  /// k % T of job k / T — one program traversal amortized over the whole
+  /// batch. Jobs must share one trajectory length T. Dataflow
+  /// determinacy makes each result bit-identical to a one-job
+  /// track()/track_threaded() run with that job's seed (the serve tests
+  /// assert it). Rewires the instance's computes and resets its
+  /// invocation counters; call again to reuse the instance.
+  /// `run_options` (optional) configures the batch run — watchdog,
+  /// flight recorder dump directory — its iteration count is overridden
+  /// by the batch size.
+  [[nodiscard]] std::vector<TrackResult> track_batch(
+      std::span<const ParticleJobSpec> jobs, core::JobInstance& instance,
+      const core::RunOptions* run_options = nullptr) const;
+
   /// Figure 7: timed execution at a given run-time particle count.
   [[nodiscard]] sim::ExecStats run_timed(std::size_t particles,
                                          const ParticleTimingModel& timing,
@@ -103,17 +129,20 @@ class ParticleFilterApp {
   [[nodiscard]] sim::AreaReport area_report() const;
 
  private:
-  struct TrackState;  // per-run mutable state shared by the compute fns
+  struct TrackState;       // per-job mutable state shared by the compute fns
+  struct BatchTrackState;  // ordered job states + the invocation->job mapping
   [[nodiscard]] static std::shared_ptr<TrackState> make_track_state(
       const ParticleParams& params, std::size_t n, const dsp::CrackTrajectory& trajectory);
   /// Registers all compute functions on either execution engine
-  /// (FunctionalRuntime or ThreadedRuntime — same ComputeFn contract).
-  /// Each PE's state is touched only by that PE's actors (all mapped to
-  /// the same processor), and the shared estimate is appended only by
-  /// Res0 — so the wiring is thread-safe on the threaded engine without
-  /// extra locks.
+  /// (FunctionalRuntime, ThreadedRuntime or JobInstance — same ComputeFn
+  /// contract). Each firing resolves its job's TrackState from
+  /// ctx.invocation (a single-trajectory run is a batch of one). Each
+  /// PE's state is touched only by that PE's actors (all mapped to the
+  /// same processor), and the shared estimate is appended only by Res0 —
+  /// so the wiring is thread-safe on the threaded engine without extra
+  /// locks.
   template <class Runtime>
-  void wire_tracking(Runtime& runtime, const std::shared_ptr<TrackState>& shared) const;
+  void wire_tracking(Runtime& runtime, const std::shared_ptr<BatchTrackState>& batch) const;
 
   std::int32_t pe_count_;
   ParticleParams params_;

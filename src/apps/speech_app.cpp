@@ -286,6 +286,69 @@ std::vector<double> ErrorGenApp::compute_errors_threaded(std::span<const double>
   return std::move(*result);
 }
 
+std::vector<std::vector<double>> ErrorGenApp::compute_errors_batch(
+    std::span<const SpeechJobSpec> jobs, core::JobInstance& instance,
+    const core::RunOptions* run_options) const {
+  for (const SpeechJobSpec& job : jobs) {
+    if (job.frame.size() > params_.max_frame_size)
+      throw std::length_error("ErrorGenApp: frame exceeds the declared bound");
+    if (job.coeffs.size() > params_.max_order)
+      throw std::length_error("ErrorGenApp: order exceeds the declared bound");
+  }
+  auto results = std::make_shared<std::vector<std::vector<double>>>();
+  results->reserve(jobs.size());
+  for (const SpeechJobSpec& job : jobs) results->emplace_back(job.frame.size(), 0.0);
+
+  // Every speech actor fires exactly once per graph iteration, so after
+  // reset_invocations() ctx.invocation names the queued job being fired.
+  // The lambdas hold the caller's span — valid because the whole batch
+  // runs to completion before this function returns.
+  for (std::int32_t i = 0; i < pe_count_; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    instance.set_compute(send_frame_[idx], [this, i, idx, jobs](core::FiringContext& ctx) {
+      const SpeechJobSpec& job = jobs[static_cast<std::size_t>(ctx.invocation)];
+      const Section sec = section(i, job.frame.size(), job.coeffs.size());
+      const std::span<const double> data(job.frame);
+      const auto shipped = data.subspan(sec.begin - sec.history, sec.history + sec.count);
+      ctx.outputs[ctx.output_index(frame_edge_[idx])] = {pack_f64(shipped)};
+    });
+    instance.set_compute(send_coeff_[idx], [this, idx, jobs](core::FiringContext& ctx) {
+      const SpeechJobSpec& job = jobs[static_cast<std::size_t>(ctx.invocation)];
+      ctx.outputs[ctx.output_index(coeff_edge_[idx])] = {pack_f64(job.coeffs)};
+    });
+    instance.set_compute(pe_[idx], [this, i, idx, jobs](core::FiringContext& ctx) {
+      const SpeechJobSpec& job = jobs[static_cast<std::size_t>(ctx.invocation)];
+      const Section sec = section(i, job.frame.size(), job.coeffs.size());
+      const std::vector<double> samples =
+          unpack_f64(ctx.inputs[ctx.input_index(frame_edge_[idx])][0]);
+      const std::vector<double> coeffs_in =
+          unpack_f64(ctx.inputs[ctx.input_index(coeff_edge_[idx])][0]);
+      const std::vector<double> errors =
+          dsp::prediction_error(samples, coeffs_in, sec.history, sec.count);
+      ctx.outputs[ctx.output_index(err_edge_[idx])] = {pack_f64(errors)};
+    });
+    instance.set_compute(recv_err_[idx], [this, i, idx, jobs, results](core::FiringContext& ctx) {
+      const auto job_index = static_cast<std::size_t>(ctx.invocation);
+      const SpeechJobSpec& job = jobs[job_index];
+      const Section sec = section(i, job.frame.size(), job.coeffs.size());
+      const std::vector<double> errors =
+          unpack_f64(ctx.inputs[ctx.input_index(err_edge_[idx])][0]);
+      std::copy(errors.begin(), errors.end(),
+                (*results)[job_index].begin() + static_cast<std::ptrdiff_t>(sec.begin));
+    });
+  }
+
+  instance.reset_invocations();
+  if (run_options) {
+    core::RunOptions options = *run_options;
+    options.iterations = static_cast<std::int64_t>(jobs.size());
+    instance.run_colocated(options);
+  } else {
+    instance.run_colocated(static_cast<std::int64_t>(jobs.size()));
+  }
+  return std::move(*results);
+}
+
 sim::ExecStats ErrorGenApp::run_timed(std::size_t sample_size, std::size_t order,
                                       const SpeechTimingModel& timing, std::int64_t iterations,
                                       const sim::CommBackend* backend) const {

@@ -149,6 +149,30 @@ class ErrorGenApp {
       obs::MetricRegistry* metrics = nullptr,
       core::ChannelPolicy policy = core::ChannelPolicy::kAuto) const;
 
+  /// One queued speech job: a frame and its predictor coefficients
+  /// (sizes may vary per job up to the compile-time bounds — the
+  /// transfers are SPI_dynamic).
+  struct SpeechJobSpec {
+    std::vector<double> frame;
+    std::vector<double> coeffs;
+  };
+
+  /// Batched firing (docs/serving.md): executes jobs.size() graph
+  /// iterations colocated on the calling thread through `instance`
+  /// (which must have been built from this app's system().plan()), one
+  /// queued job per iteration — one program traversal amortized over
+  /// the whole batch, zero cross-thread handoffs. Dataflow determinacy
+  /// makes every per-job result bit-identical to a one-job
+  /// compute_errors_parallel/_threaded run of the same inputs (the
+  /// serve tests assert it). Rewires the instance's computes and resets
+  /// its invocation counters; the instance can be reused for the next
+  /// batch by calling this again. `run_options` (optional) configures
+  /// the batch run — watchdog, flight recorder dump directory — its
+  /// iteration count is overridden by the batch size.
+  [[nodiscard]] std::vector<std::vector<double>> compute_errors_batch(
+      std::span<const SpeechJobSpec> jobs, core::JobInstance& instance,
+      const core::RunOptions* run_options = nullptr) const;
+
   /// Figure 6: timed execution at a given run-time sample size and
   /// predictor order; returns per-iteration statistics. `backend`
   /// defaults to this system's SPI backend (pass an MpiBackend for the

@@ -1,0 +1,59 @@
+/// \file buffer_pool.hpp
+/// Per-job recycled wire-buffer pool for the functional SPI channels.
+///
+/// SpiChannel used to keep its own private freelist of consumed wire
+/// buffers. That was safe but siloed: a job's channels could not share
+/// warm buffers, and — more importantly for the serving refactor — the
+/// ownership contract was implicit. BufferPool makes it explicit: the
+/// pool belongs to exactly one job instance (one FunctionalRuntime, one
+/// request), every channel of that job recycles through it, and two
+/// concurrent jobs can never cross-recycle a buffer because they never
+/// see each other's pool. The pool is deliberately NOT thread-safe —
+/// handing one pool to two threads is a bug, and TSan (which the CI
+/// soak runs) will say so, rather than a mutex silently serializing it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/message.hpp"
+
+namespace spi::core {
+
+/// A bounded stack of reusable Bytes buffers.
+class BufferPool {
+ public:
+  /// `max_buffers` bounds idle memory; under it the send/receive cycle
+  /// of a warmed-up job never touches the allocator.
+  explicit BufferPool(std::size_t max_buffers = 64) : max_buffers_(max_buffers) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A recycled buffer resized to `size` (one-shot resize, capacity
+  /// reused), or a fresh one when the pool is empty.
+  [[nodiscard]] Bytes take(std::size_t size) {
+    Bytes buffer;
+    if (!free_.empty()) {
+      buffer = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      buffer.reserve(size);
+    }
+    buffer.resize(size);
+    return buffer;
+  }
+
+  /// Returns a consumed buffer for reuse (dropped once full).
+  void recycle(Bytes&& buffer) {
+    if (free_.size() < max_buffers_) free_.push_back(std::move(buffer));
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return max_buffers_; }
+
+ private:
+  std::vector<Bytes> free_;
+  std::size_t max_buffers_;
+};
+
+}  // namespace spi::core

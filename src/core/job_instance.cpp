@@ -1,31 +1,25 @@
-#include "core/threaded_runtime.hpp"
+#include "core/job_instance.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
-#include <thread>
 
+#include "core/worker_pool.hpp"
 #include "obs/obs_server.hpp"
 #include "obs/text_escape.hpp"
 
 namespace spi::core {
 
-ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, obs::MetricRegistry* metrics)
-    : ThreadedRuntime(plan, ChannelPolicy::kAuto, ReliabilityOptions{}, metrics) {}
-
-ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, ReliabilityOptions reliability,
-                                 obs::MetricRegistry* metrics)
-    : ThreadedRuntime(plan, ChannelPolicy::kAuto, reliability, metrics) {}
-
-ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, ChannelPolicy policy,
-                                 ReliabilityOptions reliability, obs::MetricRegistry* metrics)
+JobInstance::JobInstance(const ExecutablePlan& plan, JobInstanceOptions options)
     : plan_(plan),
       graph_(plan.vts.graph),
-      reliability_(reliability),
-      policy_(policy),
-      owned_registry_(metrics ? nullptr : std::make_unique<obs::MetricRegistry>()),
-      registry_(metrics ? metrics : owned_registry_.get()),
+      reliability_(options.reliability),
+      policy_(options.policy),
+      label_(std::move(options.label)),
+      owned_registry_(options.metrics ? nullptr : std::make_unique<obs::MetricRegistry>()),
+      registry_(options.metrics ? options.metrics : owned_registry_.get()),
       compute_(graph_.actor_count()),
       local_fifo_(graph_.edge_count()),
       spsc_(graph_.edge_count()),
@@ -37,7 +31,7 @@ ThreadedRuntime::ThreadedRuntime(const ExecutablePlan& plan, ChannelPolicy polic
   init();
 }
 
-void ThreadedRuntime::init() {
+void JobInstance::init() {
   // Bounded channels for every interprocessor edge. Capacity: the BBS
   // bound (equation 2, converted to tokens) or the UBS credit window,
   // plus the edge's initial tokens.
@@ -48,7 +42,10 @@ void ThreadedRuntime::init() {
     const auto ei = static_cast<std::size_t>(spec.edge);
     const bool reliable = reliability_.enabled && spec.reliable;
 
-    const obs::Labels labels{{"channel", spec.name}};
+    obs::Labels labels{{"channel", spec.name}};
+    // The job label keeps concurrent instances' series apart when they
+    // share one registry (the serving daemon's /metrics).
+    if (!label_.empty()) labels.emplace_back("job", label_);
     ChannelCounters counters;
     counters.messages = &registry_->counter(
         "spi_threaded_messages_total", labels,
@@ -170,6 +167,7 @@ void ThreadedRuntime::init() {
   // aligned so the per-firing stores stay worker-private.
   worker_count_ = plan_.programs.size();
   worker_state_ = std::make_unique<WorkerState[]>(worker_count_);
+  colocated_epochs_.assign(worker_count_, 0);
 
   // Persistent per-(proc, step) firing contexts: the outer vectors and
   // the input token buffers are built once and keep their heap capacity
@@ -193,24 +191,67 @@ void ThreadedRuntime::init() {
       ctx.outputs.resize(ctx.out_edges.size());
     }
   }
+
+  // The colocated traversal order: every per-processor program is a
+  // subsequence of the plan's PASS (pipeline.cpp builds them by slicing
+  // it), so replaying the PASS with one cursor per processor recovers
+  // the admissible merged order — the order in which one thread can walk
+  // every processor's work without a single channel wait.
+  std::vector<std::int32_t> proc_of(graph_.actor_count(), -1);
+  for (std::size_t p = 0; p < plan_.programs.size(); ++p)
+    for (const FiringStep& step : plan_.programs[p])
+      proc_of[static_cast<std::size_t>(step.actor)] = static_cast<std::int32_t>(p);
+  std::vector<std::size_t> cursor(plan_.programs.size(), 0);
+  colocated_order_.reserve(plan_.pass.firings.size());
+  for (const df::ActorId actor : plan_.pass.firings) {
+    const std::int32_t p = proc_of[static_cast<std::size_t>(actor)];
+    if (p < 0 || cursor[static_cast<std::size_t>(p)] >= plan_.programs[p].size() ||
+        plan_.programs[p][cursor[static_cast<std::size_t>(p)]].actor != actor)
+      throw std::logic_error("JobInstance: programs are not a partition of the PASS");
+    colocated_order_.emplace_back(p, static_cast<std::int32_t>(cursor[static_cast<std::size_t>(p)]++));
+  }
+  for (std::size_t p = 0; p < plan_.programs.size(); ++p)
+    if (cursor[p] != plan_.programs[p].size())
+      throw std::logic_error("JobInstance: PASS shorter than the per-processor programs");
 }
 
-void ThreadedRuntime::interrupt_all() {
+std::int64_t JobInstance::resident_channel_bytes(const ExecutablePlan& plan) {
+  // What one instance keeps resident in channel buffering: per channel,
+  // the eq.-2/credit-window token capacity (exactly the capacity init()
+  // builds the channel with) times the per-token frame bound the SPSC
+  // slab reserves. Computable from the plan alone, so admission control
+  // can reject a job before anything is allocated.
+  std::int64_t total = 0;
+  for (const ChannelSpec& spec : plan.channels) {
+    const std::int64_t per_iter = spec.prod_tokens * spec.src_firings_per_iteration;
+    const std::int64_t window = spec.bbs_capacity_tokens.value_or(1);
+    const std::int64_t capacity = std::max<std::int64_t>(1, window * per_iter + spec.delay_tokens);
+    const df::VtsEdgeInfo& info = plan.vts.edges[static_cast<std::size_t>(spec.edge)];
+    const std::int64_t frame_bound =
+        std::max<std::int64_t>(1, info.converted ? info.b_max_bytes : spec.token_bytes);
+    total += capacity * frame_bound;
+  }
+  return total;
+}
+
+void JobInstance::interrupt_all() {
   for (auto& channel : spsc_)
     if (channel) channel->interrupt();
   for (auto& channel : blocking_)
     if (channel) channel->interrupt();
 }
 
-void ThreadedRuntime::set_compute(df::ActorId actor, ComputeFn fn) {
+void JobInstance::set_compute(df::ActorId actor, ComputeFn fn) {
   compute_.at(static_cast<std::size_t>(actor)) = std::move(fn);
 }
 
-void ThreadedRuntime::set_flight_recorder(obs::FlightRecorder* recorder) {
+void JobInstance::reset_invocations() { std::fill(fired_.begin(), fired_.end(), 0); }
+
+void JobInstance::set_flight_recorder(obs::FlightRecorder* recorder) {
   flight_ = recorder;
   if (!flight_) return;
   if (flight_->proc_count() < static_cast<std::int32_t>(plan_.programs.size()))
-    throw std::invalid_argument("ThreadedRuntime: flight recorder has fewer rings than procs");
+    throw std::invalid_argument("JobInstance: flight recorder has fewer rings than procs");
   std::vector<std::string> actor_names(graph_.actor_count());
   for (std::size_t a = 0; a < graph_.actor_count(); ++a)
     actor_names[a] = graph_.actor(static_cast<df::ActorId>(a)).name;
@@ -223,7 +264,7 @@ void ThreadedRuntime::set_flight_recorder(obs::FlightRecorder* recorder) {
   flight_->set_names(std::move(actor_names), std::move(edge_names));
 }
 
-ThreadedRunStats ThreadedRuntime::counter_totals() const {
+ThreadedRunStats JobInstance::counter_totals() const {
   ThreadedRunStats totals;
   for (const ChannelCounters& c : channel_counters_) {
     totals.messages += c.messages->value();
@@ -244,8 +285,8 @@ ThreadedRunStats ThreadedRuntime::counter_totals() const {
   return totals;
 }
 
-void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int32_t proc,
-                           std::int64_t iteration, WorkerState& ws) {
+void JobInstance::fire(const FiringStep& step, FiringContext& ctx, std::int32_t proc,
+                       std::int64_t iteration, WorkerState& ws) {
   const df::ActorId actor = step.actor;
   const auto a = static_cast<std::size_t>(actor);
   const std::int64_t span_start_us = trace_ ? trace_->now_us() : 0;
@@ -278,7 +319,7 @@ void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int3
       } else {
         auto& fifo = local_fifo_[ei];
         if (fifo.empty())
-          throw std::logic_error("ThreadedRuntime: local token underflow on " + e.name);
+          throw std::logic_error("JobInstance: local token underflow on " + e.name);
         slot = std::move(fifo.front());
         fifo.pop_front();
       }
@@ -323,10 +364,10 @@ void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int3
       }
     } else {
       if (static_cast<std::int64_t>(ctx.outputs[i].size()) != e.prod.value())
-        throw std::logic_error("ThreadedRuntime: wrong token count on " + e.name);
+        throw std::logic_error("JobInstance: wrong token count on " + e.name);
       for (Bytes& token : ctx.outputs[i]) {
         if (info.converted && static_cast<std::int64_t>(token.size()) > info.b_max_bytes)
-          throw std::length_error("ThreadedRuntime: packed token exceeds b_max on " + e.name);
+          throw std::length_error("JobInstance: packed token exceeds b_max on " + e.name);
         batch_bytes += static_cast<std::int64_t>(token.size());
         if (spsc_[ei])
           spsc_[ei]->push({token.data(), token.size()}, flight);
@@ -357,7 +398,7 @@ void ThreadedRuntime::fire(const FiringStep& step, FiringContext& ctx, std::int3
                     iteration});
 }
 
-void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
+void JobInstance::worker(std::int32_t proc, std::int64_t iterations) {
   const auto p = static_cast<std::size_t>(proc);
   WorkerState& ws = worker_state_[p];
   std::uint64_t epoch = 0;  ///< local heartbeat counter, published per firing
@@ -387,15 +428,68 @@ void ThreadedRuntime::worker(std::int32_t proc, std::int64_t iterations) {
   ws.done.store(true, std::memory_order_relaxed);
 }
 
-void ThreadedRuntime::run(std::int64_t iterations) {
-  RunOptions options;
-  options.iterations = iterations;
-  run(options);
+void JobInstance::colocated_body(std::int64_t iterations) {
+  // The whole plan on the calling thread, in PASS order. Admissibility
+  // plus the eq.-2 capacities mean no channel operation here ever waits
+  // — a wait with one thread would be a deadlock, and handing the plan
+  // to this path is an assertion that the schedule proof holds. The same
+  // fire()/heartbeat machinery runs, so the watchdog, flight recorder
+  // and /runtime endpoint see exactly what they see under the gang.
+  try {
+    for (std::int64_t iter = 0; iter < iterations && !abort_.load(); ++iter) {
+      for (std::size_t i = 0; i < worker_count_; ++i)
+        worker_state_[i].iteration.store(iter, std::memory_order_relaxed);
+      for (const auto& [proc, step] : colocated_order_) {
+        const auto p = static_cast<std::size_t>(proc);
+        const auto s = static_cast<std::size_t>(step);
+        WorkerState& ws = worker_state_[p];
+        ws.step.store(step, std::memory_order_relaxed);
+        fire(plan_.programs[p][s], contexts_[p][s], proc, iter, ws);
+        ws.epoch.store(++colocated_epochs_[p], std::memory_order_relaxed);
+      }
+    }
+  } catch (const ChannelInterrupted&) {
+    // Interrupted by the watchdog (or an embedded-server teardown);
+    // the recorded StallError is what run() rethrows.
+  } catch (...) {
+    {
+      std::lock_guard lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    abort_.store(true);
+    interrupt_all();
+  }
+  for (std::size_t i = 0; i < worker_count_; ++i)
+    worker_state_[i].done.store(true, std::memory_order_relaxed);
 }
 
-void ThreadedRuntime::run(const RunOptions& options) {
+void JobInstance::run(WorkerPool& pool, const RunOptions& options) {
   const std::int64_t iterations = options.iterations;
-  if (iterations < 0) throw std::invalid_argument("ThreadedRuntime::run: negative iterations");
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(worker_count_);
+  for (std::size_t p = 0; p < worker_count_; ++p)
+    tasks.emplace_back([this, p, iterations] {
+      worker(static_cast<std::int32_t>(p), iterations);
+    });
+  // Worker bodies trap their own exceptions (first_error_); the only
+  // throws out of pool.run() are pool-level (too-wide gang, shutdown),
+  // which run_with's unwind path turns into a clean teardown.
+  run_with(options, [&] { pool.run(tasks); });
+}
+
+void JobInstance::run_colocated(std::int64_t iterations) {
+  RunOptions options;
+  options.iterations = iterations;
+  run_colocated(options);
+}
+
+void JobInstance::run_colocated(const RunOptions& options) {
+  run_with(options, [&] { colocated_body(options.iterations); });
+}
+
+void JobInstance::run_with(const RunOptions& options, const std::function<void()>& execute) {
+  const std::int64_t iterations = options.iterations;
+  if (iterations < 0) throw std::invalid_argument("JobInstance::run: negative iterations");
   abort_.store(false);
   first_error_ = nullptr;
   // Reset at entry, aggregate on every exit path: stats() is never stale
@@ -412,6 +506,7 @@ void ThreadedRuntime::run(const RunOptions& options) {
     ws.waiting_side.store(-1, std::memory_order_relaxed);
     ws.done.store(false, std::memory_order_relaxed);
   }
+  std::fill(colocated_epochs_.begin(), colocated_epochs_.end(), 0);
   const ThreadedRunStats base = counter_totals();
 
   // The watchdog is declared before the server on purpose: destruction
@@ -445,28 +540,19 @@ void ThreadedRuntime::run(const RunOptions& options) {
   running_.store(true, std::memory_order_relaxed);
   if (watchdog) watchdog->start();
 
-  // Every spawned worker is joined on every exit path. Channel or
-  // compute failures unwind inside worker() (abort flag + interrupt),
-  // so the join loop below always terminates; if spawning itself fails
-  // partway, the already-running workers are aborted and joined before
-  // the exception leaves — no detached or leaked threads, which is also
-  // what makes the TSan job's reports trustworthy. The watchdog and
-  // server are stack optionals, so that path also tears them down.
-  std::vector<std::thread> threads;
-  threads.reserve(plan_.programs.size());
+  // The execute callable must leave every worker body finished on every
+  // normal return (the gang joins; the colocated body is synchronous).
+  // If it throws at the pool level instead, abort + interrupt first so
+  // any started bodies unwind, then let the stack optionals tear down
+  // the watchdog and server before the exception escapes.
   try {
-    for (std::size_t p = 0; p < plan_.programs.size(); ++p)
-      threads.emplace_back(
-          [this, p, iterations] { worker(static_cast<std::int32_t>(p), iterations); });
+    execute();
   } catch (...) {
     abort_.store(true);
     interrupt_all();
-    for (std::thread& t : threads)
-      if (t.joinable()) t.join();
     running_.store(false, std::memory_order_relaxed);
     throw;
   }
-  for (std::thread& t : threads) t.join();
 
   if (watchdog) watchdog->stop();
   if (server) server->stop();
@@ -514,7 +600,7 @@ void write_file_best_effort(const std::string& path, const std::string& content)
 
 }  // namespace
 
-void ThreadedRuntime::maybe_dump_flight_postmortem() {
+void JobInstance::maybe_dump_flight_postmortem() {
   if (!flight_ || flight_->postmortem_path().empty()) return;
   try {
     std::rethrow_exception(first_error_);
@@ -533,8 +619,8 @@ void ThreadedRuntime::maybe_dump_flight_postmortem() {
   }
 }
 
-void ThreadedRuntime::handle_stall(const obs::StallReport& report,
-                                   const obs::WatchdogOptions& options) {
+void JobInstance::handle_stall(const obs::StallReport& report,
+                               const obs::WatchdogOptions& options) {
   // Runs on the watchdog's monitor thread while the workers are wedged.
   // First the /runtime snapshot + report (always), then either hand the
   // StallError to run() — which dumps the flight log with the
@@ -559,7 +645,7 @@ void ThreadedRuntime::handle_stall(const obs::StallReport& report,
   }
 }
 
-std::vector<obs::WorkerSnapshot> ThreadedRuntime::worker_snapshots() const {
+std::vector<obs::WorkerSnapshot> JobInstance::worker_snapshots() const {
   std::vector<obs::WorkerSnapshot> out(worker_count_);
   for (std::size_t i = 0; i < worker_count_; ++i) {
     const WorkerState& ws = worker_state_[i];
@@ -576,18 +662,18 @@ std::vector<obs::WorkerSnapshot> ThreadedRuntime::worker_snapshots() const {
   return out;
 }
 
-std::string ThreadedRuntime::actor_display_name(std::int32_t actor) const {
+std::string JobInstance::actor_display_name(std::int32_t actor) const {
   if (actor < 0 || static_cast<std::size_t>(actor) >= graph_.actor_count()) return {};
   return graph_.actor(actor).name;
 }
 
-std::string ThreadedRuntime::channel_display_name(std::int32_t edge) const {
+std::string JobInstance::channel_display_name(std::int32_t edge) const {
   if (edge < 0 || static_cast<std::size_t>(edge) >= graph_.edge_count()) return {};
   if (const ChannelSpec* spec = plan_.find_channel(edge)) return spec->name;
   return graph_.edge(edge).name;
 }
 
-void ThreadedRuntime::refresh_channel_gauges() {
+void JobInstance::refresh_channel_gauges() {
   for (std::size_t c = 0; c < plan_.channels.size(); ++c) {
     const auto ei = static_cast<std::size_t>(plan_.channels[c].edge);
     std::size_t depth = 0;
@@ -604,8 +690,9 @@ void ThreadedRuntime::refresh_channel_gauges() {
   }
 }
 
-std::string ThreadedRuntime::runtime_status_json() const {
+std::string JobInstance::runtime_status_json() const {
   std::string out = "{\"graph\":\"" + obs::detail::json_escaped(plan_.graph_name) + "\"";
+  if (!label_.empty()) out += ",\"job\":\"" + obs::detail::json_escaped(label_) + "\"";
   out += ",\"running\":" + std::string(running_.load(std::memory_order_relaxed) ? "true"
                                                                                 : "false");
   out += ",\"proc_count\":" + std::to_string(worker_count_);

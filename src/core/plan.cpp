@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
@@ -313,6 +314,29 @@ std::unique_ptr<SpiBackend> ExecutablePlan::make_backend() const {
   return std::make_unique<SpiBackend>(costs, dynamic_edges());
 }
 
+std::uint64_t ExecutablePlan::content_hash() const {
+  // FNV-1a over (schema, topology, exec), little-endian byte order. The
+  // schema version participates so a breaking encoding change can never
+  // produce a stale PlanCache hit across daemon upgrades.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(kSchemaVersion));
+  mix(fingerprints.topology);
+  mix(fingerprints.exec);
+  return h;
+}
+
+std::string ExecutablePlan::content_hash_hex() const {
+  std::ostringstream out;
+  out << std::hex << std::setfill('0') << std::setw(16) << content_hash();
+  return out.str();
+}
+
 // --- report / metrics -----------------------------------------------------
 
 std::string ExecutablePlan::report() const {
@@ -322,6 +346,7 @@ std::string ExecutablePlan::report() const {
       << ", processors: " << proc_count << "\n";
   out << "  tasks (HSDF): " << sync_graph.task_count()
       << ", firings/iteration: " << repetitions.total_firings() << "\n";
+  out << "  content hash: " << content_hash_hex() << "\n";
   out << "  interprocessor channels: " << channels.size() << "\n";
   for (const ChannelSpec& plan : channels) {
     out << "    [" << plan.edge << "] " << plan.name << ": "
@@ -452,7 +477,8 @@ std::string ExecutablePlan::to_json() const {
   // uint64 fingerprints are serialized as strings: JSON numbers above
   // 2^53 are not representable exactly.
   out << "  \"fingerprints\": {\"topology\": \"" << fingerprints.topology
-      << "\", \"exec\": \"" << fingerprints.exec << "\"},\n";
+      << "\", \"exec\": \"" << fingerprints.exec << "\", \"content\": \""
+      << content_hash_hex() << "\"},\n";
   out << "  \"costs\": {\"send_enqueue_cycles\": " << costs.send_enqueue_cycles
       << ", \"offload_fixed_cycles\": " << costs.offload_fixed_cycles
       << ", \"ack_wire_bytes\": " << costs.ack_wire_bytes << "},\n";

@@ -13,6 +13,14 @@
 /// FunctionalRuntime's sequential interleaving, whatever the thread
 /// schedule — the tests assert it.
 ///
+/// Since the serving refactor this class is a thin facade over the real
+/// execution stack (docs/serving.md): a JobInstance holds the channels,
+/// firing contexts and per-run state; a private WorkerPool sized to the
+/// plan's processor count supplies the threads and keeps them across
+/// runs, so repeated run() calls no longer spawn and join. Everything
+/// below — channel selection, reliability, observability — is
+/// JobInstance behavior surfaced unchanged.
+///
 /// Channel selection (docs/architecture.md): plain edges ride the
 /// lock-free zero-copy SpscChannel — a slab sized from the plan's
 /// equation-2 bound, no lock and no heap allocation in steady state.
@@ -46,106 +54,36 @@
 /// the same system.
 #pragma once
 
-#include <atomic>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <string>
-
-#include "core/blocking_channel.hpp"
-#include "core/functional.hpp"
-#include "core/spsc_channel.hpp"
-#include "obs/flight_recorder.hpp"
-#include "obs/metrics.hpp"
-#include "obs/runtime_trace.hpp"
-#include "obs/watchdog.hpp"
-#include "sim/fault.hpp"
+#include "core/job_instance.hpp"
+#include "core/worker_pool.hpp"
 
 namespace spi::core {
 
-/// Turns the runtime's interprocessor channels into reliable links.
-struct ReliabilityOptions {
-  bool enabled = false;
-  /// Deterministic fault injection on every interprocessor wire. Not
-  /// owned; must outlive the runtime. Null = perfect wire (the protocol
-  /// still frames, sequences and CRC-checks every message).
-  const sim::FaultPlan* faults = nullptr;
-  /// Retry/backoff/timeout knobs. When `faults` is set its embedded
-  /// retry() policy wins, so one fault-plan file configures everything.
-  sim::RetryPolicy retry;
-
-  [[nodiscard]] const sim::RetryPolicy& policy() const {
-    return faults ? faults->retry() : retry;
-  }
-};
-
-/// Which channel implementation plain (non-reliable) IPC edges get.
-enum class ChannelPolicy : std::uint8_t {
-  kAuto,          ///< lock-free SpscChannel; BlockingChannel only where the
-                  ///< reliable protocol demands it (the default)
-  kBlockingOnly,  ///< mutex-based BlockingChannel everywhere (the
-                  ///< pre-slab behavior; parity tests and fallback)
-};
-
-/// Aggregated channel statistics of one run() (see
-/// ThreadedRuntime::stats). Derived from the registry counters: the
-/// difference between their values at run() entry and exit.
-struct ThreadedRunStats {
-  std::int64_t messages = 0;         ///< interprocessor tokens moved
-  std::int64_t payload_bytes = 0;
-  std::int64_t producer_blocks = 0;  ///< times a sender hit a full channel
-  std::int64_t consumer_blocks = 0;  ///< times a receiver waited for data
-  std::int64_t producer_block_micros = 0;  ///< wall-clock µs senders spent blocked
-  std::int64_t consumer_block_micros = 0;  ///< wall-clock µs receivers spent blocked
-  // Reliability protocol (all zero when reliability is off):
-  std::int64_t retries = 0;          ///< retransmissions after a failed attempt
-  std::int64_t dropped_frames = 0;   ///< attempts the faulty wire swallowed
-  std::int64_t crc_failures = 0;     ///< corrupted frames rejected by the receiver
-  std::int64_t duplicates = 0;       ///< stale-sequence frames discarded
-  std::int64_t timeouts = 0;         ///< receive deadlines that expired
-  std::int64_t backoff_micros = 0;   ///< wall-clock µs senders spent backing off
-};
-
-/// Everything one run() needs beyond the iteration count: the live
-/// telemetry endpoint and the progress watchdog (docs/observability.md,
-/// "Live telemetry"). The plain-iteration overload run(n) is equivalent
-/// to run({.iterations = n}).
-struct RunOptions {
-  std::int64_t iterations = 1;
-  /// >= 0: serve /metrics, /metrics.json, /healthz and /runtime on this
-  /// TCP port for the duration of the run (0 = kernel-assigned
-  /// ephemeral port — see on_obs_start). < 0 (default): no server.
-  int obs_port = -1;
-  std::string obs_bind = "127.0.0.1";
-  /// Called once the telemetry server is listening, with the bound
-  /// port (resolves obs_port = 0).
-  std::function<void(int)> on_obs_start;
-  /// Stall detection (watchdog.enabled). On stall: post-mortems are
-  /// dumped, watchdog.on_stall fires, and with abort_on_stall the run
-  /// is interrupted and run() throws obs::StallError.
-  obs::WatchdogOptions watchdog;
-};
-
-/// Multithreaded execution engine for a compiled plan.
+/// Multithreaded execution engine for a compiled plan: one JobInstance
+/// plus a private, persistent WorkerPool of proc_count() threads.
 class ThreadedRuntime {
  public:
   /// `metrics`: registry receiving the per-channel counters
   /// (spi_threaded_* — see docs/observability.md). Not owned; must
   /// outlive the runtime. Null = the runtime owns a private registry,
   /// reachable through metrics(). The plan must outlive the runtime.
-  explicit ThreadedRuntime(const ExecutablePlan& plan, obs::MetricRegistry* metrics = nullptr);
+  explicit ThreadedRuntime(const ExecutablePlan& plan, obs::MetricRegistry* metrics = nullptr)
+      : ThreadedRuntime(plan, ChannelPolicy::kAuto, ReliabilityOptions{}, metrics) {}
 
   /// Reliable-transport variant: reliable interprocessor channels speak
   /// the sequenced retry protocol (spi_reliable_* counters), optionally
   /// over the fault plan in `reliability`.
   ThreadedRuntime(const ExecutablePlan& plan, ReliabilityOptions reliability,
-                  obs::MetricRegistry* metrics = nullptr);
+                  obs::MetricRegistry* metrics = nullptr)
+      : ThreadedRuntime(plan, ChannelPolicy::kAuto, reliability, metrics) {}
 
   /// Full-control variant: additionally picks the channel implementation
   /// for plain edges (ChannelPolicy::kBlockingOnly forces the mutex
   /// fallback everywhere — the parity tests compare both paths).
   ThreadedRuntime(const ExecutablePlan& plan, ChannelPolicy policy,
-                  ReliabilityOptions reliability = {}, obs::MetricRegistry* metrics = nullptr);
+                  ReliabilityOptions reliability = {}, obs::MetricRegistry* metrics = nullptr)
+      : job_(plan, JobInstanceOptions{policy, reliability, metrics, {}}),
+        pool_(plan.programs.size()) {}
 
   /// Convenience overloads running the facade's plan().
   explicit ThreadedRuntime(const SpiSystem& system, obs::MetricRegistry* metrics = nullptr)
@@ -159,12 +97,12 @@ class ThreadedRuntime {
   /// Compute functions for actors on different processors run
   /// concurrently — they must not share mutable state without their own
   /// synchronization.
-  void set_compute(df::ActorId actor, ComputeFn fn);
+  void set_compute(df::ActorId actor, ComputeFn fn) { job_.set_compute(actor, std::move(fn)); }
 
   /// Attaches a wall-clock trace recorder: every firing is recorded as a
   /// span (tid = processor). Not owned; must outlive run(). Null
   /// detaches.
-  void set_trace(obs::RuntimeTraceRecorder* trace) { trace_ = trace; }
+  void set_trace(obs::RuntimeTraceRecorder* trace) { job_.set_trace(trace); }
 
   /// Attaches a flight recorder (docs/observability.md): every firing,
   /// interprocessor send/receive and blocking wait becomes a causal
@@ -176,17 +114,21 @@ class ThreadedRuntime {
   /// detaches. If the recorder has a postmortem_path and run() fails
   /// with sim::ChannelError, the collected log is written there before
   /// the error is rethrown.
-  void set_flight_recorder(obs::FlightRecorder* recorder);
+  void set_flight_recorder(obs::FlightRecorder* recorder) { job_.set_flight_recorder(recorder); }
 
-  /// Runs `iterations` graph iterations across proc_count() threads and
-  /// joins them — every spawned thread is joined on every exit path,
-  /// including mid-run channel or compute failures (no detached or
-  /// leaked workers). Exceptions thrown by compute functions or by the
-  /// reliable transport (sim::ChannelError) are rethrown on the caller
-  /// thread (first one wins); other threads are unblocked and wound
-  /// down. stats() is reset on entry and aggregated on every exit path —
-  /// after a throw it reflects the partial run.
-  void run(std::int64_t iterations);
+  /// Runs `iterations` graph iterations across proc_count() pool workers
+  /// and waits for the gang — every worker finishes its body on every
+  /// exit path, including mid-run channel or compute failures (no
+  /// detached or leaked work). Exceptions thrown by compute functions or
+  /// by the reliable transport (sim::ChannelError) are rethrown on the
+  /// caller thread (first one wins); other workers are unblocked and
+  /// wound down. stats() is reset on entry and aggregated on every exit
+  /// path — after a throw it reflects the partial run.
+  void run(std::int64_t iterations) {
+    RunOptions options;
+    options.iterations = iterations;
+    run(options);
+  }
 
   /// Full-control run: optionally mounts the embedded telemetry server
   /// (options.obs_port) and the progress watchdog (options.watchdog)
@@ -195,116 +137,47 @@ class ThreadedRuntime {
   /// the post-mortems (flight dump with the stall classification in
   /// the filename, plus the /runtime snapshot + report into
   /// watchdog.dump_dir).
-  void run(const RunOptions& options);
+  void run(const RunOptions& options) { job_.run(pool_, options); }
 
   /// The current per-worker heartbeat/state snapshot (relaxed reads of
   /// the workers' published atomics; meaningful during and after run()).
-  [[nodiscard]] std::vector<obs::WorkerSnapshot> worker_snapshots() const;
+  [[nodiscard]] std::vector<obs::WorkerSnapshot> worker_snapshots() const {
+    return job_.worker_snapshots();
+  }
 
   /// The /runtime endpoint body: graph identity, per-worker state and
   /// per-channel depth / high-watermark vs. capacity. Valid strict JSON.
   /// Callable from any thread while run() executes.
-  [[nodiscard]] std::string runtime_status_json() const;
+  [[nodiscard]] std::string runtime_status_json() const { return job_.runtime_status_json(); }
 
   /// Pushes every channel's current depth and high watermark into the
   /// spi_channel_* gauges (called by the server before each scrape;
   /// callable manually for registry-only consumers).
-  void refresh_channel_gauges();
+  void refresh_channel_gauges() { job_.refresh_channel_gauges(); }
 
   /// Aggregated channel statistics of the last run() (partial if it
   /// threw).
-  [[nodiscard]] const ThreadedRunStats& stats() const { return stats_; }
+  [[nodiscard]] const ThreadedRunStats& stats() const { return job_.stats(); }
 
-  [[nodiscard]] const ReliabilityOptions& reliability() const { return reliability_; }
-  [[nodiscard]] ChannelPolicy channel_policy() const { return policy_; }
+  [[nodiscard]] const ReliabilityOptions& reliability() const { return job_.reliability(); }
+  [[nodiscard]] ChannelPolicy channel_policy() const { return job_.channel_policy(); }
   /// How many IPC edges ride the lock-free SPSC path this run.
-  [[nodiscard]] std::int64_t spsc_channel_count() const { return spsc_count_; }
+  [[nodiscard]] std::int64_t spsc_channel_count() const { return job_.spsc_channel_count(); }
+
+  /// The underlying job instance (the serve layer builds these directly;
+  /// exposed here so diagnostics and tests can reach the full surface).
+  [[nodiscard]] JobInstance& job() { return job_; }
+  [[nodiscard]] const JobInstance& job() const { return job_; }
 
   /// The registry the channel counters live in (the caller-provided one,
   /// or the runtime's own). Counters are cumulative across runs and
   /// include initial-token placement at construction.
-  [[nodiscard]] obs::MetricRegistry& metrics() { return *registry_; }
-  [[nodiscard]] const obs::MetricRegistry& metrics() const { return *registry_; }
+  [[nodiscard]] obs::MetricRegistry& metrics() { return job_.metrics(); }
+  [[nodiscard]] const obs::MetricRegistry& metrics() const { return job_.metrics(); }
 
  private:
-  /// Per-worker published state, one cache line per worker so heartbeat
-  /// stores never contend: the worker writes with relaxed stores (the
-  /// only hot-path cost), the watchdog/scrape threads read with relaxed
-  /// loads. Approximate across fields by design — liveness needs only
-  /// "does the epoch ever change".
-  struct alignas(64) WorkerState {
-    std::atomic<std::uint64_t> epoch{0};        ///< firings completed
-    std::atomic<std::int64_t> iteration{0};
-    std::atomic<std::int32_t> step{-1};
-    std::atomic<std::int32_t> actor{-1};        ///< -1 between firings
-    std::atomic<std::int32_t> waiting_edge{-1}; ///< channel op in progress
-    std::atomic<std::int32_t> waiting_side{-1}; ///< 0 consume / 1 produce
-    std::atomic<bool> done{false};
-  };
-
-  void init();
-  void interrupt_all();
-  void worker(std::int32_t proc, std::int64_t iterations);
-  void fire(const FiringStep& step, FiringContext& ctx, std::int32_t proc,
-            std::int64_t iteration, WorkerState& ws);
-  [[nodiscard]] ThreadedRunStats counter_totals() const;
-  /// Writes the flight recorder's post-mortem dump when the pending
-  /// first_error_ is a sim::ChannelError (recorder's postmortem_path
-  /// verbatim) or an obs::StallError (same path with ".stall-<kind>"
-  /// inserted before the extension) and a dump path is configured.
-  void maybe_dump_flight_postmortem();
-  /// Monitor-thread stall handling: writes the report + /runtime
-  /// snapshot into dump_dir, dumps the flight log for non-aborting
-  /// watchdogs, and on abort_on_stall records StallError and
-  /// interrupts the workers.
-  void handle_stall(const obs::StallReport& report, const obs::WatchdogOptions& options);
-  [[nodiscard]] std::string actor_display_name(std::int32_t actor) const;
-  [[nodiscard]] std::string channel_display_name(std::int32_t edge) const;
-
-  const ExecutablePlan& plan_;
-  const df::Graph& graph_;  ///< the VTS-converted graph
-  ReliabilityOptions reliability_;
-  ChannelPolicy policy_ = ChannelPolicy::kAuto;
-  std::unique_ptr<obs::MetricRegistry> owned_registry_;  ///< when none was provided
-  obs::MetricRegistry* registry_ = nullptr;
-  obs::RuntimeTraceRecorder* trace_ = nullptr;
-  obs::FlightRecorder* flight_ = nullptr;
-  std::vector<ComputeFn> compute_;
-  /// Per-edge local FIFOs (touched only by the owning processor's
-  /// thread) and cross-processor channels, all indexed by edge id.
-  /// Exactly one of spsc_/blocking_ is non-null for an IPC edge; both
-  /// null = processor-local edge. Direct indexing keeps the per-token
-  /// hot path free of map lookups.
-  std::vector<std::deque<Bytes>> local_fifo_;
-  std::vector<std::unique_ptr<SpscChannel>> spsc_;
-  std::vector<std::unique_ptr<BlockingChannel>> blocking_;
-  std::int64_t spsc_count_ = 0;
-  /// Per-edge message counters for the per-firing batch increments
-  /// (indexed by edge id; null entries = local edge or reliable channel,
-  /// which counts for itself).
-  std::vector<obs::Counter*> edge_messages_;
-  std::vector<obs::Counter*> edge_payload_bytes_;
-  std::vector<ChannelCounters> channel_counters_;  ///< for stats aggregation
-  /// Per-(proc, step) firing contexts, built once and reused every
-  /// iteration so input/output buffers keep their heap capacity —
-  /// steady-state firings allocate nothing on the channel path. Each
-  /// context is touched only by its processor's thread.
-  std::vector<std::vector<FiringContext>> contexts_;
-  std::vector<std::int64_t> fired_;  ///< per actor, owned by its processor's thread
-  /// Heartbeat/wait state, one aligned slot per worker (see
-  /// WorkerState). Allocated once in init(); reset at run() entry.
-  std::unique_ptr<WorkerState[]> worker_state_;
-  std::size_t worker_count_ = 0;
-  /// Depth/watermark gauges per plan channel (indexed like
-  /// channel_counters_), refreshed on scrape — never on the hot path.
-  std::vector<obs::Gauge*> depth_gauges_;
-  std::vector<obs::Gauge*> watermark_gauges_;
-  std::int64_t run_iterations_ = 0;  ///< written before workers/server start
-  std::atomic<bool> running_{false};
-  std::atomic<bool> abort_{false};
-  std::mutex error_mutex_;
-  std::exception_ptr first_error_;
-  ThreadedRunStats stats_;
+  JobInstance job_;
+  WorkerPool pool_;
 };
 
 }  // namespace spi::core

@@ -1,122 +1,27 @@
 #include "obs/obs_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <stdexcept>
-
 namespace spi::obs {
-
-namespace {
-
-const char* reason_phrase(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 503: return "Service Unavailable";
-    default: return "Internal Server Error";
-  }
-}
-
-/// Serializes one response and writes it fully (best effort — a client
-/// that hung up mid-write is its own problem, never the server's).
-void write_response(int fd, const HttpResponse& response) {
-  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
-                    reason_phrase(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += response.body;
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-/// Reads until the end of the request head ("\r\n\r\n") or 4 KiB,
-/// whichever comes first. We only route on the request line, so the
-/// head is all we ever need; SO_RCVTIMEO bounds a stalled client.
-std::string read_request_head(int fd) {
-  std::string head;
-  char buf[1024];
-  while (head.size() < 4096 && head.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;
-    }
-    head.append(buf, static_cast<std::size_t>(n));
-  }
-  return head;
-}
-
-}  // namespace
 
 ObsServer::ObsServer(Options options) : options_(std::move(options)) {}
 
 ObsServer::~ObsServer() { stop(); }
 
 void ObsServer::start() {
-  if (listen_fd_ >= 0) return;
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("ObsServer: socket() failed");
-
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw std::runtime_error("ObsServer: invalid bind address '" + options_.bind_address + "'");
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw std::runtime_error("ObsServer: cannot bind " + options_.bind_address + ":" +
-                             std::to_string(options_.port) + " (" + std::strerror(err) + ")");
-  }
-  if (::listen(fd, 16) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw std::runtime_error(std::string("ObsServer: listen() failed (") + std::strerror(err) +
-                             ")");
-  }
-
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
-    port_ = static_cast<int>(ntohs(bound.sin_port));
-
-  listen_fd_ = fd;
-  stop_.store(false, std::memory_order_relaxed);
-  thread_ = std::thread([this] { serve(); });
+  if (http_) return;
+  HttpServer::Options http_options;
+  http_options.port = options_.port;
+  http_options.bind_address = options_.bind_address;
+  http_options.handler = [this](const HttpRequest& request) {
+    return handle(request.method, request.target);
+  };
+  http_ = std::make_unique<HttpServer>(std::move(http_options));
+  http_->start();
 }
 
 void ObsServer::stop() {
-  if (listen_fd_ < 0) return;
-  stop_.store(true, std::memory_order_relaxed);
-  // Kick the acceptor out of poll()/accept() by retiring the listener.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  port_ = 0;
+  if (!http_) return;
+  http_->stop();
+  http_.reset();
 }
 
 HttpResponse ObsServer::handle(const std::string& method, const std::string& target) const {
@@ -162,40 +67,6 @@ HttpResponse ObsServer::handle(const std::string& method, const std::string& tar
     return {200, "application/json", options_.runtime_json() + "\n"};
   }
   return {404, "text/plain; charset=utf-8", "unknown endpoint '" + path + "'\n"};
-}
-
-void ObsServer::serve() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
-    if (stop_.load(std::memory_order_relaxed)) break;
-    if (ready <= 0) continue;
-
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-
-    timeval timeout{};
-    timeout.tv_sec = 2;
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
-    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
-
-    const std::string head = read_request_head(conn);
-    // Request line: METHOD SP TARGET SP VERSION.
-    const std::size_t m_end = head.find(' ');
-    const std::size_t t_end = m_end == std::string::npos ? std::string::npos
-                                                         : head.find(' ', m_end + 1);
-    HttpResponse response;
-    if (t_end == std::string::npos) {
-      response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
-    } else {
-      response = handle(head.substr(0, m_end), head.substr(m_end + 1, t_end - m_end - 1));
-    }
-    // Counted before the reply leaves: a client that has read a full
-    // response can rely on requests_served() already covering it.
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    write_response(conn, response);
-    ::close(conn);
-  }
 }
 
 }  // namespace spi::obs

@@ -1,12 +1,11 @@
 /// \file obs_server.hpp
-/// Dependency-free embedded HTTP/1.0 telemetry server.
+/// Embedded telemetry endpoints over the shared HttpServer plumbing.
 ///
-/// One acceptor thread over plain POSIX sockets, one request per
-/// connection (`Connection: close`), no keep-alive, no TLS, no
-/// third-party code — the live layer a `spi_served` daemon mounts
-/// unchanged, and small enough to embed in every ThreadedRuntime::run()
-/// behind `RunOptions::obs_port`. Endpoints (see docs/observability.md,
-/// "Live telemetry"):
+/// The routing layer of the live observability surface — the transport
+/// (sockets, poll loop, HTTP/1.1 keep-alive + pipelining, HTTP/1.0
+/// single-request compatibility) lives in http_server.hpp and is shared
+/// with the serving daemon's ingest path. Endpoints (see
+/// docs/observability.md, "Live telemetry"):
 ///
 ///   GET /              endpoint index (text/plain)
 ///   GET /metrics       Prometheus text exposition of the registry
@@ -22,23 +21,16 @@
 /// between start() and stop().
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
-#include <thread>
 
+#include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/watchdog.hpp"
 
 namespace spi::obs {
-
-/// One rendered HTTP response (routing result, pre-serialization).
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
 
 class ObsServer {
  public:
@@ -61,17 +53,17 @@ class ObsServer {
   ObsServer& operator=(const ObsServer&) = delete;
   ~ObsServer();
 
-  /// Binds, listens and spawns the acceptor thread. Throws
+  /// Binds, listens and spawns the event-loop thread. Throws
   /// std::runtime_error when the socket cannot be set up.
   void start();
-  /// Stops accepting, closes the listener and joins the acceptor.
+  /// Stops accepting, closes the listener and joins the loop.
   void stop();
 
-  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+  [[nodiscard]] bool running() const { return http_ && http_->running(); }
   /// The bound TCP port (resolves port-0 requests), 0 before start().
-  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] int port() const { return http_ ? http_->port() : 0; }
   [[nodiscard]] std::int64_t requests_served() const {
-    return requests_.load(std::memory_order_relaxed);
+    return http_ ? http_->requests_served() : 0;
   }
 
   /// Pure routing: method + target -> response. Exposed so unit tests
@@ -79,14 +71,8 @@ class ObsServer {
   [[nodiscard]] HttpResponse handle(const std::string& method, const std::string& target) const;
 
  private:
-  void serve();
-
   Options options_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::thread thread_;
-  std::atomic<bool> stop_{false};
-  std::atomic<std::int64_t> requests_{0};
+  std::unique_ptr<HttpServer> http_;
 };
 
 }  // namespace spi::obs

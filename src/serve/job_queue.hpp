@@ -1,0 +1,61 @@
+/// \file job_queue.hpp
+/// Per-tenant job queues for the plan server (docs/serving.md).
+///
+/// Jobs admitted from one HTTP read burst are queued per tenant, then
+/// drained app by app so each drain is ONE batched firing: N queued
+/// speech jobs become N colocated graph iterations through one
+/// JobInstance — one program traversal amortized over the whole batch
+/// (dataflow determinacy makes the per-job results bit-identical to N
+/// separate runs; the serve tests assert it).
+///
+/// Single-threaded like the rest of the serve layer: queues live on the
+/// server's poll thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace spi::serve {
+
+/// One admitted job waiting for its batch: which burst slot to answer,
+/// which app to run, and the raw request body (parsed at drain time).
+struct QueuedJob {
+  std::size_t request_index = 0;  ///< slot in the burst's response vector
+  std::string app;                ///< "speech" or "particle"
+  std::string body;               ///< request JSON
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::string tenant) : tenant_(std::move(tenant)) {}
+
+  void push(QueuedJob job) {
+    queue_.push_back(std::move(job));
+    depth_watermark_ = std::max<std::int64_t>(depth_watermark_, depth());
+  }
+
+  QueuedJob pop() {
+    QueuedJob job = std::move(queue_.front());
+    queue_.pop_front();
+    return job;
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::int64_t depth() const { return static_cast<std::int64_t>(queue_.size()); }
+  /// High-water queue depth since construction (a gauge on /metrics —
+  /// the closest the synchronous server gets to "queueing delay").
+  [[nodiscard]] std::int64_t depth_watermark() const { return depth_watermark_; }
+  [[nodiscard]] std::int64_t jobs_served() const { return jobs_served_; }
+  void count_served(std::int64_t n) { jobs_served_ += n; }
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
+
+ private:
+  std::string tenant_;
+  std::deque<QueuedJob> queue_;
+  std::int64_t depth_watermark_ = 0;
+  std::int64_t jobs_served_ = 0;
+};
+
+}  // namespace spi::serve

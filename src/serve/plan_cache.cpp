@@ -1,0 +1,64 @@
+#include "serve/plan_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/job_instance.hpp"
+
+namespace spi::serve {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("PlanCache: capacity must be positive");
+}
+
+void PlanCache::touch(const std::string& key) {
+  auto& [entry, pos] = entries_.at(key);
+  (void)entry;
+  lru_.splice(lru_.begin(), lru_, pos);
+  pos = lru_.begin();
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::insert(core::ExecutablePlan plan) {
+  const std::string key = plan.content_hash_hex();
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++hits_;
+    touch(key);
+    return it->second.first;
+  }
+
+  auto entry = std::make_shared<CachedPlan>();
+  entry->key = key;
+  entry->resident_bytes = core::JobInstance::resident_channel_bytes(plan);
+  entry->plan = std::make_shared<const core::ExecutablePlan>(std::move(plan));
+
+  if (entries_.size() >= capacity_) {
+    const std::string& victim = lru_.back();
+    const auto vit = entries_.find(victim);
+    resident_bytes_ -= vit->second.first->resident_bytes;
+    evicted_bytes_ += vit->second.first->resident_bytes;
+    ++evictions_;
+    entries_.erase(vit);
+    lru_.pop_back();
+  }
+
+  lru_.push_front(key);
+  resident_bytes_ += entry->resident_bytes;
+  auto [it, inserted] = entries_.emplace(key, std::make_pair(entry, lru_.begin()));
+  (void)inserted;
+  return it->second.first;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::find(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  touch(key);
+  return it->second.first;
+}
+
+std::int64_t PlanCache::take_evicted_bytes() { return std::exchange(evicted_bytes_, 0); }
+
+}  // namespace spi::serve

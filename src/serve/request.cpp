@@ -1,0 +1,67 @@
+#include "serve/request.hpp"
+
+#include <cstdlib>
+
+namespace spi::serve {
+
+namespace {
+
+/// Position just past `"key":` (skipping whitespace), or npos.
+std::size_t value_start(std::string_view body, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\"";
+  std::size_t pos = 0;
+  while ((pos = body.find(needle, pos)) != std::string_view::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < body.size() && (body[p] == ' ' || body[p] == '\t' || body[p] == '\n')) ++p;
+    if (p < body.size() && body[p] == ':') {
+      ++p;
+      while (p < body.size() && (body[p] == ' ' || body[p] == '\t' || body[p] == '\n')) ++p;
+      return p;
+    }
+    pos += needle.size();  // a string value that merely contains the key
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::optional<std::string> json_string_field(std::string_view body, std::string_view key) {
+  const std::size_t p = value_start(body, key);
+  if (p == std::string_view::npos || p >= body.size() || body[p] != '"') return std::nullopt;
+  const std::size_t end = body.find('"', p + 1);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(body.substr(p + 1, end - p - 1));
+}
+
+std::optional<double> json_number_field(std::string_view body, std::string_view key) {
+  const std::size_t p = value_start(body, key);
+  if (p == std::string_view::npos || p >= body.size()) return std::nullopt;
+  const char* start = body.data() + p;
+  char* parsed_end = nullptr;
+  const double value = std::strtod(start, &parsed_end);
+  if (parsed_end == start) return std::nullopt;
+  return value;
+}
+
+std::optional<std::vector<double>> json_array_field(std::string_view body, std::string_view key) {
+  const std::size_t p = value_start(body, key);
+  if (p == std::string_view::npos || p >= body.size() || body[p] != '[') return std::nullopt;
+  std::vector<double> values;
+  const char* cursor = body.data() + p + 1;
+  const char* const end = body.data() + body.size();
+  while (cursor < end) {
+    while (cursor < end && (*cursor == ' ' || *cursor == ',' || *cursor == '\t' ||
+                            *cursor == '\n'))
+      ++cursor;
+    if (cursor >= end) return std::nullopt;  // unterminated array
+    if (*cursor == ']') return values;
+    char* parsed_end = nullptr;
+    const double value = std::strtod(cursor, &parsed_end);
+    if (parsed_end == cursor) return std::nullopt;  // not a number
+    values.push_back(value);
+    cursor = parsed_end;
+  }
+  return std::nullopt;
+}
+
+}  // namespace spi::serve

@@ -1,0 +1,26 @@
+/// \file request.hpp
+/// Minimal flat-JSON field scanner for serve-layer request bodies.
+///
+/// Job bodies are small flat objects ({"app":"speech","frame":[...]});
+/// at a >=100k req/s service rate a DOM parse per request would dominate
+/// the batch handler, so fields are extracted by key scan, the same
+/// technique core::ExecutablePlan::from_json uses. Keys are matched as
+/// "<key>": at top nesting depth only; absent or malformed fields are
+/// std::nullopt (the server answers 400). Not a general JSON parser —
+/// strings must not contain escaped quotes, arrays are numbers only.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spi::serve {
+
+[[nodiscard]] std::optional<std::string> json_string_field(std::string_view body,
+                                                           std::string_view key);
+[[nodiscard]] std::optional<double> json_number_field(std::string_view body, std::string_view key);
+[[nodiscard]] std::optional<std::vector<double>> json_array_field(std::string_view body,
+                                                                  std::string_view key);
+
+}  // namespace spi::serve
