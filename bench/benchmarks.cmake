@@ -32,6 +32,9 @@ spi_gbench(micro_compile)
 spi_gbench(micro_flight)
 spi_gbench(micro_channel)
 spi_gbench(micro_obs)
+# BM_ServeBurst* drive PlanServer::handle_burst socketlessly (the
+# traced-vs-bare overhead gate in perf_smoke.sh / BENCH_results.json).
+target_link_libraries(micro_obs PRIVATE spi_serve)
 
 # Load harness for the plan server (docs/serving.md). Not a
 # google-benchmark binary: it drives a running spi_served over TCP, so

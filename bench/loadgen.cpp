@@ -63,7 +63,12 @@ struct StepResult {
   double achieved_rps = 0.0;
   std::int64_t requests = 0;
   std::map<int, std::int64_t> statuses;
-  double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0, mean_us = 0.0;
+  /// Per-request latency (send of the request's burst -> receive of its
+  /// response) — the tail a client of the batched server actually sees.
+  double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0, p999_us = 0.0, mean_us = 0.0;
+  /// Burst round-trip aggregates (one sample per pipelined burst — the
+  /// pre-tracing latency definition, kept for baseline comparability).
+  double burst_p50_us = 0.0, burst_p90_us = 0.0, burst_p99_us = 0.0, burst_mean_us = 0.0;
 };
 
 int connect_to(const std::string& host, int port) {
@@ -98,8 +103,14 @@ bool send_all(int fd, const std::string& data) {
 }
 
 /// Consumes complete HTTP responses off the front of `inbox`; appends
-/// each status code to `statuses`. Returns false on malformed input.
-bool drain_responses(std::string& inbox, std::vector<int>& statuses) {
+/// each status code to `statuses` and its receive timestamp (stamped
+/// once per drain — responses parsed from one recv arrived together) to
+/// `rx_times`. Returns false on malformed input. When `last_body` is
+/// non-null it keeps the last complete response body (endpoint scrapes).
+bool drain_responses(std::string& inbox, std::vector<int>& statuses,
+                     std::vector<Clock::time_point>& rx_times,
+                     std::string* last_body = nullptr) {
+  const auto now = Clock::now();
   for (;;) {
     const std::size_t head_end = inbox.find("\r\n\r\n");
     if (head_end == std::string::npos) return true;
@@ -122,8 +133,34 @@ bool drain_responses(std::string& inbox, std::vector<int>& statuses) {
     const std::size_t total = head_end + 4 + content_length;
     if (inbox.size() < total) return true;  // body still in flight
     statuses.push_back(status);
+    rx_times.push_back(now);
+    if (last_body) last_body->assign(inbox, head_end + 4, content_length);
     inbox.erase(0, total);
   }
+}
+
+/// One blocking GET against the server on a fresh connection; returns
+/// the response body or "" on any failure. Used to embed the /tenants
+/// rollup in --json-out after the measured steps.
+std::string fetch_body(const Config& config, const std::string& target) {
+  const int fd = connect_to(config.host, config.port);
+  if (fd < 0) return {};
+  std::string body;
+  std::string inbox;
+  std::vector<int> statuses;
+  std::vector<Clock::time_point> rx;
+  if (send_all(fd, "GET " + target + " HTTP/1.1\r\n\r\n")) {
+    while (statuses.empty()) {
+      char buf[65536];
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      inbox.append(buf, static_cast<std::size_t>(n));
+      if (!drain_responses(inbox, statuses, rx, &body)) break;
+    }
+  }
+  ::close(fd);
+  if (statuses.empty() || statuses.front() != 200) return {};
+  return body;
 }
 
 /// One pipelined burst: `pipeline` POST /job requests with distinct
@@ -177,7 +214,9 @@ bool run_step(const Config& config, std::vector<Conn>& conns, double offered_rps
               std::uint64_t& seed, StepResult& result) {
   result.offered_rps = offered_rps;
   std::vector<double> burst_us;
+  std::vector<double> request_us;
   std::vector<int> statuses;
+  std::vector<Clock::time_point> rx_times;
   const auto start = Clock::now();
   const auto deadline = start + std::chrono::duration_cast<Clock::duration>(
                                     std::chrono::duration<double>(config.duration_s));
@@ -202,16 +241,21 @@ bool run_step(const Config& config, std::vector<Conn>& conns, double offered_rps
     if (!send_all(conn.fd, wire)) return false;
 
     statuses.clear();
+    rx_times.clear();
     while (statuses.size() < static_cast<std::size_t>(config.pipeline)) {
       char buf[65536];
       const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
       if (n <= 0) return false;
       conn.inbox.append(buf, static_cast<std::size_t>(n));
-      if (!drain_responses(conn.inbox, statuses)) return false;
+      if (!drain_responses(conn.inbox, statuses, rx_times)) return false;
     }
     const double us =
         std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
     burst_us.push_back(us);
+    // Per-request latency: the burst's send stamp to each response's
+    // receive stamp (requests pipeline, so they share the send).
+    for (const Clock::time_point rx : rx_times)
+      request_us.push_back(std::chrono::duration<double, std::micro>(rx - t0).count());
     result.requests += config.pipeline;
     for (const int status : statuses) ++result.statuses[status];
   }
@@ -219,27 +263,36 @@ bool run_step(const Config& config, std::vector<Conn>& conns, double offered_rps
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
   result.achieved_rps = elapsed > 0.0 ? static_cast<double>(result.requests) / elapsed : 0.0;
+  const auto mean = [](const std::vector<double>& v) {
+    double sum = 0.0;
+    for (const double x : v) sum += x;
+    return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+  };
+  std::sort(request_us.begin(), request_us.end());
+  result.p50_us = percentile(request_us, 0.50);
+  result.p90_us = percentile(request_us, 0.90);
+  result.p99_us = percentile(request_us, 0.99);
+  result.p999_us = percentile(request_us, 0.999);
+  result.mean_us = mean(request_us);
   std::sort(burst_us.begin(), burst_us.end());
-  result.p50_us = percentile(burst_us, 0.50);
-  result.p90_us = percentile(burst_us, 0.90);
-  result.p99_us = percentile(burst_us, 0.99);
-  double sum = 0.0;
-  for (const double v : burst_us) sum += v;
-  result.mean_us = burst_us.empty() ? 0.0 : sum / static_cast<double>(burst_us.size());
+  result.burst_p50_us = percentile(burst_us, 0.50);
+  result.burst_p90_us = percentile(burst_us, 0.90);
+  result.burst_p99_us = percentile(burst_us, 0.99);
+  result.burst_mean_us = mean(burst_us);
   return true;
 }
 
 void print_step(const StepResult& r) {
   std::printf("offered %9.0f req/s -> achieved %9.0f req/s  "
-              "burst p50 %7.0f us  p99 %7.0f us",
-              r.offered_rps, r.achieved_rps, r.p50_us, r.p99_us);
+              "req p50 %7.0f us  p99 %7.0f us  p99.9 %7.0f us",
+              r.offered_rps, r.achieved_rps, r.p50_us, r.p99_us, r.p999_us);
   for (const auto& [status, count] : r.statuses)
     if (status != 200) std::printf("  [%d x%lld]", status, static_cast<long long>(count));
   std::printf("\n");
 }
 
 std::string step_json(const StepResult& r) {
-  char buf[512];
+  char buf[768];
   std::string statuses = "{";
   bool first = true;
   for (const auto& [status, count] : r.statuses) {
@@ -251,9 +304,11 @@ std::string step_json(const StepResult& r) {
   std::snprintf(buf, sizeof buf,
                 "{\"offered_rps\": %.0f, \"achieved_rps\": %.0f, \"requests\": %lld, "
                 "\"http\": %s, \"latency_us\": {\"p50\": %.1f, \"p90\": %.1f, "
-                "\"p99\": %.1f, \"mean\": %.1f}}",
+                "\"p99\": %.1f, \"p999\": %.1f, \"mean\": %.1f}, "
+                "\"burst_us\": {\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, \"mean\": %.1f}}",
                 r.offered_rps, r.achieved_rps, static_cast<long long>(r.requests),
-                statuses.c_str(), r.p50_us, r.p90_us, r.p99_us, r.mean_us);
+                statuses.c_str(), r.p50_us, r.p90_us, r.p99_us, r.p999_us, r.mean_us,
+                r.burst_p50_us, r.burst_p90_us, r.burst_p99_us, r.burst_mean_us);
   return buf;
 }
 
@@ -345,6 +400,12 @@ int main(int argc, char** argv) {
     steps.push_back(step);
   }
 
+  // Scrape the per-tenant rollup before the server exits so --json-out
+  // carries the server-side stage breakdown next to the client-side
+  // latency curve (run_benchmarks.sh folds both into BENCH_results.json).
+  std::string tenants_body;
+  if (!config.json_out.empty()) tenants_body = fetch_body(config, "/tenants");
+
   for (Conn& conn : conns) ::close(conn.fd);
 
   std::int64_t errors = 0;
@@ -374,7 +435,8 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < steps.size(); ++i)
       std::fprintf(out, "  %s%s\n", step_json(steps[i]).c_str(),
                    i + 1 < steps.size() ? "," : "");
-    std::fprintf(out, " ]\n}\n");
+    std::fprintf(out, " ],\n \"tenants\": %s\n}\n",
+                 tenants_body.empty() ? "null" : tenants_body.c_str());
     std::fclose(out);
   }
 

@@ -10,6 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/plan.hpp"
@@ -18,6 +21,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs_server.hpp"
+#include "serve/plan_server.hpp"
 
 namespace {
 
@@ -145,6 +149,43 @@ void BM_ThreadedRunWatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kRunIterations);
 }
 BENCHMARK(BM_ThreadedRunWatched)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+/// One socketless serve burst: 32 mixed-tenant speech jobs routed,
+/// queued and drained as batched firings through PlanServer::handle_burst
+/// — exactly the poll thread's per-burst work. The Bare/Traced pair is
+/// the request-tracing overhead gate: run_benchmarks.sh derives
+/// serve_trace_overhead_pct from the two means and perf_smoke.sh fails
+/// the build when traced exceeds bare by 2%.
+void serve_burst_benchmark(benchmark::State& state, bool traced, std::int64_t sample_every = 64,
+                           std::int64_t flight_every = 64) {
+  serve::PlanServerOptions options;
+  options.trace.enabled = traced;
+  options.trace.sample_every = sample_every;
+  options.trace.flight_every = flight_every;
+  serve::PlanServer server(options);  // no start(): socketless
+
+  constexpr int kBurstJobs = 32;
+  std::vector<obs::HttpRequest> requests;
+  requests.reserve(kBurstJobs);
+  for (int k = 0; k < kBurstJobs; ++k) {
+    const std::string body = "{\"app\":\"speech\",\"tenant\":\"t" + std::to_string(k % 2) +
+                             "\",\"frame_size\":32,\"order\":4,\"seed\":" + std::to_string(k) + "}";
+    requests.push_back({"POST", "/job", "HTTP/1.1", body, true});
+  }
+
+  std::vector<obs::HttpResponse> responses;
+  for (auto _ : state) {
+    server.handle_burst(std::span<obs::HttpRequest>(requests), responses);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBurstJobs);
+}
+
+void BM_ServeBurstBare(benchmark::State& state) { serve_burst_benchmark(state, false); }
+BENCHMARK(BM_ServeBurstBare)->Unit(benchmark::kMicrosecond)->MinTime(0.5);
+
+void BM_ServeBurstTraced(benchmark::State& state) { serve_burst_benchmark(state, true); }
+BENCHMARK(BM_ServeBurstTraced)->Unit(benchmark::kMicrosecond)->MinTime(0.5);
 
 }  // namespace
 

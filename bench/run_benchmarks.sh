@@ -21,6 +21,14 @@
 #     "derived": {
 #       "serve_peak_krps": K,               # closed-loop capacity, kreq/s
 #       "serve_p99_us": U,                  # burst p99 at the top offered rate
+#       "serve_p999_us": U,                 # per-request p99.9 at that rate
+#       "serve_stage_us_mean": {...},       # per-stage request-lifecycle means
+#                                           #   (admission/queue/batch/exec/
+#                                           #   reply) from the loadgen run's
+#                                           #   /tenants scrape
+#       "serve_trace_overhead_pct": P,      # traced vs bare serve burst
+#                                           #   (BM_ServeBurstTraced/Bare;
+#                                           #   gated by bench/perf_smoke.sh)
 #       "flight_recorder_overhead_pct": P,  # recorded vs bare threaded run
 #       "spsc_stream_speedup": S,           # BlockingChannel / SpscChannel
 #                                           #   mean streaming time ratio
@@ -127,6 +135,10 @@ if snapshot:
 bare_run, watched = mean_time("BM_ThreadedRunBare"), mean_time("BM_ThreadedRunWatched")
 if bare_run and watched:
     derived["heartbeat_overhead_pct"] = round(100.0 * (watched - bare_run) / bare_run, 2)
+burst_bare, burst_traced = mean_time("BM_ServeBurstBare"), mean_time("BM_ServeBurstTraced")
+if burst_bare and burst_traced:
+    derived["serve_trace_overhead_pct"] = round(
+        100.0 * (burst_traced - burst_bare) / burst_bare, 2)
 
 def time_of(name):
     for r in rows:
@@ -155,6 +167,19 @@ if serve_path:
     top = offered[-1] if offered else (serve.get("steps") or [None])[0]
     if top:
         derived["serve_p99_us"] = top["latency_us"]["p99"]
+        if "p999" in top.get("latency_us", {}):
+            derived["serve_p999_us"] = top["latency_us"]["p999"]
+    # Stage-lifecycle breakdown from the run's closing /tenants scrape:
+    # per-stage means across tenants, weighted by request count.
+    tenants = (serve.get("tenants") or {}).get("tenants") or []
+    requests = sum(t.get("requests", 0) for t in tenants)
+    if requests > 0:
+        stage_ns = {}
+        for t in tenants:
+            for stage, facts in t.get("stages", {}).items():
+                stage_ns[stage] = stage_ns.get(stage, 0) + facts.get("ns_total", 0)
+        derived["serve_stage_us_mean"] = {
+            stage: round(ns / requests / 1e3, 1) for stage, ns in stage_ns.items()}
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=False)
     f.write("\n")
@@ -177,8 +202,16 @@ if "compile_10k_actor_ms" in derived:
 if "incremental_recompile_speedup" in derived:
     print(f"run_benchmarks.sh: incremental recompile speedup "
           f"{derived['incremental_recompile_speedup']}x vs full compile", file=sys.stderr)
+if "serve_trace_overhead_pct" in derived:
+    print(f"run_benchmarks.sh: request-tracing serve overhead "
+          f"{derived['serve_trace_overhead_pct']}%", file=sys.stderr)
 if "serve_peak_krps" in derived:
     print(f"run_benchmarks.sh: serve capacity {derived['serve_peak_krps']} kreq/s "
-          f"(p99 {derived.get('serve_p99_us', '?')} us at the top offered rate)",
+          f"(p99 {derived.get('serve_p99_us', '?')} us, p99.9 "
+          f"{derived.get('serve_p999_us', '?')} us at the top offered rate)",
           file=sys.stderr)
+if "serve_stage_us_mean" in derived:
+    stages = derived["serve_stage_us_mean"]
+    breakdown = ", ".join(f"{k} {v}" for k, v in stages.items())
+    print(f"run_benchmarks.sh: request stage means (us): {breakdown}", file=sys.stderr)
 PY

@@ -1,6 +1,7 @@
 #include "core/job_instance.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -545,6 +546,14 @@ void JobInstance::run_with(const RunOptions& options, const std::function<void()
   // If it throws at the pool level instead, abort + interrupt first so
   // any started bodies unwind, then let the stack optionals tear down
   // the watchdog and server before the exception escapes.
+  // Serve-batch bracketing (request_trace.hpp): when the caller tagged
+  // this run with a batch id, bookend the firing stream with batch
+  // markers so a sampled request's span can be matched to its causal
+  // firing log by (batch id) alone.
+  if (flight_ && options.batch_id >= 0)
+    flight_->record(0, obs::FlightEventKind::kBatchBegin, -1, -1, options.batch_id, 0,
+                    static_cast<std::int32_t>(iterations));
+  const auto exec_begin = std::chrono::steady_clock::now();
   try {
     execute();
   } catch (...) {
@@ -553,6 +562,12 @@ void JobInstance::run_with(const RunOptions& options, const std::function<void()
     running_.store(false, std::memory_order_relaxed);
     throw;
   }
+  last_run_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - exec_begin)
+                     .count();
+  if (flight_ && options.batch_id >= 0)
+    flight_->record(0, obs::FlightEventKind::kBatchEnd, -1, -1, options.batch_id, 0,
+                    static_cast<std::int32_t>(iterations));
 
   if (watchdog) watchdog->stop();
   if (server) server->stop();

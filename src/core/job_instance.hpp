@@ -108,6 +108,11 @@ struct RunOptions {
   /// dumped, watchdog.on_stall fires, and with abort_on_stall the run
   /// is interrupted and run() throws obs::StallError.
   obs::WatchdogOptions watchdog;
+  /// >= 0: bracket this run's flight-recorder stream with
+  /// kBatchBegin/kBatchEnd markers carrying this id (seq) and the
+  /// iteration count (aux), so the serve layer's request spans can be
+  /// matched to their causal firing log (request_trace.hpp).
+  std::int64_t batch_id = -1;
 };
 
 /// Construction knobs beyond the plan itself.
@@ -193,6 +198,12 @@ class JobInstance {
   /// Aggregated channel statistics of the last run() (partial if it
   /// threw).
   [[nodiscard]] const ThreadedRunStats& stats() const { return stats_; }
+
+  /// Wall-clock nanoseconds the last completed run() / run_colocated()
+  /// spent inside plan execution (gang or colocated walk), excluding
+  /// watchdog/server mount and stats aggregation. The serve layer's
+  /// exec-stage spans should closely bound this.
+  [[nodiscard]] std::int64_t last_run_ns() const { return last_run_ns_; }
 
   [[nodiscard]] const ReliabilityOptions& reliability() const { return reliability_; }
   [[nodiscard]] ChannelPolicy channel_policy() const { return policy_; }
@@ -303,6 +314,7 @@ class JobInstance {
   std::vector<obs::Gauge*> depth_gauges_;
   std::vector<obs::Gauge*> watermark_gauges_;
   std::int64_t run_iterations_ = 0;  ///< written before workers/server start
+  std::int64_t last_run_ns_ = 0;     ///< wall time of the last completed run
   std::atomic<bool> running_{false};
   std::atomic<bool> abort_{false};
   std::mutex error_mutex_;

@@ -1,5 +1,6 @@
 #include "core/worker_pool.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace spi::core {
@@ -31,6 +32,11 @@ std::int64_t WorkerPool::gangs_run() const {
   return gangs_;
 }
 
+std::int64_t WorkerPool::gang_busy_ns() const {
+  std::lock_guard lock(mutex_);
+  return gang_ns_;
+}
+
 void WorkerPool::run(std::span<const std::function<void()>> tasks) {
   if (tasks.empty()) return;
   if (tasks.size() > threads_.size())
@@ -58,10 +64,14 @@ void WorkerPool::run(std::span<const std::function<void()>> tasks) {
   claimed_ += gang.count;
   active_.push_back(&gang);
   ++gangs_;
+  const auto gang_begin = std::chrono::steady_clock::now();
   worker_cv_.notify_all();
   // The next queued caller may also fit once workers free up; it is
   // re-woken by workers returning to idle.
   done_cv_.wait(lock, [&] { return gang.done == gang.count; });
+  gang_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - gang_begin)
+                  .count();
 }
 
 void WorkerPool::run_one(const std::function<void()>& task) { run({&task, 1}); }

@@ -45,6 +45,10 @@ class WorkerPool {
   [[nodiscard]] std::size_t idle() const;
   /// Gangs executed since construction.
   [[nodiscard]] std::int64_t gangs_run() const;
+  /// Cumulative wall nanoseconds from gang activation to gang
+  /// completion, summed over every run() — the pool-side "exec" span
+  /// the serving layer's request tracer brackets (request_trace.hpp).
+  [[nodiscard]] std::int64_t gang_busy_ns() const;
 
   /// Runs every task on a pool worker and returns when all of them have
   /// returned. Throws std::invalid_argument when tasks.size() exceeds
@@ -75,6 +79,7 @@ class WorkerPool {
   std::size_t idle_ = 0;    ///< workers parked in worker_cv_
   std::size_t claimed_ = 0; ///< tasks activated but not yet taken by a worker
   std::int64_t gangs_ = 0;
+  std::int64_t gang_ns_ = 0;  ///< cumulative activation-to-done wall ns
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

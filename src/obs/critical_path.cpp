@@ -146,6 +146,9 @@ Flattened flatten(const FlightLog& log) {
           break;
         case FlightEventKind::kRetry:
           break;  // counted by the reliable-transport metrics, not causal
+        case FlightEventKind::kBatchBegin:
+        case FlightEventKind::kBatchEnd:
+          break;  // serve batch markers: correlation only, not causal
       }
     }
     // Unclosed pairs (ring overflow or a crashed worker) are dropped:

@@ -138,6 +138,7 @@ std::int64_t FlightRecorder::now_ns() const { return monotonic_ns() - epoch_ns_;
 void FlightRecorder::record(std::int32_t proc, FlightEventKind kind, std::int32_t actor,
                             std::int32_t edge, std::int64_t seq, std::int64_t iteration,
                             std::int32_t aux) noexcept {
+  if (!armed_.load(std::memory_order_relaxed)) return;
   if (proc < 0 || static_cast<std::size_t>(proc) >= rings_.size()) return;
   FlightEvent e;
   e.t = now_ns();
@@ -263,7 +264,7 @@ FlightLog FlightLog::from_json(std::string_view text) {
             c.expect(':');
             const std::int64_t v = c.integer();
             if (field == "k") {
-              if (v < 0 || v > static_cast<std::int64_t>(FlightEventKind::kRetry))
+              if (v < 0 || v > static_cast<std::int64_t>(FlightEventKind::kBatchEnd))
                 throw std::invalid_argument("FlightLog::from_json: unknown event kind " +
                                             std::to_string(v));
               e.kind = static_cast<FlightEventKind>(v);

@@ -45,6 +45,8 @@ enum class FlightEventKind : std::uint8_t {
   kBlockBegin = 4,  ///< wait on a channel started (aux: 0 = consumer, 1 = producer)
   kBlockEnd = 5,    ///< wait ended (seq = unblocking message, consumer side)
   kRetry = 6,       ///< reliable-transport retransmissions (seq = retry count)
+  kBatchBegin = 7,  ///< serve batch started (seq = batch id, aux = batch jobs)
+  kBatchEnd = 8,    ///< serve batch completed (seq = batch id)
 };
 
 /// One fixed-size binary event. POD — rings copy it by value.
@@ -93,6 +95,12 @@ class FlightRing {
   /// Consumer side: moves everything currently readable into `out`.
   void drain(std::vector<FlightEvent>& out);
 
+  /// Consumer side: drops everything currently readable without copying
+  /// — re-bases the ring so the next drain sees only newer events.
+  void discard_all() noexcept {
+    head_.store(tail_.load(std::memory_order_acquire), std::memory_order_release);
+  }
+
   [[nodiscard]] std::int64_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -123,8 +131,18 @@ class FlightRecorder {
   [[nodiscard]] std::int64_t now_ns() const;
 
   /// Stamps the event with now_ns() and pushes it onto `proc`'s ring.
+  /// A no-op while disarmed.
   void record(std::int32_t proc, FlightEventKind kind, std::int32_t actor, std::int32_t edge,
               std::int64_t seq, std::int64_t iteration, std::int32_t aux = 0) noexcept;
+
+  /// Arms / disarms capture. Disarmed, record() is one relaxed load —
+  /// for recorders that stay attached to a long-lived engine but whose
+  /// events only matter in windows somebody will actually collect (the
+  /// serve layer arms around captured batches and stall-watchdogged
+  /// runs; writing events nobody drains costs real ring traffic).
+  /// Armed by default.
+  void set_armed(bool armed) noexcept { armed_.store(armed, std::memory_order_relaxed); }
+  [[nodiscard]] bool armed() const noexcept { return armed_.load(std::memory_order_relaxed); }
 
   /// Engine-provided naming for the collected log (actor/edge ids are
   /// meaningless without it in a post-mortem dump).
@@ -141,6 +159,16 @@ class FlightRecorder {
   /// in the sense that un-drained events remain in the rings.
   [[nodiscard]] FlightLog collect();
 
+  /// Drops every un-drained event without copying. Scopes the next
+  /// collect() to events recorded after this call — the serve layer's
+  /// flight bridge resets this way before a captured batch so the
+  /// collected log is exactly that batch's stream (an always-on
+  /// recorder accumulates ring-capacity stale events between captures;
+  /// draining those through collect() would cost milliseconds).
+  void discard_all() noexcept {
+    for (auto& ring : rings_) ring->discard_all();
+  }
+
   [[nodiscard]] std::int64_t dropped_total() const;
 
   /// spi_flight_events_recorded / spi_flight_events_dropped gauges —
@@ -149,6 +177,7 @@ class FlightRecorder {
 
  private:
   std::vector<std::unique_ptr<FlightRing>> rings_;
+  std::atomic<bool> armed_{true};
   std::int64_t epoch_ns_;
   std::int64_t collected_ = 0;  ///< events drained so far (for metrics)
   std::string time_unit_ = "ns";

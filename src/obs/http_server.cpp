@@ -241,13 +241,13 @@ bool HttpServer::process_input(Connection& conn) {
       options_.batch_handler({requests.data(), requests.size()}, responses);
       if (responses.size() != requests.size()) {
         responses.assign(requests.size(),
-                         {500, "text/plain; charset=utf-8", "batch handler miscount\n"});
+                         {500, "application/json", "{\"error\": \"batch handler miscount\"}\n"});
       }
     } else if (options_.handler) {
       for (const HttpRequest& request : requests) responses.push_back(options_.handler(request));
     } else {
       responses.assign(requests.size(),
-                       {503, "text/plain; charset=utf-8", "no handler installed\n"});
+                       {503, "application/json", "{\"error\": \"no handler installed\"}\n"});
     }
   }
 
@@ -257,7 +257,7 @@ bool HttpServer::process_input(Connection& conn) {
   if (bad) {
     static const HttpRequest kBadRequest{"GET", "/", "HTTP/1.0", "", false};
     serialize_response(wire, kBadRequest,
-                       {400, "text/plain; charset=utf-8", "malformed request\n"});
+                       {400, "application/json", "{\"error\": \"malformed request\"}\n"});
   }
   // Counted before the reply leaves: a client that has read a full
   // response can rely on requests_served() already covering it.
@@ -297,7 +297,7 @@ void HttpServer::serve() {
           static const HttpRequest kShed{"GET", "/", "HTTP/1.0", "", false};
           std::string wire;
           serialize_response(wire, kShed,
-                             {503, "text/plain; charset=utf-8", "connection limit reached\n"});
+                             {503, "application/json", "{\"error\": \"connection limit reached\"}\n"});
           send_all(conn, wire);
           ::close(conn);
           continue;

@@ -1,5 +1,7 @@
 #include "obs/obs_server.hpp"
 
+#include "obs/text_escape.hpp"
+
 namespace spi::obs {
 
 ObsServer::ObsServer(Options options) : options_(std::move(options)) {}
@@ -26,7 +28,7 @@ void ObsServer::stop() {
 
 HttpResponse ObsServer::handle(const std::string& method, const std::string& target) const {
   if (method != "GET") {
-    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    return {405, "application/json", "{\"error\": \"method not allowed\"}\n"};
   }
   // Strip any query string: /healthz?verbose=1 routes as /healthz.
   const std::string path = target.substr(0, target.find('?'));
@@ -41,13 +43,13 @@ HttpResponse ObsServer::handle(const std::string& method, const std::string& tar
   }
   if (path == "/metrics") {
     if (options_.registry == nullptr)
-      return {404, "text/plain; charset=utf-8", "no metric registry attached\n"};
+      return {404, "application/json", "{\"error\": \"no metric registry attached\"}\n"};
     if (options_.refresh) options_.refresh();
     return {200, "text/plain; version=0.0.4; charset=utf-8", options_.registry->to_prometheus()};
   }
   if (path == "/metrics.json") {
     if (options_.registry == nullptr)
-      return {404, "text/plain; charset=utf-8", "no metric registry attached\n"};
+      return {404, "application/json", "{\"error\": \"no metric registry attached\"}\n"};
     if (options_.refresh) options_.refresh();
     return {200, "application/json", options_.registry->to_json()};
   }
@@ -62,11 +64,12 @@ HttpResponse ObsServer::handle(const std::string& method, const std::string& tar
   }
   if (path == "/runtime") {
     if (!options_.runtime_json)
-      return {404, "text/plain; charset=utf-8", "no runtime attached\n"};
+      return {404, "application/json", "{\"error\": \"no runtime attached\"}\n"};
     if (options_.refresh) options_.refresh();
     return {200, "application/json", options_.runtime_json() + "\n"};
   }
-  return {404, "text/plain; charset=utf-8", "unknown endpoint '" + path + "'\n"};
+  return {404, "application/json",
+          "{\"error\": \"unknown endpoint '" + detail::json_escaped(path) + "'\"}\n"};
 }
 
 }  // namespace spi::obs

@@ -21,10 +21,16 @@ namespace spi::serve {
 
 /// One admitted job waiting for its batch: which burst slot to answer,
 /// which app to run, and the raw request body (parsed at drain time).
+/// The trace fields are the job's request-lifecycle context
+/// (obs/request_trace.hpp): span id plus the ingest and enqueue stamps,
+/// carried through the queue so the drain can attribute queue wait.
 struct QueuedJob {
   std::size_t request_index = 0;  ///< slot in the burst's response vector
   std::string app;                ///< "speech" or "particle"
   std::string body;               ///< request JSON
+  std::uint64_t span_id = 0;      ///< 0 = untraced
+  std::int64_t ingest_ns = 0;     ///< burst entry (tracer clock)
+  std::int64_t enqueued_ns = 0;   ///< enqueue stamp (shared per burst)
 };
 
 class JobQueue {
@@ -47,6 +53,9 @@ class JobQueue {
   /// High-water queue depth since construction (a gauge on /metrics —
   /// the closest the synchronous server gets to "queueing delay").
   [[nodiscard]] std::int64_t depth_watermark() const { return depth_watermark_; }
+  /// Re-bases the watermark on the current depth (scrape-and-reset
+  /// consumers). Monotonic between resets; never drops below depth().
+  void reset_watermark() { depth_watermark_ = depth(); }
   [[nodiscard]] std::int64_t jobs_served() const { return jobs_served_; }
   void count_served(std::int64_t n) { jobs_served_ += n; }
   [[nodiscard]] const std::string& tenant() const { return tenant_; }

@@ -71,10 +71,19 @@ std::string_view path_of(const obs::HttpRequest& request) {
   return query == std::string_view::npos ? target : target.substr(0, query);
 }
 
+// Stage indices into RequestSpan::stage_ns (request_trace.hpp).
+constexpr auto kStAdmission = static_cast<std::size_t>(obs::RequestStage::kAdmission);
+constexpr auto kStQueue = static_cast<std::size_t>(obs::RequestStage::kQueue);
+constexpr auto kStBatch = static_cast<std::size_t>(obs::RequestStage::kBatch);
+constexpr auto kStExec = static_cast<std::size_t>(obs::RequestStage::kExec);
+constexpr auto kStReply = static_cast<std::size_t>(obs::RequestStage::kReply);
+
 }  // namespace
 
 /// A built-in model: the app, one persistent JobInstance executing every
-/// batch, and that instance's always-on flight recorder.
+/// batch, and that instance's flight recorder (armed continuously when
+/// the stall watchdog may dump a post-mortem, else only around the
+/// trace bridge's captured batches).
 struct PlanServer::SpeechModel {
   apps::ErrorGenApp app;
   obs::FlightRecorder flight;
@@ -117,9 +126,17 @@ PlanServer::PlanServer(PlanServerOptions options)
     owned_metrics_ = std::make_unique<obs::MetricRegistry>();
     metrics_ = owned_metrics_.get();
   }
+  tracer_ = std::make_unique<obs::RequestTracer>(options_.trace, *metrics_);
 
   speech_ = std::make_unique<SpeechModel>(options_, metrics_);
   particle_ = std::make_unique<ParticleModel>(options_, metrics_);
+  // The recorders stay attached for the server's lifetime but record
+  // only when somebody will drain the events: continuously when the
+  // stall watchdog may dump a post-mortem, else just around captured
+  // batches (the flight bridge arms/disarms per capture).
+  const bool continuous_flight = options_.watchdog_ms > 0;
+  speech_->flight.set_armed(continuous_flight);
+  particle_->flight.set_armed(continuous_flight);
   for (auto* run_options : {&speech_->run_options, &particle_->run_options}) {
     if (options_.watchdog_ms > 0) {
       run_options->watchdog.enabled = true;
@@ -186,6 +203,13 @@ obs::HttpResponse PlanServer::handle_get(const obs::HttpRequest& request) {
         .set(static_cast<double>(admission_.reserved_bytes()));
     speech_->instance.refresh_channel_gauges();
     particle_->instance.refresh_channel_gauges();
+    for (const auto& [tenant, state] : tenants_) {
+      const obs::Labels tenant_label{{"tenant", tenant}};
+      metrics_->gauge("spi_serve_queue_depth", tenant_label)
+          .set(static_cast<double>(state.queue.depth()));
+      metrics_->gauge("spi_serve_queue_depth_watermark", tenant_label)
+          .set(static_cast<double>(state.queue.depth_watermark()));
+    }
     obs::HttpResponse response;
     if (path == "/metrics.json") {
       response.content_type = "application/json";
@@ -199,6 +223,20 @@ obs::HttpResponse PlanServer::handle_get(const obs::HttpRequest& request) {
   if (path == "/runtime") {
     metrics_->counter("spi_serve_requests_total", {{"route", "runtime"}}).inc();
     return json_response(200, runtime_json());
+  }
+  if (path == "/trace") {
+    metrics_->counter("spi_serve_requests_total", {{"route", "trace"}}).inc();
+    return json_response(200, tracer_->trace_json());
+  }
+  if (path == "/trace/flight") {
+    metrics_->counter("spi_serve_requests_total", {{"route", "trace"}}).inc();
+    if (!tracer_->has_flight())
+      return json_response(404, "{\"error\": \"no sampled flight log captured yet\"}\n");
+    return json_response(200, tracer_->flight_json());
+  }
+  if (path == "/tenants") {
+    metrics_->counter("spi_serve_requests_total", {{"route", "tenants"}}).inc();
+    return json_response(200, tenants_json());
   }
   metrics_->counter("spi_serve_requests_total", {{"route", "other"}}).inc();
   return json_response(404, "{\"error\": \"not found\"}\n");
@@ -243,26 +281,79 @@ void PlanServer::route_job(std::size_t index, const obs::HttpRequest& request,
     return;
   }
   std::string tenant = json_string_field(request.body, "tenant").value_or("default");
-  auto [it, inserted] = tenants_.try_emplace(tenant, JobQueue(tenant));
-  JobQueue& queue = it->second;
+  auto [it, inserted] = tenants_.try_emplace(tenant, TenantState(tenant));
+  TenantState& state = it->second;
+  if (inserted) state.series = tracer_->tenant_series(tenant);
+  JobQueue& queue = state.queue;
   const AdmissionDecision decision = admission_.admit_job(queue.depth());
   if (!decision.admitted) {
     metrics_->counter("spi_serve_rejects_total", {{"reason", decision.reason}}).inc();
     responses[index] = reject_response(decision.reason);
+    if (state.series != nullptr) {
+      // A 429 is a complete (short) lifecycle: ingest -> admission
+      // verdict -> reply. Rejects show up in the per-tenant rollups.
+      obs::RequestSpan span;
+      span.id = tracer_->begin_span();
+      span.sampled = tracer_->is_sampled(span.id);
+      span.status = 429;
+      span.ingest_ns = burst_ingest_ns_;
+      span.stage_ns[kStAdmission] = tracer_->now_ns() - burst_ingest_ns_;
+      tracer_->complete(*state.series, span, tenant, *app);
+    }
     return;
   }
-  queue.push(QueuedJob{index, *app, request.body});
+  QueuedJob job{index, *app, request.body, 0, 0, 0};
+  if (state.series != nullptr) {
+    job.span_id = tracer_->begin_span();
+    job.ingest_ns = burst_ingest_ns_;
+    // One enqueue stamp per burst, taken at the first admitted job: the
+    // per-job clock read was the largest per-request tracing cost, and
+    // sharing the stamp only moves sibling-routing time from the
+    // admission stage into the queue stage (time spent waiting for the
+    // rest of the burst to route IS batch-formation wait). Stage tiling
+    // is unaffected — the stamp still falls between ingest and drain.
+    if (burst_admit_ns_ < 0) burst_admit_ns_ = tracer_->now_ns();
+    job.enqueued_ns = burst_admit_ns_;
+  }
+  queue.push(std::move(job));
 }
 
-void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& responses) {
+void PlanServer::drain_queue(TenantState& tenant, std::vector<obs::HttpResponse>& responses) {
+  JobQueue& queue = tenant.queue;
+  if (queue.empty()) return;
+  obs::TenantSeries* series = tenant.series;
+  const bool traced = series != nullptr;
+  const std::int64_t drain_ns = traced ? tracer_->now_ns() : 0;
+
   struct SpeechParsed {
     std::size_t index;
     bool explicit_io;
+    std::uint64_t span_id;
+    std::int64_t ingest_ns;
+    std::int64_t enqueued_ns;
   };
   struct ParticleParsed {
     std::size_t index;
     bool explicit_io;
     std::int64_t steps;
+    std::uint64_t span_id;
+    std::int64_t ingest_ns;
+    std::int64_t enqueued_ns;
+  };
+
+  // Completes a span for a job rejected while parsing at drain time:
+  // its lifecycle ends inside the batch-formation stage.
+  const auto complete_drain_reject = [&](const QueuedJob& job, int status) {
+    if (!traced || job.span_id == 0) return;
+    obs::RequestSpan span;
+    span.id = job.span_id;
+    span.sampled = tracer_->is_sampled(job.span_id);
+    span.status = status;
+    span.ingest_ns = job.ingest_ns;
+    span.stage_ns[kStAdmission] = job.enqueued_ns - job.ingest_ns;
+    span.stage_ns[kStQueue] = drain_ns - job.enqueued_ns;
+    span.stage_ns[kStBatch] = tracer_->now_ns() - drain_ns;
+    tracer_->complete(*series, span, queue.tenant(), job.app);
   };
   std::vector<SpeechParsed> speech_meta;
   std::vector<apps::ErrorGenApp::SpeechJobSpec> speech_jobs;
@@ -295,6 +386,7 @@ void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& re
         if (n == 0 || n > speech_params.max_frame_size || order == 0 ||
             order > speech_params.max_order) {
           responses[job.request_index] = bad_request("speech job exceeds the model bounds");
+          complete_drain_reject(job, 400);
           continue;
         }
         spec.frame = synth_frame(seed, n);
@@ -303,9 +395,11 @@ void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& re
       if (spec.frame.empty() || spec.frame.size() > speech_params.max_frame_size ||
           spec.coeffs.empty() || spec.coeffs.size() > speech_params.max_order) {
         responses[job.request_index] = bad_request("speech job exceeds the model bounds");
+        complete_drain_reject(job, 400);
         continue;
       }
-      speech_meta.push_back({job.request_index, explicit_io});
+      speech_meta.push_back(
+          {job.request_index, explicit_io, job.span_id, job.ingest_ns, job.enqueued_ns});
       speech_jobs.push_back(std::move(spec));
     } else {
       apps::ParticleFilterApp::ParticleJobSpec spec;
@@ -322,6 +416,7 @@ void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& re
             json_number_field(job.body, "steps").value_or(8.0));
         if (steps == 0 || steps > 4096) {
           responses[job.request_index] = bad_request("particle job steps out of range");
+          complete_drain_reject(job, 400);
           continue;
         }
         dsp::Rng rng(spec.seed + 1);
@@ -329,11 +424,13 @@ void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& re
       }
       if (spec.trajectory.observations.empty()) {
         responses[job.request_index] = bad_request("particle job has no observations");
+        complete_drain_reject(job, 400);
         continue;
       }
       const auto steps = static_cast<std::int64_t>(spec.trajectory.observations.size());
       auto& [meta, specs] = particle_groups[steps];
-      meta.push_back({job.request_index, explicit_io, steps});
+      meta.push_back(
+          {job.request_index, explicit_io, steps, job.span_id, job.ingest_ns, job.enqueued_ns});
       specs.push_back(std::move(spec));
     }
   }
@@ -345,9 +442,32 @@ void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& re
         ->histogram("spi_serve_batch_jobs", obs::Histogram::exponential_bounds(1.0, 2.0, 11),
                     {{"app", "speech"}})
         .observe(static_cast<double>(speech_jobs.size()));
+    const std::int64_t batch_id = next_batch_id_++;
+    bool sample_batch = false;
+    if (traced)
+      for (const SpeechParsed& m : speech_meta)
+        if (m.span_id != 0 && tracer_->is_sampled(m.span_id)) {
+          sample_batch = true;
+          break;
+        }
+    // Flight bridge, paced much coarser than span sampling (collect is
+    // the one expensive capture): drop whatever the rings still hold,
+    // tag the run, and collect right after — the captured log is
+    // exactly this batch's causal firing stream (GET /trace/flight).
+    const bool capture_flight = sample_batch && tracer_->want_flight();
+    if (capture_flight) {
+      speech_->flight.set_armed(true);
+      speech_->flight.discard_all();
+      speech_->run_options.batch_id = batch_id;
+    } else {
+      speech_->run_options.batch_id = -1;
+    }
+    const std::int64_t formed_ns = traced ? tracer_->now_ns() : 0;
+    std::int64_t exec_end_ns = formed_ns;
     try {
       const auto results = speech_->app.compute_errors_batch(
           speech_jobs, speech_->instance, &speech_->run_options);
+      exec_end_ns = traced ? tracer_->now_ns() : 0;
       for (std::size_t k = 0; k < speech_meta.size(); ++k) {
         std::string body = "{\"app\": \"speech\", ";
         if (speech_meta[k].explicit_io) {
@@ -366,9 +486,40 @@ void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& re
       metrics_->counter("spi_serve_jobs_total", {{"app", "speech"}, {"tenant", queue.tenant()}})
           .inc(static_cast<std::int64_t>(speech_jobs.size()));
     } catch (const std::exception& e) {
+      exec_end_ns = traced ? tracer_->now_ns() : 0;
       for (const SpeechParsed& meta : speech_meta)
         responses[meta.index] =
             json_response(500, "{\"error\": \"" + obs::detail::json_escaped(e.what()) + "\"}\n");
+    }
+    if (traced) {
+      // Reply stamp first: flight collection is tracer bookkeeping, not
+      // part of any request's lifecycle (serialization waits for the
+      // GET /trace/flight scrape).
+      const std::int64_t reply_ns = tracer_->now_ns();
+      if (capture_flight) {
+        tracer_->note_flight(batch_id, speech_->flight.collect());
+        speech_->flight.set_armed(options_.watchdog_ms > 0);
+      }
+      span_ids_scratch_.clear();
+      for (const SpeechParsed& m : speech_meta)
+        if (m.span_id != 0) span_ids_scratch_.push_back(m.span_id);
+      if (!span_ids_scratch_.empty()) {
+        // One representative span for the whole batch: the jobs share
+        // every stage boundary (batch stamps, the burst's enqueue stamp,
+        // one status for the batched firing), so only the ids differ.
+        const SpeechParsed& front = speech_meta.front();
+        obs::RequestSpan span;
+        span.status = responses[front.index].status;
+        span.batch_id = batch_id;
+        span.batch_size = static_cast<std::int32_t>(speech_jobs.size());
+        span.ingest_ns = front.ingest_ns;
+        span.stage_ns[kStAdmission] = front.enqueued_ns - front.ingest_ns;
+        span.stage_ns[kStQueue] = drain_ns - front.enqueued_ns;
+        span.stage_ns[kStBatch] = formed_ns - drain_ns;
+        span.stage_ns[kStExec] = exec_end_ns - formed_ns;
+        span.stage_ns[kStReply] = reply_ns - exec_end_ns;
+        tracer_->complete_batch(*series, span, span_ids_scratch_, queue.tenant(), "speech");
+      }
     }
   }
 
@@ -379,9 +530,28 @@ void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& re
         ->histogram("spi_serve_batch_jobs", obs::Histogram::exponential_bounds(1.0, 2.0, 11),
                     {{"app", "particle"}})
         .observe(static_cast<double>(specs.size()));
+    const std::int64_t batch_id = next_batch_id_++;
+    bool sample_batch = false;
+    if (traced)
+      for (const ParticleParsed& m : meta)
+        if (m.span_id != 0 && tracer_->is_sampled(m.span_id)) {
+          sample_batch = true;
+          break;
+        }
+    const bool capture_flight = sample_batch && tracer_->want_flight();
+    if (capture_flight) {
+      particle_->flight.set_armed(true);
+      particle_->flight.discard_all();
+      particle_->run_options.batch_id = batch_id;
+    } else {
+      particle_->run_options.batch_id = -1;
+    }
+    const std::int64_t formed_ns = traced ? tracer_->now_ns() : 0;
+    std::int64_t exec_end_ns = formed_ns;
     try {
       const auto results =
           particle_->app.track_batch(specs, particle_->instance, &particle_->run_options);
+      exec_end_ns = traced ? tracer_->now_ns() : 0;
       for (std::size_t k = 0; k < meta.size(); ++k) {
         const apps::TrackResult& r = results[k];
         std::string body = "{\"app\": \"particle\", ";
@@ -405,9 +575,34 @@ void PlanServer::drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& re
       metrics_->counter("spi_serve_jobs_total", {{"app", "particle"}, {"tenant", queue.tenant()}})
           .inc(static_cast<std::int64_t>(specs.size()));
     } catch (const std::exception& e) {
+      exec_end_ns = traced ? tracer_->now_ns() : 0;
       for (const ParticleParsed& m : meta)
         responses[m.index] =
             json_response(500, "{\"error\": \"" + obs::detail::json_escaped(e.what()) + "\"}\n");
+    }
+    if (traced) {
+      const std::int64_t reply_ns = tracer_->now_ns();
+      if (capture_flight) {
+        tracer_->note_flight(batch_id, particle_->flight.collect());
+        particle_->flight.set_armed(options_.watchdog_ms > 0);
+      }
+      span_ids_scratch_.clear();
+      for (const ParticleParsed& m : meta)
+        if (m.span_id != 0) span_ids_scratch_.push_back(m.span_id);
+      if (!span_ids_scratch_.empty()) {
+        const ParticleParsed& front = meta.front();
+        obs::RequestSpan span;
+        span.status = responses[front.index].status;
+        span.batch_id = batch_id;
+        span.batch_size = static_cast<std::int32_t>(specs.size());
+        span.ingest_ns = front.ingest_ns;
+        span.stage_ns[kStAdmission] = front.enqueued_ns - front.ingest_ns;
+        span.stage_ns[kStQueue] = drain_ns - front.enqueued_ns;
+        span.stage_ns[kStBatch] = formed_ns - drain_ns;
+        span.stage_ns[kStExec] = exec_end_ns - formed_ns;
+        span.stage_ns[kStReply] = reply_ns - exec_end_ns;
+        tracer_->complete_batch(*series, span, span_ids_scratch_, queue.tenant(), "particle");
+      }
     }
   }
 }
@@ -416,6 +611,8 @@ void PlanServer::handle_burst(std::span<obs::HttpRequest> requests,
                               std::vector<obs::HttpResponse>& responses) {
   const auto start = std::chrono::steady_clock::now();
   ++bursts_;
+  burst_ingest_ns_ = tracer_->enabled() ? tracer_->now_ns() : 0;
+  burst_admit_ns_ = -1;
   responses.resize(requests.size());
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -441,7 +638,7 @@ void PlanServer::handle_burst(std::span<obs::HttpRequest> requests,
 
   // Batched firing: each tenant queue drains as one colocated batch per
   // app (one program traversal amortized over all its queued jobs).
-  for (auto& [tenant, queue] : tenants_) drain_queue(queue, responses);
+  for (auto& [tenant, state] : tenants_) drain_queue(state, responses);
 
   const double seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
@@ -475,14 +672,38 @@ std::string PlanServer::runtime_json() const {
   out += "  ],\n";
   out += "  \"tenants\": [";
   bool first = true;
-  for (const auto& [tenant, queue] : tenants_) {
+  for (const auto& [tenant, state] : tenants_) {
     if (!first) out += ", ";
     first = false;
     out += "{\"tenant\": \"" + obs::detail::json_escaped(tenant) +
-           "\", \"depth_watermark\": " + std::to_string(queue.depth_watermark()) +
-           ", \"jobs_served\": " + std::to_string(queue.jobs_served()) + "}";
+           "\", \"depth_watermark\": " + std::to_string(state.queue.depth_watermark()) +
+           ", \"jobs_served\": " + std::to_string(state.queue.jobs_served()) + "}";
   }
   out += "]\n}\n";
+  return out;
+}
+
+std::string PlanServer::tenants_json() const {
+  std::string out = "{\"schema\": 1, \"tracing\": ";
+  out += tracer_->enabled() ? "true" : "false";
+  out += ", \"requests_total\": " + std::to_string(tracer_->requests_total());
+  out += ", \"sampled_total\": " + std::to_string(tracer_->sampled_total());
+  out += ",\n \"tenants\": [\n";
+  bool first = true;
+  for (const auto& [tenant, state] : tenants_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"tenant\": \"" + obs::detail::json_escaped(tenant) + "\"";
+    out += ", \"queue_depth\": " + std::to_string(state.queue.depth());
+    out += ", \"depth_watermark\": " + std::to_string(state.queue.depth_watermark());
+    out += ", \"jobs_served\": " + std::to_string(state.queue.jobs_served());
+    if (state.series != nullptr) {
+      out += ", ";
+      tracer_->append_rollup_json(out, *state.series);
+    }
+    out += "}";
+  }
+  out += "\n ]\n}\n";
   return out;
 }
 

@@ -36,6 +36,7 @@
 #include "apps/speech_app.hpp"
 #include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/plan_cache.hpp"
@@ -64,6 +65,10 @@ struct PlanServerOptions {
   std::int64_t watchdog_ms = 0;
   std::string flight_dump_dir;
   obs::MetricRegistry* metrics = nullptr;  ///< optional external registry
+  /// Request-lifecycle tracing (GET /trace, /tenants — see
+  /// obs/request_trace.hpp). On by default; the serve bench holds the
+  /// traced-vs-bare throughput regression under 2%.
+  obs::RequestTracerOptions trace;
 };
 
 class PlanServer {
@@ -91,6 +96,10 @@ class PlanServer {
   [[nodiscard]] obs::MetricRegistry& metrics() { return *metrics_; }
   [[nodiscard]] std::int64_t jobs_served() const { return jobs_served_; }
   [[nodiscard]] std::string runtime_json() const;
+  /// The GET /tenants body: per-tenant queue facts merged with the
+  /// tracer's per-stage rollups.
+  [[nodiscard]] std::string tenants_json() const;
+  [[nodiscard]] const obs::RequestTracer& tracer() const { return *tracer_; }
   /// Content hashes of the built-in model plans (pre-cached at startup).
   [[nodiscard]] const std::string& speech_plan_key() const { return speech_plan_key_; }
   [[nodiscard]] const std::string& particle_plan_key() const { return particle_plan_key_; }
@@ -99,13 +108,22 @@ class PlanServer {
   struct SpeechModel;
   struct ParticleModel;
 
+  /// One tenant's serving state: the queue plus the tracer's cached
+  /// instrument handles (resolved once — per-request stamping must not
+  /// take the registry lock).
+  struct TenantState {
+    explicit TenantState(std::string tenant) : queue(std::move(tenant)) {}
+    JobQueue queue;
+    obs::TenantSeries* series = nullptr;
+  };
+
   [[nodiscard]] obs::HttpResponse handle_get(const obs::HttpRequest& request);
   [[nodiscard]] obs::HttpResponse handle_plan_post(const obs::HttpRequest& request);
   /// Parses and queues one POST /job, or answers it immediately (400 /
   /// 429) in `responses`.
   void route_job(std::size_t index, const obs::HttpRequest& request,
                  std::vector<obs::HttpResponse>& responses);
-  void drain_queue(JobQueue& queue, std::vector<obs::HttpResponse>& responses);
+  void drain_queue(TenantState& tenant, std::vector<obs::HttpResponse>& responses);
 
   PlanServerOptions options_;
   std::unique_ptr<obs::MetricRegistry> owned_metrics_;
@@ -113,7 +131,14 @@ class PlanServer {
 
   PlanCache cache_;
   AdmissionController admission_;
-  std::map<std::string, JobQueue> tenants_;
+  std::map<std::string, TenantState> tenants_;
+  std::unique_ptr<obs::RequestTracer> tracer_;
+  std::int64_t next_batch_id_ = 0;
+  std::int64_t burst_ingest_ns_ = 0;  ///< tracer stamp at handle_burst entry
+  /// Shared enqueue stamp, taken lazily at the burst's first admitted
+  /// job (-1 = not yet): one clock read per burst, not per job.
+  std::int64_t burst_admit_ns_ = -1;
+  std::vector<std::uint64_t> span_ids_scratch_;  ///< reused per drained batch
 
   std::unique_ptr<SpeechModel> speech_;
   std::unique_ptr<ParticleModel> particle_;

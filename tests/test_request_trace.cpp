@@ -1,0 +1,277 @@
+/// \file test_request_trace.cpp
+/// Unit tests for the request-lifecycle tracer (obs/request_trace.hpp):
+/// head-sampling cadence, ring wrap, the slowest-N outlier reservoir,
+/// the tenant-cardinality cap, batch-vs-single completion equivalence,
+/// flight-bridge pacing and the /trace JSON shape. The companion serve
+/// integration tests (test_serve.cpp) exercise the same tracer through
+/// PlanServer::handle_burst.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
+
+namespace spi::obs {
+namespace {
+
+/// A span whose five stages tile `e2e` nanoseconds (uneven on purpose so
+/// per-stage accounting is distinguishable from e2e accounting).
+RequestSpan make_span(std::uint64_t id, std::int64_t e2e, bool sampled, int status = 200) {
+  RequestSpan span;
+  span.id = id;
+  span.status = status;
+  span.sampled = sampled;
+  span.batch_id = 7;
+  span.batch_size = 3;
+  span.stage_ns[0] = e2e / 10;
+  span.stage_ns[1] = e2e / 5;
+  span.stage_ns[2] = e2e / 20;
+  span.stage_ns[3] = e2e / 2;
+  span.stage_ns[4] = e2e - span.stage_ns[0] - span.stage_ns[1] - span.stage_ns[2] -
+                     span.stage_ns[3];
+  return span;
+}
+
+TEST(RequestSpanTest, StagesTileEndToEnd) {
+  const RequestSpan span = make_span(1, 12'345, true);
+  std::int64_t sum = 0;
+  for (const std::int64_t ns : span.stage_ns) sum += ns;
+  EXPECT_EQ(span.e2e_ns(), sum);
+  EXPECT_EQ(span.e2e_ns(), 12'345);
+}
+
+TEST(RequestTracerTest, HeadSamplingIsPeriodicFromSpanOne) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.sample_every = 4;
+  RequestTracer tracer(options, registry);
+  std::vector<bool> sampled;
+  for (int i = 0; i < 9; ++i) sampled.push_back(tracer.is_sampled(tracer.begin_span()));
+  EXPECT_EQ(sampled, (std::vector<bool>{true, false, false, false, true, false, false, false,
+                                        true}));
+  EXPECT_EQ(tracer.requests_total(), 9);
+}
+
+TEST(RequestTracerTest, OptionClampsAndDisabledTracer) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.sample_every = 0;   // clamped to 1
+  options.flight_every = -5;  // clamped to 1
+  RequestTracer tracer(options, registry);
+  EXPECT_EQ(tracer.options().sample_every, 1);
+  EXPECT_EQ(tracer.options().flight_every, 1);
+
+  RequestTracerOptions off;
+  off.enabled = false;
+  RequestTracer disabled(off, registry);
+  EXPECT_EQ(disabled.tenant_series("t0"), nullptr);
+  EXPECT_FALSE(disabled.is_sampled(disabled.begin_span()));
+  EXPECT_FALSE(disabled.want_flight());
+}
+
+TEST(RequestTracerTest, RingWrapsKeepingNewestSpansOldestFirst) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.sample_every = 1;  // every span sampled
+  options.ring_capacity = 4;
+  options.outlier_capacity = 0;
+  RequestTracer tracer(options, registry);
+  TenantSeries* series = tracer.tenant_series("t0");
+  ASSERT_NE(series, nullptr);
+  for (int i = 0; i < 10; ++i)
+    tracer.complete(*series, make_span(tracer.begin_span(), 1'000 * (i + 1), true), "t0",
+                    "speech");
+
+  EXPECT_EQ(tracer.sampled_total(), 10);
+  const std::string json = tracer.trace_json();
+  EXPECT_NE(json.find("\"spans_evicted\": 6"), std::string::npos);
+  // Held spans are ids 7..10, oldest first.
+  const auto id7 = json.find("\"id\": 7");
+  const auto id10 = json.find("\"id\": 10");
+  EXPECT_NE(id7, std::string::npos);
+  EXPECT_NE(id10, std::string::npos);
+  EXPECT_LT(id7, id10);
+  EXPECT_EQ(json.find("\"id\": 6"), std::string::npos);
+}
+
+TEST(RequestTracerTest, OutlierReservoirCapturesSlowestRegardlessOfSampling) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.sample_every = 1'000'000;  // head sampling keeps (almost) nothing
+  options.outlier_capacity = 2;
+  RequestTracer tracer(options, registry);
+  TenantSeries* series = tracer.tenant_series("t0");
+  ASSERT_NE(series, nullptr);
+  // e2e: 10us, 90us, 20us, 50us — slowest two are 90us and 50us.
+  for (const std::int64_t us : {10, 90, 20, 50}) {
+    const std::uint64_t id = tracer.begin_span();
+    tracer.complete(*series, make_span(id, us * 1'000, tracer.is_sampled(id)), "t0", "speech");
+  }
+  EXPECT_EQ(tracer.outlier_min_ns(), 50'000);
+  const std::string json = tracer.trace_json();
+  // Outliers are rendered slowest first: 90us (id 2) before 50us (id 4).
+  const auto outliers = json.find("\"outliers\"");
+  ASSERT_NE(outliers, std::string::npos);
+  const auto id2 = json.find("\"id\": 2", outliers);
+  const auto id4 = json.find("\"id\": 4", outliers);
+  ASSERT_NE(id2, std::string::npos);
+  ASSERT_NE(id4, std::string::npos);
+  EXPECT_LT(id2, id4);
+  EXPECT_EQ(json.find("\"id\": 1", outliers), std::string::npos);
+  EXPECT_EQ(json.find("\"id\": 3", outliers), std::string::npos);
+}
+
+TEST(RequestTracerTest, TenantCardinalityCapSharesOtherSeries) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.max_tenants = 2;
+  RequestTracer tracer(options, registry);
+  TenantSeries* a = tracer.tenant_series("a");
+  TenantSeries* b = tracer.tenant_series("b");
+  TenantSeries* c = tracer.tenant_series("c");
+  TenantSeries* d = tracer.tenant_series("d");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c, d) << "overflow tenants share one series";
+  EXPECT_EQ(c->name, "_other");
+  EXPECT_EQ(tracer.tenant_series("a"), a) << "cached handles are stable";
+}
+
+TEST(RequestTracerTest, CompleteBatchMatchesPerSpanCompletion) {
+  MetricRegistry registry_single;
+  MetricRegistry registry_batch;
+  RequestTracerOptions options;
+  options.sample_every = 2;
+  RequestTracer single(options, registry_single);
+  RequestTracer batch(options, registry_batch);
+  TenantSeries* ss = single.tenant_series("t0");
+  TenantSeries* bs = batch.tenant_series("t0");
+
+  // One drained batch = identical spans, distinct ids (1..5).
+  const std::vector<std::uint64_t> ids = {1, 2, 3, 4, 5};
+  for (const std::uint64_t id : ids) {
+    RequestSpan span = make_span(id, 10'000, (id - 1) % 2 == 0);
+    single.complete(*ss, span, "t0", "speech");
+  }
+  batch.complete_batch(*bs, make_span(0, 10'000, false), ids, "t0", "speech");
+
+  EXPECT_EQ(ss->requests->value(), bs->requests->value());
+  EXPECT_EQ(ss->rejects->value(), bs->rejects->value());
+  EXPECT_EQ(ss->e2e_ns->value(), bs->e2e_ns->value());
+  for (std::size_t k = 0; k < kRequestStageCount; ++k)
+    EXPECT_EQ(ss->stage_ns[k]->value(), bs->stage_ns[k]->value()) << "stage " << k;
+  EXPECT_EQ(single.sampled_total(), batch.sampled_total());
+  EXPECT_EQ(batch.sampled_total(), 3) << "ids 1, 3, 5 head-sample at every-2";
+  EXPECT_EQ(ss->e2e_ns->value(), 50'000);
+}
+
+TEST(RequestTracerTest, CompleteBatchCounts429AndOffersOutlierWhenUnsampled) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.sample_every = 1'000'000;  // nothing head-samples
+  options.outlier_capacity = 4;
+  RequestTracer tracer(options, registry);
+  TenantSeries* series = tracer.tenant_series("t0");
+
+  // Span id 1 always head-samples ((id - 1) % N == 0), so an entirely
+  // unsampled batch starts at id 2.
+  const std::vector<std::uint64_t> ids = {2, 3, 4};
+  tracer.complete_batch(*series, make_span(0, 80'000, false, 429), ids, "t0", "speech");
+  EXPECT_EQ(series->rejects->value(), 3);
+  EXPECT_EQ(tracer.sampled_total(), 0);
+  // Exactly one representative of the unsampled batch reached the
+  // reservoir (all three jobs share one e2e — one candidate decides).
+  const std::string json = tracer.trace_json();
+  const std::size_t outliers = json.find("\"outliers\"");
+  ASSERT_NE(outliers, std::string::npos);
+  EXPECT_NE(json.find("\"id\": 2", outliers), std::string::npos);
+  EXPECT_EQ(json.find("\"id\": 3", outliers), std::string::npos);
+}
+
+TEST(RequestTracerTest, FlightPacingFirstSampledBatchAlwaysCaptures) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.flight_every = 3;
+  RequestTracer tracer(options, registry);
+  EXPECT_TRUE(tracer.want_flight()) << "first sampled batch always captures";
+  EXPECT_FALSE(tracer.want_flight());
+  EXPECT_FALSE(tracer.want_flight());
+  EXPECT_TRUE(tracer.want_flight());
+}
+
+TEST(RequestTracerTest, NotedFlightLogRoundTrips) {
+  MetricRegistry registry;
+  RequestTracer tracer({}, registry);
+  EXPECT_FALSE(tracer.has_flight());
+
+  FlightRecorder recorder(1, 16);
+  recorder.record(0, FlightEventKind::kBatchBegin, -1, -1, /*seq=*/42, 0, /*aux=*/3);
+  recorder.record(0, FlightEventKind::kFireBegin, 5, -1, 0, 0);
+  recorder.record(0, FlightEventKind::kBatchEnd, -1, -1, 42, 0);
+  tracer.note_flight(42, recorder.collect());
+
+  ASSERT_TRUE(tracer.has_flight());
+  EXPECT_EQ(tracer.flight_batch(), 42);
+  const FlightLog log = FlightLog::from_json(tracer.flight_json());
+  ASSERT_EQ(log.events.size(), 3u);
+  EXPECT_EQ(log.events[0].kind, FlightEventKind::kBatchBegin);
+  EXPECT_EQ(log.events[0].seq, 42);
+  EXPECT_EQ(log.events[0].aux, 3);
+}
+
+TEST(RequestTracerTest, RollupJsonReportsMeansAndStageKeys) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.sample_every = 1;
+  RequestTracer tracer(options, registry);
+  TenantSeries* series = tracer.tenant_series("t0");
+  tracer.complete(*series, make_span(1, 10'000, true), "t0", "speech");
+  tracer.complete(*series, make_span(2, 30'000, true), "t0", "speech");
+
+  std::string out;
+  tracer.append_rollup_json(out, *series);
+  EXPECT_NE(out.find("\"requests\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"us_mean\": 20.0"), std::string::npos) << out;
+  for (const char* stage : {"admission", "queue", "batch", "exec", "reply"})
+    EXPECT_NE(out.find(std::string("\"") + stage + "\""), std::string::npos) << stage;
+}
+
+/// Aggregate counters are relaxed atomics: a scrape thread reading while
+/// the serve thread completes spans must see consistent totals (run
+/// under TSan in CI).
+TEST(RequestTracerTest, CountersReadableWhileCompleting) {
+  MetricRegistry registry;
+  RequestTracerOptions options;
+  options.sample_every = 8;
+  RequestTracer tracer(options, registry);
+  TenantSeries* series = tracer.tenant_series("t0");
+
+  std::atomic<bool> done{false};
+  std::int64_t last_seen = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::int64_t requests = series->requests->value();
+      EXPECT_GE(requests, last_seen) << "counter went backwards";
+      last_seen = requests;
+      EXPECT_GE(series->e2e_ns->value(), 0);
+    }
+  });
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t id = tracer.begin_span();
+    tracer.complete(*series, make_span(id, 5'000, tracer.is_sampled(id)), "t0", "speech");
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(series->requests->value(), 2'000);
+}
+
+}  // namespace
+}  // namespace spi::obs

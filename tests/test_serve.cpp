@@ -373,6 +373,138 @@ TEST(PlanServer, RefusesToStartBelowBuiltInResidentBytes) {
   EXPECT_THROW(PlanServer{options}, std::invalid_argument);
 }
 
+// --- request-lifecycle tracing (docs/observability.md) --------------------
+
+/// Extracts the integer following `"key": ` at or after `from` within
+/// the same flat span object (spans in /trace are never nested).
+std::int64_t span_int(const std::string& json, std::size_t from, const std::string& key) {
+  const std::size_t at = json.find("\"" + key + "\": ", from);
+  EXPECT_NE(at, std::string::npos) << key;
+  if (at == std::string::npos) return -1;
+  return std::atoll(json.c_str() + at + key.size() + 4);
+}
+
+TEST(PlanServer, TraceSpansTileEndToEndAndTenantsRollUp) {
+  PlanServerOptions options;
+  options.trace.sample_every = 1;  // keep every span
+  PlanServer server(options);
+  std::vector<obs::HttpRequest> jobs = job_burst({
+      R"({"app":"speech","tenant":"t0","frame_size":12,"order":3,"seed":1})",
+      R"({"app":"speech","tenant":"t0","frame_size":12,"order":3,"seed":2})",
+      R"({"app":"speech","tenant":"t0","frame_size":12,"order":3,"seed":3})",
+      R"({"app":"particle","tenant":"t1","steps":3,"seed":4})",
+      R"({"app":"particle","tenant":"t1","steps":3,"seed":5})",
+  });
+  std::vector<obs::HttpResponse> responses;
+  server.handle_burst(jobs, responses);
+  for (const obs::HttpResponse& r : responses) EXPECT_EQ(r.status, 200);
+
+  std::vector<obs::HttpRequest> scrapes = {
+      {"GET", "/trace", "HTTP/1.1", "", true},
+      {"GET", "/tenants", "HTTP/1.1", "", true},
+      {"GET", "/trace/flight", "HTTP/1.1", "", true},
+  };
+  server.handle_burst(scrapes, responses);
+  ASSERT_EQ(responses.size(), 3u);
+
+  // /trace: valid JSON holding one flat span per job, each tiling e2e.
+  ASSERT_EQ(responses[0].status, 200);
+  const std::string& trace = responses[0].body;
+  EXPECT_TRUE(obs::detail::json_validate(trace).empty()) << trace;
+  EXPECT_NE(trace.find("\"requests_total\": 5"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"sampled_total\": 5"), std::string::npos);
+  std::size_t at = trace.find("\"spans\": [");
+  ASSERT_NE(at, std::string::npos);
+  int spans_seen = 0;
+  const std::size_t spans_end = trace.find("\"outliers\": [");
+  while ((at = trace.find("{\"id\": ", at)) != std::string::npos && at < spans_end) {
+    const std::int64_t e2e = span_int(trace, at, "e2e_ns");
+    std::int64_t sum = 0;
+    for (const char* stage : {"admission_ns", "queue_ns", "batch_ns", "exec_ns", "reply_ns"})
+      sum += span_int(trace, at, stage);
+    EXPECT_EQ(sum, e2e) << "stages must tile the request exactly";
+    EXPECT_GT(e2e, 0);
+    EXPECT_GE(span_int(trace, at, "batch"), 0) << "every job rode a batch";
+    ++spans_seen;
+    ++at;
+  }
+  EXPECT_EQ(spans_seen, 5);
+  // The t0 speech jobs drained as one batch of 3.
+  EXPECT_NE(trace.find("\"tenant\": \"t0\", \"app\": \"speech\", \"status\": 200, "),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"batch_size\": 3"), std::string::npos);
+
+  // /tenants: per-tenant rollups for both tenants, queue facts included.
+  ASSERT_EQ(responses[1].status, 200);
+  const std::string& tenants = responses[1].body;
+  EXPECT_TRUE(obs::detail::json_validate(tenants).empty()) << tenants;
+  EXPECT_NE(tenants.find("\"t0\""), std::string::npos);
+  EXPECT_NE(tenants.find("\"t1\""), std::string::npos);
+  EXPECT_NE(tenants.find("\"stages\""), std::string::npos);
+
+  // /trace/flight: the first sampled batch captured a loadable firing
+  // log whose batch markers carry the span's batch id.
+  ASSERT_EQ(responses[2].status, 200);
+  const obs::FlightLog flight = obs::FlightLog::from_json(responses[2].body);
+  EXPECT_GT(flight.events.size(), 0u);
+  bool batch_begin = false;
+  for (const obs::FlightEvent& e : flight.events)
+    if (e.kind == obs::FlightEventKind::kBatchBegin && e.seq == server.tracer().flight_batch())
+      batch_begin = true;
+  EXPECT_TRUE(batch_begin) << "captured log must carry its batch-begin marker";
+}
+
+TEST(PlanServer, TracingDisabledStillServesEndpoints) {
+  PlanServerOptions options;
+  options.trace.enabled = false;
+  PlanServer server(options);
+  std::vector<obs::HttpRequest> jobs =
+      job_burst({R"({"app":"speech","tenant":"t0","frame_size":12,"order":3,"seed":1})"});
+  std::vector<obs::HttpResponse> responses;
+  server.handle_burst(jobs, responses);
+  EXPECT_EQ(responses[0].status, 200);
+
+  std::vector<obs::HttpRequest> scrapes = {
+      {"GET", "/trace", "HTTP/1.1", "", true},
+      {"GET", "/tenants", "HTTP/1.1", "", true},
+      {"GET", "/trace/flight", "HTTP/1.1", "", true},
+  };
+  server.handle_burst(scrapes, responses);
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_NE(responses[0].body.find("\"enabled\": false"), std::string::npos);
+  EXPECT_NE(responses[0].body.find("\"requests_total\": 0"), std::string::npos)
+      << "disabled tracing allocates no spans";
+  EXPECT_EQ(responses[1].status, 200);
+  EXPECT_TRUE(obs::detail::json_validate(responses[1].body).empty());
+  EXPECT_EQ(responses[2].status, 404) << "no flight log without tracing";
+}
+
+TEST(PlanServer, RejectedJobsCompleteShortSpansWith429) {
+  PlanServerOptions options;
+  options.admission.max_queue_depth = 2;
+  options.trace.sample_every = 1;
+  PlanServer server(options);
+  std::vector<std::string> bodies;
+  for (int i = 0; i < 4; ++i)
+    bodies.push_back(R"({"app":"speech","tenant":"t0","frame_size":12,"order":3,"seed":)" +
+                     std::to_string(i) + "}");
+  std::vector<obs::HttpRequest> jobs = job_burst(bodies);
+  std::vector<obs::HttpResponse> responses;
+  server.handle_burst(jobs, responses);
+  int ok = 0;
+  int rejected = 0;
+  for (const obs::HttpResponse& r : responses) (r.status == 200 ? ok : rejected)++;
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(rejected, 2);
+
+  std::vector<obs::HttpRequest> scrapes = {{"GET", "/trace", "HTTP/1.1", "", true},
+                                           {"GET", "/tenants", "HTTP/1.1", "", true}};
+  server.handle_burst(scrapes, responses);
+  EXPECT_NE(responses[0].body.find("\"status\": 429"), std::string::npos)
+      << "rejects are traced too";
+  EXPECT_NE(responses[1].body.find("\"rejects\": 2"), std::string::npos) << responses[1].body;
+}
+
 // --- multi-client soak over real sockets (TSan-clean in CI) ---------------
 
 int connect_to(int port) {
@@ -470,7 +602,8 @@ TEST(PlanServer, MultiClientSoakServesEveryJobAndScrape) {
     const int fd = connect_to(port);
     if (fd < 0) return;
     for (int i = 0; i < 30; ++i) {
-      const char* target = i % 2 == 0 ? "/metrics.json" : "/runtime";
+      static const char* const kTargets[] = {"/metrics.json", "/runtime", "/trace", "/tenants"};
+      const char* target = kTargets[i % 4];
       const std::string wire = "GET " + std::string(target) + " HTTP/1.1\r\n\r\n";
       if (pipelined_round_trip(fd, wire, 1) != 1) break;
     }

@@ -11,7 +11,7 @@
 ///   spi_served --port 0 --memory-budget-mb 64 --watchdog-ms 2000
 ///
 /// Endpoints: POST /plan, POST /job, GET /metrics[.json], GET /runtime,
-/// GET /healthz.
+/// GET /healthz, GET /trace, GET /trace/flight, GET /tenants.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -41,7 +41,11 @@ int usage(const char* argv0) {
                "  --particle-pes N     particle model PEs (default 2)\n"
                "  --watchdog-ms N      per-batch stall watchdog window (default 2000)\n"
                "  --dump-dir DIR       flight post-mortem directory (default .)\n"
-               "  --max-seconds N      exit after N seconds (default: run until signal)\n",
+               "  --max-seconds N      exit after N seconds (default: run until signal)\n"
+               "  --no-trace           disable request-lifecycle tracing (/trace, /tenants)\n"
+               "  --trace-sample N     head-sample 1 in N requests (default 64)\n"
+               "  --trace-ring N       recent sampled-span ring capacity (default 512)\n"
+               "  --trace-outliers N   slowest-N outlier reservoir size (default 16)\n",
                argv0);
   return 2;
 }
@@ -82,6 +86,14 @@ int main(int argc, char** argv) {
       options.flight_dump_dir = next();
     } else if (arg == "--max-seconds") {
       max_seconds = std::atoll(next());
+    } else if (arg == "--no-trace") {
+      options.trace.enabled = false;
+    } else if (arg == "--trace-sample") {
+      options.trace.sample_every = std::atoll(next());
+    } else if (arg == "--trace-ring") {
+      options.trace.ring_capacity = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--trace-outliers") {
+      options.trace.outlier_capacity = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else {
