@@ -19,7 +19,10 @@
 #                                   runner jitter, tight enough to catch
 #                                   an accidental complexity regression)
 #   BENCH_REGRESSION_SUITES         space-separated suites to gate
-#                                   (default "micro_compile micro_channel")
+#                                   (default "micro_compile micro_channel
+#                                   micro_dsp" — micro_dsp pins the
+#                                   vectorized kernel paths against the
+#                                   committed baseline)
 #
 # A gated benchmark present in the baseline but missing from the
 # candidate fails the gate too: silently dropping a benchmark must not
@@ -31,13 +34,20 @@
 # peak_rps is gated with the same tolerance — throughput, so the failure
 # direction is a *drop*, not a rise. A baseline with a serve section and
 # a candidate without one fails like a missing benchmark.
+#
+# The candidate's derived.kernel_simd_speedup (geomean of the vectorized
+# DSP kernel paths over their scalar references, run_benchmarks.sh) is
+# additionally held to an absolute floor of MIN_KERNEL_SIMD_SPEEDUP
+# (default 1.5): same-run scalar-vs-vectorized pairs are runner-speed
+# independent, so this one is a hard ratio, not a tolerance diff.
 set -eu
 
 CANDIDATE=${1:-artifacts/BENCH_results.json}
 BASELINE=${2:-BENCH_results.json}
 REPORT=${3:-artifacts/bench_regression.txt}
 TOLERANCE=${BENCH_REGRESSION_TOLERANCE_PCT:-25}
-SUITES=${BENCH_REGRESSION_SUITES:-"micro_compile micro_channel"}
+SUITES=${BENCH_REGRESSION_SUITES:-"micro_compile micro_channel micro_dsp"}
+MIN_SIMD=${MIN_KERNEL_SIMD_SPEEDUP:-1.5}
 
 for f in "$CANDIDATE" "$BASELINE"; do
   if [ ! -f "$f" ]; then
@@ -47,12 +57,13 @@ for f in "$CANDIDATE" "$BASELINE"; do
 done
 mkdir -p "$(dirname "$REPORT")"
 
-python3 - "$CANDIDATE" "$BASELINE" "$REPORT" "$TOLERANCE" $SUITES <<'PY'
-import json, sys
+MIN_SIMD="$MIN_SIMD" python3 - "$CANDIDATE" "$BASELINE" "$REPORT" "$TOLERANCE" $SUITES <<'PY'
+import json, os, sys
 
 cand_path, base_path, report_path, tolerance = sys.argv[1:5]
 suites = set(sys.argv[5:])
 tolerance = float(tolerance)
+min_simd = float(os.environ["MIN_SIMD"])
 
 def load(path):
     with open(path) as f:
@@ -102,6 +113,16 @@ if base_peak:
                      f"req/s ({delta:+.1f}%)")
 elif cand_peak:
     lines.append(f"new       serve/peak_rps: {cand_peak:.0f} req/s (no baseline yet)")
+
+with open(cand_path) as f:
+    simd = json.load(f).get("derived", {}).get("kernel_simd_speedup")
+if simd is not None:
+    verdict = "ok"
+    if simd < min_simd:
+        verdict = "REGRESSED"
+        failed.append(("derived", "kernel_simd_speedup"))
+    lines.append(f"{verdict:10s}derived/kernel_simd_speedup: {simd:.2f}x "
+                 f"(floor {min_simd:.2f}x)")
 
 lines.append("")
 lines.append(f"{len(failed)} regression(s) across {len(base)} gated benchmark(s)"

@@ -26,6 +26,9 @@ spi_bench(ext_beamformer_scaling)
 spi_bench(ext_adaptive_resampling)
 spi_bench(ext_heterogeneous)
 spi_bench(ext_vectorization)
+# Realized-vs-MCM period measurement for cross-iteration pipelining
+# (bench/perf_smoke.sh gate + BENCH_results.json derived keys).
+spi_bench(pipeline_period)
 spi_gbench(micro_dsp)
 spi_gbench(micro_spi)
 spi_gbench(micro_compile)

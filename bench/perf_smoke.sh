@@ -130,3 +130,59 @@ if ! measure_trace_overhead; then
     exit 1
   fi
 fi
+
+# --- cross-iteration pipelining gates (docs/architecture.md) -------------
+# Two comparisons from one pipeline_period run on the paper apps' plans
+# (WCET busy-spin computes, so what's measured is orchestration):
+#  * the free-running pipelined period must not exceed the barriered
+#    (max_inflight_iterations=1) period beyond scheduler noise — the
+#    pipelining must never cost throughput;
+#  * the pipelined period must stay within MAX_PERIOD_OVER_BOUND_PCT of
+#    the effective period bound: max(sync-graph MCM, total-work/cores).
+#    On a host with >= proc_count cores the bound IS the MCM, i.e. the
+#    ROADMAP's "realized period within 10% of the MCM bound" target.
+pp_bin="$BUILD_DIR/bench/pipeline_period"
+if [ ! -x "$pp_bin" ]; then
+  echo "perf_smoke.sh: skipping pipelining gates ($pp_bin not built)" >&2
+  exit 0
+fi
+MAX_PERIOD_OVER_BOUND_PCT=${MAX_PERIOD_OVER_BOUND_PCT:-10}
+MAX_PIPELINED_OVER_BARRIERED_PCT=${MAX_PIPELINED_OVER_BARRIERED_PCT:-10}
+
+measure_pipeline_period() {
+  "$pp_bin" --json > "$TMP/pipeline_period.json"
+  python3 - "$TMP/pipeline_period.json" "$MAX_PERIOD_OVER_BOUND_PCT" \
+    "$MAX_PIPELINED_OVER_BARRIERED_PCT" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+max_over_bound = 1.0 + float(sys.argv[2]) / 100.0
+max_over_barriered = 1.0 + float(sys.argv[3]) / 100.0
+
+failed = False
+for app, r in doc["apps"].items():
+    print(f"perf_smoke.sh: {app}: pipelined {r['pipelined_period_us']:.0f} us = "
+          f"{r['pipelined_over_mcm']:.3f}x MCM, {r['pipelined_over_bound']:.3f}x "
+          f"effective bound (gate: <= {max_over_bound:.2f}x); barriered "
+          f"{r['barriered_period_us']:.0f} us", file=sys.stderr)
+    if r["pipelined_over_bound"] > max_over_bound:
+        print(f"perf_smoke.sh: FAIL {app}: pipelined period exceeds the effective "
+              f"period bound by more than {sys.argv[2]}%", file=sys.stderr)
+        failed = True
+    if r["pipelined_period_us"] > r["barriered_period_us"] * max_over_barriered:
+        print(f"perf_smoke.sh: FAIL {app}: pipelined execution is slower than the "
+              f"per-iteration barrier", file=sys.stderr)
+        failed = True
+sys.exit(1 if failed else 0)
+PY
+}
+
+if ! measure_pipeline_period; then
+  echo "perf_smoke.sh: pipelining gate failed; re-measuring once" >&2
+  if ! measure_pipeline_period; then
+    echo "perf_smoke.sh: FAIL cross-iteration pipelining regressed" >&2
+    exit 1
+  fi
+fi
+echo "perf_smoke.sh: OK" >&2

@@ -18,6 +18,10 @@
 #                                           #   docs/serving.md); absent when
 #                                           #   the serving binaries are not
 #                                           #   built or SPI_SKIP_SERVE=1
+#     "pipeline": {...},                    # realized-vs-MCM period document
+#                                           #   (bench/pipeline_period --json,
+#                                           #   docs/architecture.md); absent
+#                                           #   when the binary is not built
 #     "derived": {
 #       "serve_peak_krps": K,               # closed-loop capacity, kreq/s
 #       "serve_p99_us": U,                  # burst p99 at the top offered rate
@@ -37,8 +41,18 @@
 #                                           #   attached vs bare threaded run
 #       "compile_10k_actor_ms": M,          # slowest 10k-actor topology
 #                                           #   through the full pipeline
-#       "incremental_recompile_speedup": S  # full compile / trace-replay
-#     }                                     #   recompile after an exec edit
+#       "incremental_recompile_speedup": S, # full compile / trace-replay
+#                                           #   recompile after an exec edit
+#       "fft_1024_us": U,                   # warm-plan 1024-point FFT
+#       "huffman_8192_us": U,               # 8192-symbol Huffman encode
+#       "kernel_simd_speedup": S,           # geomean scalar/vectorized over
+#                                           #   the FFT, FIR, mat-vec and
+#                                           #   Huffman kernel pairs
+#       "speech_pipelined_over_mcm": R,     # realized pipelined period over
+#       "particle_pipelined_over_mcm": R,   #   the sync-graph MCM bound
+#       "speech_pipelined_over_bound": R,   # same, over the machine-aware
+#       "particle_pipelined_over_bound": R  #   bound max(MCM, work/cores) —
+#     }                                     #   the perf_smoke.sh 10% gate
 #   }
 #
 # BENCHMARK_MIN_TIME can shrink runs for smoke use (default 0.05s).
@@ -96,7 +110,20 @@ if [ "${SPI_SKIP_SERVE:-0}" != "1" ] && [ -x "$BUILD_DIR/tools/spi_served" ] \
   wait "$SERVED_PID" 2> /dev/null || true
 fi
 
-SERVE_JSON="$SERVE_JSON" python3 - "$OUT" "$TMP" $ran_suites <<'PY'
+# Realized-vs-MCM pipelining periods on the paper apps (the document
+# bench/perf_smoke.sh gates; docs/architecture.md).
+PIPELINE_JSON=""
+if [ -x "$BUILD_DIR/bench/pipeline_period" ]; then
+  echo "run_benchmarks.sh: pipeline_period" >&2
+  if "$BUILD_DIR/bench/pipeline_period" --json > "$TMP/pipeline_period.json"; then
+    PIPELINE_JSON="$TMP/pipeline_period.json"
+  else
+    echo "run_benchmarks.sh: pipeline_period failed; omitting the pipeline section" >&2
+  fi
+fi
+
+SERVE_JSON="$SERVE_JSON" PIPELINE_JSON="$PIPELINE_JSON" \
+  python3 - "$OUT" "$TMP" $ran_suites <<'PY'
 import json, os, sys
 
 out_path, tmp_dir, suites = sys.argv[1], sys.argv[2], sys.argv[3:]
@@ -156,7 +183,39 @@ full, fast = time_of("BM_FullRecompile/512"), time_of("BM_IncrementalRecompile/5
 if full and fast:
     derived["incremental_recompile_speedup"] = round(full / fast, 1)
 
+fft = time_of("BM_FftCached/1024")
+if fft:
+    derived["fft_1024_us"] = round(fft / 1e3, 2)
+huff = time_of("BM_HuffmanEncode/8192")
+if huff:
+    derived["huffman_8192_us"] = round(huff / 1e3, 2)
+# Geomean of the scalar-reference / vectorized ratio across the four
+# kernel pairs micro_dsp measures back to back (same build, same run —
+# the CI acceptance floor is 1.5x).
+simd_pairs = [("BM_FftScalar/1024", "BM_FftCached/1024"),
+              ("BM_FirFilterScalar/8192", "BM_FirFilter/8192"),
+              ("BM_MatVecScalar/256", "BM_MatVec/256"),
+              ("BM_HuffmanEncodeScalar/8192", "BM_HuffmanEncode/8192")]
+ratios = []
+for scalar_name, vector_name in simd_pairs:
+    scalar, vector = time_of(scalar_name), time_of(vector_name)
+    if scalar and vector:
+        ratios.append(scalar / vector)
+if ratios:
+    geomean = 1.0
+    for r in ratios:
+        geomean *= r
+    derived["kernel_simd_speedup"] = round(geomean ** (1.0 / len(ratios)), 2)
+
 doc = {"schema": 1, "suites": suites, "benchmarks": rows, "derived": derived}
+pipeline_path = os.environ.get("PIPELINE_JSON") or ""
+if pipeline_path:
+    with open(pipeline_path) as f:
+        pipeline = json.load(f)
+    doc["pipeline"] = pipeline
+    for app, r in pipeline.get("apps", {}).items():
+        derived[f"{app}_pipelined_over_mcm"] = round(r["pipelined_over_mcm"], 3)
+        derived[f"{app}_pipelined_over_bound"] = round(r["pipelined_over_bound"], 3)
 serve_path = os.environ.get("SERVE_JSON") or ""
 if serve_path:
     with open(serve_path) as f:
@@ -205,6 +264,17 @@ if "incremental_recompile_speedup" in derived:
 if "serve_trace_overhead_pct" in derived:
     print(f"run_benchmarks.sh: request-tracing serve overhead "
           f"{derived['serve_trace_overhead_pct']}%", file=sys.stderr)
+if "kernel_simd_speedup" in derived:
+    print(f"run_benchmarks.sh: vectorized DSP kernels "
+          f"{derived['kernel_simd_speedup']}x vs scalar references "
+          f"(FFT 1024 {derived.get('fft_1024_us', '?')} us, Huffman 8192 "
+          f"{derived.get('huffman_8192_us', '?')} us)", file=sys.stderr)
+for app in ("speech", "particle"):
+    key = f"{app}_pipelined_over_mcm"
+    if key in derived:
+        print(f"run_benchmarks.sh: {app} pipelined period "
+              f"{derived[key]}x MCM ({derived[f'{app}_pipelined_over_bound']}x "
+              f"machine-aware bound)", file=sys.stderr)
 if "serve_peak_krps" in derived:
     print(f"run_benchmarks.sh: serve capacity {derived['serve_peak_krps']} kreq/s "
           f"(p99 {derived.get('serve_p99_us', '?')} us, p99.9 "

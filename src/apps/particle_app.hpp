@@ -94,6 +94,15 @@ class ParticleFilterApp {
       const dsp::CrackTrajectory& trajectory,
       core::ChannelPolicy policy = core::ChannelPolicy::kAuto) const;
 
+  /// track_threaded with full control of the run — watchdog, flight
+  /// recorder, telemetry and the cross-iteration pipelining window
+  /// (`max_inflight_iterations`). The iteration count is overridden by
+  /// the trajectory length. Estimates stay bit-identical to track()
+  /// at every in-flight cap (the pipelined-runtime tests assert it).
+  [[nodiscard]] TrackResult track_threaded(
+      const dsp::CrackTrajectory& trajectory, const core::RunOptions& run_options,
+      core::ChannelPolicy policy = core::ChannelPolicy::kAuto) const;
+
   /// One queued tracking job: a trajectory to filter and the RNG seed of
   /// its particle population (the default matches ParticleParams::seed,
   /// so a default-seeded job reproduces track() bit for bit).

@@ -240,6 +240,35 @@ void JobInstance::interrupt_all() {
     if (channel) channel->interrupt();
   for (auto& channel : blocking_)
     if (channel) channel->interrupt();
+  // Wake workers parked on the in-flight cap too: abort_ is already set
+  // by every caller, and the empty critical section pairs with the
+  // waiters' predicate check under the same mutex.
+  { std::lock_guard lock(inflight_mutex_); }
+  inflight_cv_.notify_all();
+}
+
+std::int64_t JobInstance::min_completed_iterations() const {
+  std::int64_t floor = 0;
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    const std::int64_t c = worker_state_[i].completed.load(std::memory_order_relaxed);
+    if (i == 0 || c < floor) floor = c;
+  }
+  return floor;
+}
+
+bool JobInstance::await_inflight_slot(std::int64_t iter) {
+  const std::int64_t cap = run_inflight_cap_;
+  if (cap <= 0 || iter < cap) return !abort_.load();
+  // Starting iteration `iter` puts iterations [floor, iter] in flight;
+  // wait until every worker has completed through iter - cap so the
+  // window holds at most `cap` iterations. cap == 1 degenerates to a
+  // full barrier: nobody enters iteration i before all finish i - 1.
+  const std::int64_t need = iter - cap + 1;
+  std::unique_lock lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [&] {
+    return abort_.load() || min_completed_iterations() >= need;
+  });
+  return !abort_.load();
 }
 
 void JobInstance::set_compute(df::ActorId actor, ComputeFn fn) {
@@ -403,10 +432,16 @@ void JobInstance::worker(std::int32_t proc, std::int64_t iterations) {
   const auto p = static_cast<std::size_t>(proc);
   WorkerState& ws = worker_state_[p];
   std::uint64_t epoch = 0;  ///< local heartbeat counter, published per firing
+  const bool capped = run_inflight_cap_ > 0;
   try {
     const std::vector<FiringStep>& program = plan_.programs[p];
     std::vector<FiringContext>& contexts = contexts_[p];
+    // Free-running across iteration boundaries: the only couplings to
+    // the other workers are the channels themselves (whose eq.-2
+    // capacities bound the skew in tokens) and, when the caller set
+    // max_inflight_iterations, the explicit iteration-window gate.
     for (std::int64_t iter = 0; iter < iterations && !abort_.load(); ++iter) {
+      if (capped && !await_inflight_slot(iter)) break;
       ws.iteration.store(iter, std::memory_order_relaxed);
       for (std::size_t s = 0; s < program.size(); ++s) {
         ws.step.store(static_cast<std::int32_t>(s), std::memory_order_relaxed);
@@ -414,6 +449,13 @@ void JobInstance::worker(std::int32_t proc, std::int64_t iterations) {
         // The heartbeat: one relaxed store to a worker-private cache
         // line per completed firing — the watchdog's only hot-path cost.
         ws.epoch.store(++epoch, std::memory_order_relaxed);
+      }
+      ws.completed.store(iter + 1, std::memory_order_relaxed);
+      if (capped) {
+        // Publish-then-notify under the gate mutex so a parked worker
+        // either sees the new floor in its predicate or gets the wake.
+        { std::lock_guard lock(inflight_mutex_); }
+        inflight_cv_.notify_all();
       }
     }
   } catch (const ChannelInterrupted&) {
@@ -448,6 +490,8 @@ void JobInstance::colocated_body(std::int64_t iterations) {
         fire(plan_.programs[p][s], contexts_[p][s], proc, iter, ws);
         ws.epoch.store(++colocated_epochs_[p], std::memory_order_relaxed);
       }
+      for (std::size_t i = 0; i < worker_count_; ++i)
+        worker_state_[i].completed.store(iter + 1, std::memory_order_relaxed);
     }
   } catch (const ChannelInterrupted&) {
     // Interrupted by the watchdog (or an embedded-server teardown);
@@ -491,16 +535,20 @@ void JobInstance::run_colocated(const RunOptions& options) {
 void JobInstance::run_with(const RunOptions& options, const std::function<void()>& execute) {
   const std::int64_t iterations = options.iterations;
   if (iterations < 0) throw std::invalid_argument("JobInstance::run: negative iterations");
+  if (options.max_inflight_iterations < 0)
+    throw std::invalid_argument("JobInstance::run: negative max_inflight_iterations");
   abort_.store(false);
   first_error_ = nullptr;
   // Reset at entry, aggregate on every exit path: stats() is never stale
   // from a previous run, even when this run throws.
   stats_ = ThreadedRunStats{};
   run_iterations_ = iterations;
+  run_inflight_cap_ = options.max_inflight_iterations;
   for (std::size_t i = 0; i < worker_count_; ++i) {
     WorkerState& ws = worker_state_[i];
     ws.epoch.store(0, std::memory_order_relaxed);
     ws.iteration.store(0, std::memory_order_relaxed);
+    ws.completed.store(0, std::memory_order_relaxed);
     ws.step.store(-1, std::memory_order_relaxed);
     ws.actor.store(-1, std::memory_order_relaxed);
     ws.waiting_edge.store(-1, std::memory_order_relaxed);
@@ -668,6 +716,7 @@ std::vector<obs::WorkerSnapshot> JobInstance::worker_snapshots() const {
     snap.proc = static_cast<std::int32_t>(i);
     snap.epoch = ws.epoch.load(std::memory_order_relaxed);
     snap.iteration = ws.iteration.load(std::memory_order_relaxed);
+    snap.completed = ws.completed.load(std::memory_order_relaxed);
     snap.step = ws.step.load(std::memory_order_relaxed);
     snap.actor = ws.actor.load(std::memory_order_relaxed);
     snap.waiting_edge = ws.waiting_edge.load(std::memory_order_relaxed);
@@ -715,13 +764,24 @@ std::string JobInstance::runtime_status_json() const {
 
   const std::vector<obs::WorkerSnapshot> workers = worker_snapshots();
   std::int64_t min_iteration = 0;
+  std::int64_t min_completed = 0;
+  std::int64_t max_started = 0;
   bool first = true;
   for (const obs::WorkerSnapshot& w : workers) {
     const std::int64_t progressed = w.done ? run_iterations_ : w.iteration;
+    const std::int64_t started = w.done ? run_iterations_ : w.iteration + 1;
     if (first || progressed < min_iteration) min_iteration = progressed;
+    if (first || w.completed < min_completed) min_completed = w.completed;
+    if (first || started > max_started) max_started = started;
     first = false;
   }
   out += ",\"min_iteration\":" + std::to_string(min_iteration);
+  // Pipelining window: iterations started somewhere but not yet
+  // completed everywhere (0 when idle; bounded by
+  // max_inflight_iterations when the run set a cap).
+  out += ",\"inflight_iterations\":" +
+         std::to_string(std::max<std::int64_t>(0, max_started - min_completed));
+  out += ",\"max_inflight_iterations\":" + std::to_string(run_inflight_cap_);
 
   out += ",\"workers\":[";
   for (std::size_t i = 0; i < workers.size(); ++i) {
@@ -730,6 +790,7 @@ std::string JobInstance::runtime_status_json() const {
     out += "{\"proc\":" + std::to_string(w.proc);
     out += ",\"epoch\":" + std::to_string(w.epoch);
     out += ",\"iteration\":" + std::to_string(w.iteration);
+    out += ",\"completed\":" + std::to_string(w.completed);
     out += ",\"step\":" + std::to_string(w.step);
     out += ",\"actor\":" + std::to_string(w.actor);
     out += ",\"actor_name\":\"" + obs::detail::json_escaped(actor_display_name(w.actor));

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -96,6 +97,17 @@ struct ThreadedRunStats {
 /// to run({.iterations = n}).
 struct RunOptions {
   std::int64_t iterations = 1;
+  /// Cross-iteration pipelining cap (docs/architecture.md): under
+  /// run(pool, ...) each worker free-runs into iteration i+1 as soon as
+  /// its own channels permit — the eq.-2 channel capacities already bound
+  /// the skew in tokens. This caps it in *iterations*: a worker may start
+  /// iteration i only once every worker has completed iteration
+  /// i - max_inflight_iterations, so at most that many iterations are
+  /// ever in flight. 0 (default) = unbounded (capacity-limited only);
+  /// 1 = barriered lockstep (every iteration fully drains before the
+  /// next starts — the pipelining-off baseline perf gates compare
+  /// against). Ignored by run_colocated(), which is sequential.
+  std::int64_t max_inflight_iterations = 0;
   /// >= 0: serve /metrics, /metrics.json, /healthz and /runtime on this
   /// TCP port for the duration of the run (0 = kernel-assigned
   /// ephemeral port — see on_obs_start). < 0 (default): no server.
@@ -237,6 +249,7 @@ class JobInstance {
   struct alignas(64) WorkerState {
     std::atomic<std::uint64_t> epoch{0};        ///< firings completed
     std::atomic<std::int64_t> iteration{0};
+    std::atomic<std::int64_t> completed{0};     ///< graph iterations finished
     std::atomic<std::int32_t> step{-1};
     std::atomic<std::int32_t> actor{-1};        ///< -1 between firings
     std::atomic<std::int32_t> waiting_edge{-1}; ///< channel op in progress
@@ -246,6 +259,14 @@ class JobInstance {
 
   void init();
   void interrupt_all();
+  /// Smallest completed-iteration count over all workers — the floor of
+  /// the pipelining window (relaxed reads; callers that need wake-up
+  /// ordering hold inflight_mutex_).
+  [[nodiscard]] std::int64_t min_completed_iterations() const;
+  /// Parks the calling worker until iteration `iter` fits inside the
+  /// run's in-flight cap (run_inflight_cap_); returns false when the run
+  /// aborted while waiting. No-op when the cap is 0 (unbounded).
+  [[nodiscard]] bool await_inflight_slot(std::int64_t iter);
   /// Shared run prologue/epilogue (abort/error/stats/heartbeat reset,
   /// watchdog + telemetry mounts, error rethrow) around `execute`,
   /// which must leave every worker body finished on every exit path.
@@ -314,7 +335,14 @@ class JobInstance {
   std::vector<obs::Gauge*> depth_gauges_;
   std::vector<obs::Gauge*> watermark_gauges_;
   std::int64_t run_iterations_ = 0;  ///< written before workers/server start
+  std::int64_t run_inflight_cap_ = 0;  ///< this run's max_inflight_iterations
   std::int64_t last_run_ns_ = 0;     ///< wall time of the last completed run
+  /// Eventcount for the in-flight cap: workers that would exceed the cap
+  /// park here; every completed iteration (and any abort) notifies. Only
+  /// touched when run_inflight_cap_ > 0 — the unbounded default never
+  /// takes the lock.
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
   std::atomic<bool> running_{false};
   std::atomic<bool> abort_{false};
   std::mutex error_mutex_;

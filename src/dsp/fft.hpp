@@ -38,4 +38,11 @@ void ifft_inplace(std::span<Complex> data);
 /// Next power of two >= n (n >= 1).
 [[nodiscard]] std::size_t next_power_of_two(std::size_t n);
 
+/// Number of per-size FFT plans (twiddle + bit-reversal tables) currently
+/// cached. The cache is bounded (see fft.cpp); exposed for tests.
+[[nodiscard]] std::size_t fft_plan_cache_size();
+
+/// Drops every cached FFT plan (tests exercising the cache bound).
+void fft_plan_cache_clear();
+
 }  // namespace spi::dsp

@@ -4,11 +4,41 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "dsp/kernels.hpp"
+
 namespace spi::dsp {
+
+namespace {
+
+/// Tap-outer convolution over a contiguous signal: y[n] += taps[k] *
+/// sig[n - k], accumulated k-ascending exactly like the scalar n-outer
+/// form (so the result is bit-identical), but with a unit-stride inner
+/// loop over n that auto-vectorizes. `sig` and `y` may have different
+/// lengths; the first `y.size()` outputs are produced, reading
+/// sig[offset + n - k] (offset lets FirState filter [history | block]
+/// while emitting only the block's span).
+void fir_tap_outer(const double* sig, std::size_t offset, std::span<const double> taps,
+                   std::span<double> y) {
+  for (std::size_t k = 0; k < taps.size(); ++k) {
+    const double t = taps[k];
+    // y[n] uses sig[offset + n - k]; valid while offset + n >= k.
+    const std::size_t first = k > offset ? k - offset : 0;
+    const double* src = sig + offset + first - k;
+    double* dst = y.data() + first;
+    const std::size_t count = y.size() > first ? y.size() - first : 0;
+    for (std::size_t n = 0; n < count; ++n) dst[n] += t * src[n];
+  }
+}
+
+}  // namespace
 
 std::vector<double> fir_filter(std::span<const double> x, std::span<const double> taps) {
   if (taps.empty()) throw std::invalid_argument("fir_filter: empty taps");
   std::vector<double> y(x.size(), 0.0);
+  if (!scalar_kernels()) {
+    fir_tap_outer(x.data(), 0, taps, y);
+    return y;
+  }
   for (std::size_t n = 0; n < x.size(); ++n) {
     double acc = 0.0;
     const std::size_t kmax = std::min(taps.size() - 1, n);
@@ -70,12 +100,16 @@ std::vector<double> FirState::process(std::span<const double> block) {
   extended.insert(extended.end(), block.begin(), block.end());
 
   std::vector<double> y(block.size(), 0.0);
-  for (std::size_t n = 0; n < block.size(); ++n) {
-    const std::size_t pos = n + history_.size();
-    double acc = 0.0;
-    for (std::size_t k = 0; k < taps_.size() && k <= pos; ++k)
-      acc += taps_[k] * extended[pos - k];
-    y[n] = acc;
+  if (!scalar_kernels()) {
+    fir_tap_outer(extended.data(), history_.size(), taps_, y);
+  } else {
+    for (std::size_t n = 0; n < block.size(); ++n) {
+      const std::size_t pos = n + history_.size();
+      double acc = 0.0;
+      for (std::size_t k = 0; k < taps_.size() && k <= pos; ++k)
+        acc += taps_[k] * extended[pos - k];
+      y[n] = acc;
+    }
   }
 
   // Slide the history window.

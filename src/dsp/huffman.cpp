@@ -5,16 +5,44 @@
 #include <queue>
 #include <stdexcept>
 
+#include "dsp/kernels.hpp"
+
 namespace spi::dsp {
 
 void BitWriter::put_bits(std::uint32_t value, int count) {
   if (count < 0 || count > 32) throw std::invalid_argument("BitWriter: bad bit count");
+  if (!scalar_kernels()) {
+    put_bits64(value, count);
+    return;
+  }
+  // Scalar reference: one bit per pass (SPI_SCALAR_KERNELS).
   for (int i = count - 1; i >= 0; --i) {
     const int bit = static_cast<int>((value >> i) & 1U);
     const std::size_t byte_index = bit_count_ / 8;
     if (byte_index == bytes_.size()) bytes_.push_back(0);
     if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(0x80U >> (bit_count_ % 8));
     ++bit_count_;
+  }
+}
+
+void BitWriter::put_bits64(std::uint64_t value, int count) {
+  if (count < 0 || count > 64) throw std::invalid_argument("BitWriter: bad bit count");
+  if (count == 0) return;
+  if (count < 64) value &= (1ULL << count) - 1;
+  std::size_t bit = bit_count_;
+  bit_count_ += static_cast<std::size_t>(count);
+  // Same sizing rule as the per-bit path: bytes() spans ceil(bit_count/8).
+  bytes_.resize((bit_count_ + 7) / 8, 0);
+  int remaining = count;
+  while (remaining > 0) {
+    const std::size_t byte_index = bit / 8;
+    const int room = 8 - static_cast<int>(bit % 8);
+    const int take = remaining < room ? remaining : room;
+    const auto chunk = static_cast<unsigned>((value >> (remaining - take)) &
+                                             ((1ULL << take) - 1));
+    bytes_[byte_index] |= static_cast<std::uint8_t>(chunk << (room - take));
+    bit += static_cast<std::size_t>(take);
+    remaining -= take;
   }
 }
 
@@ -143,11 +171,36 @@ void HuffmanCode::build_canonical() {
 }
 
 void HuffmanCode::encode(std::span<const std::size_t> symbols, BitWriter& out) const {
+  if (scalar_kernels()) {
+    // Scalar reference: one put_bits call (one bit-at-a-time append) per
+    // symbol.
+    for (std::size_t s : symbols) {
+      if (s >= lengths_.size() || lengths_[s] == 0)
+        throw std::invalid_argument("HuffmanCode::encode: symbol has no codeword");
+      out.put_bits(codes_[s], lengths_[s]);
+    }
+    return;
+  }
+  // Table-driven packing: shift each codeword (codes_/lengths_ lookup, no
+  // per-bit branching) into a 64-bit accumulator and flush whole words.
+  // Concatenating MSB-first codewords commutes with the split into
+  // put_bits64 calls, so the byte stream is identical to the reference.
+  std::uint64_t acc = 0;
+  int nbits = 0;
   for (std::size_t s : symbols) {
     if (s >= lengths_.size() || lengths_[s] == 0)
       throw std::invalid_argument("HuffmanCode::encode: symbol has no codeword");
-    out.put_bits(codes_[s], lengths_[s]);
+    const int len = lengths_[s];
+    if (len > 32) throw std::invalid_argument("BitWriter: bad bit count");
+    if (nbits + len > 64) {
+      out.put_bits64(acc, nbits);
+      acc = 0;
+      nbits = 0;
+    }
+    acc = (acc << len) | codes_[s];
+    nbits += len;
   }
+  if (nbits > 0) out.put_bits64(acc, nbits);
 }
 
 std::vector<std::size_t> HuffmanCode::decode(BitReader& in, std::size_t count) const {

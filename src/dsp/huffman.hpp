@@ -13,6 +13,12 @@ namespace spi::dsp {
 class BitWriter {
  public:
   void put_bits(std::uint32_t value, int count);
+
+  /// Appends the low `count` bits of `value` MSB-first, up to 64 at a
+  /// time. Produces the byte-identical stream of the equivalent put_bits
+  /// sequence; this is the word-at-a-time path HuffmanCode::encode packs
+  /// whole codeword runs through.
+  void put_bits64(std::uint64_t value, int count);
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
 

@@ -1,0 +1,34 @@
+#include "dsp/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace spi::dsp {
+
+namespace {
+
+// -1 = unset (consult the environment on first read), 0 = vectorized,
+// 1 = scalar reference.
+std::atomic<int> g_scalar_override{-1};
+
+bool env_scalar() {
+  static const bool scalar = [] {
+    const char* v = std::getenv("SPI_SCALAR_KERNELS");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return scalar;
+}
+
+}  // namespace
+
+bool scalar_kernels() {
+  const int o = g_scalar_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return env_scalar();
+}
+
+void set_scalar_kernels(bool scalar) {
+  g_scalar_override.store(scalar ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace spi::dsp

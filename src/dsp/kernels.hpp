@@ -1,0 +1,32 @@
+/// \file kernels.hpp
+/// Kernel-path selection for the DSP library.
+///
+/// Every hot kernel (FFT, FIR, linalg, Huffman bit packing) ships two
+/// implementations: the original scalar reference and a blocked /
+/// structure-of-arrays rewrite laid out so the compiler's auto-vectorizer
+/// can use SIMD (no intrinsics). The vectorized paths are bit-identical to
+/// the scalar references — they perform the same floating-point additions
+/// in the same order, only restructured for instruction-level parallelism —
+/// except the FFT, whose cached-twiddle path differs by a few ULP (see
+/// fft.cpp for the documented bound; the speech parity test is the
+/// end-to-end gate).
+///
+/// The scalar references stay selectable for differential testing:
+///   * environment: SPI_SCALAR_KERNELS=1 (read once, on first use);
+///   * programmatic: set_scalar_kernels(true/false) overrides the
+///     environment (used by the scalar-vs-vectorized unit tests and the
+///     micro_dsp benchmark pairs).
+#pragma once
+
+namespace spi::dsp {
+
+/// True when the scalar reference kernels are active (SPI_SCALAR_KERNELS
+/// env var, or a set_scalar_kernels(true) override).
+[[nodiscard]] bool scalar_kernels();
+
+/// Forces the kernel path for this process; overrides the environment.
+/// Thread-safe, but flipping it concurrently with kernel calls gives
+/// per-call (not per-operation) granularity — tests flip it between runs.
+void set_scalar_kernels(bool scalar);
+
+}  // namespace spi::dsp

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.hpp"
+
 namespace spi::dsp {
 
 Matrix Matrix::identity(std::size_t n) {
@@ -14,6 +16,39 @@ Matrix Matrix::identity(std::size_t n) {
 std::vector<double> Matrix::multiply(std::span<const double> x) const {
   if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: dimension mismatch");
   std::vector<double> y(rows_, 0.0);
+  if (!scalar_kernels()) {
+    // Four rows per pass: each row keeps its own accumulator (the same
+    // c-ascending addition order as the scalar path, so bit-identical),
+    // and the shared x[c] load plus four independent FMA chains give the
+    // vectorizer/scheduler real ILP to work with.
+    const double* a = data_.data();
+    std::size_t r = 0;
+    for (; r + 4 <= rows_; r += 4) {
+      const double* r0 = a + r * cols_;
+      const double* r1 = r0 + cols_;
+      const double* r2 = r1 + cols_;
+      const double* r3 = r2 + cols_;
+      double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        const double xc = x[c];
+        a0 += r0[c] * xc;
+        a1 += r1[c] * xc;
+        a2 += r2[c] * xc;
+        a3 += r3[c] * xc;
+      }
+      y[r] = a0;
+      y[r + 1] = a1;
+      y[r + 2] = a2;
+      y[r + 3] = a3;
+    }
+    for (; r < rows_; ++r) {
+      const double* row = a + r * cols_;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * x[c];
@@ -46,10 +81,15 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
       std::swap(perm_[pivot], perm_[k]);
       pivot_sign_ = -pivot_sign_;
     }
+    // Rank-1 update through row pointers: same element-wise arithmetic as
+    // indexing via at(), but the hoisted bases let the compiler vectorize
+    // the trailing-row axpy.
+    double* pivot_row = &lu_.at(k, 0);
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double factor = lu_.at(r, k) / lu_.at(k, k);
-      lu_.at(r, k) = factor;  // store L below the diagonal
-      for (std::size_t c = k + 1; c < n; ++c) lu_.at(r, c) -= factor * lu_.at(k, c);
+      double* row = &lu_.at(r, 0);
+      const double factor = row[k] / pivot_row[k];
+      row[k] = factor;  // store L below the diagonal
+      for (std::size_t c = k + 1; c < n; ++c) row[c] -= factor * pivot_row[c];
     }
   }
 }

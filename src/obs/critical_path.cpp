@@ -51,6 +51,7 @@ struct Flattened {
   std::vector<ProcTimeline> procs;
   std::map<MsgKey, SendInfo> send_of;
   std::map<std::int32_t, std::int32_t> receiver_proc;  ///< edge -> consumer proc
+  std::map<std::int64_t, std::int64_t> iter_begin;     ///< iteration -> first FireBegin
   std::map<std::int64_t, std::int64_t> iter_complete;  ///< iteration -> last FireEnd
   std::int64_t t_first = 0;  ///< earliest FireBegin (fallback: earliest event)
   std::int64_t t_end = 0;    ///< latest FireEnd (fallback: latest event)
@@ -105,6 +106,10 @@ Flattened flatten(const FlightLog& log) {
           fire_iter = e.iteration;
           if (!saw_fire_begin || e.t < min_fire_begin) min_fire_begin = e.t;
           saw_fire_begin = true;
+          if (e.iteration >= 0) {
+            auto [it, inserted] = f.iter_begin.try_emplace(e.iteration, e.t);
+            if (!inserted) it->second = std::min(it->second, e.t);
+          }
           break;
         case FlightEventKind::kFireEnd: {
           close_compute(e.t);
@@ -282,6 +287,28 @@ CriticalPathReport analyze_critical_path(const FlightLog& log, const AnalyzeOpti
   if (report.predicted_mcm > 0 && report.realized_period_steady > 0)
     report.period_ratio = report.realized_period_steady / report.predicted_mcm;
 
+  // --- observed cross-iteration pipelining depth -----------------------
+  // An iteration is "open" from its first FireBegin to its last FireEnd;
+  // the max number simultaneously open is the realized pipelining depth
+  // (1 = barriered/sequential execution, >1 = overlapped iterations).
+  {
+    std::vector<std::pair<std::int64_t, int>> marks;
+    marks.reserve(2 * f.iter_begin.size());
+    for (const auto& [iter, t0] : f.iter_begin) {
+      auto it = f.iter_complete.find(iter);
+      marks.emplace_back(t0, +1);
+      marks.emplace_back(it != f.iter_complete.end() ? it->second : f.t_end, -1);
+    }
+    // At equal timestamps the -1 sorts first: an iteration completing at
+    // the very instant the next begins is sequential, not overlap.
+    std::sort(marks.begin(), marks.end());
+    std::int64_t open = 0;
+    for (const auto& [t, d] : marks) {
+      open += d;
+      report.pipelined_iterations_max = std::max(report.pipelined_iterations_max, open);
+    }
+  }
+
   // --- backward-tiling critical-path walk ------------------------------
   //
   // Invariant: every emitted segment's top equals the previous cursor
@@ -443,6 +470,7 @@ std::string CriticalPathReport::to_json() const {
   out += ",\"cp_comm\":" + std::to_string(cp_comm);
   out += ",\"cp_idle\":" + std::to_string(cp_idle);
   out += ",\"iterations_observed\":" + std::to_string(iterations_observed);
+  out += ",\"pipelined_iterations_max\":" + std::to_string(pipelined_iterations_max);
   out += ",\"realized_period_avg\":";
   append_double(out, realized_period_avg);
   out += ",\"realized_period_steady\":";
@@ -589,6 +617,9 @@ void CriticalPathReport::publish_metrics(MetricRegistry& registry) const {
       static_cast<double>(dropped));
   set("spi_critpath_iterations", "Graph iterations observed in the event stream",
       static_cast<double>(iterations_observed));
+  set("spi_critpath_pipelined_iterations_max",
+      "Max iterations simultaneously in flight (realized pipelining depth)",
+      static_cast<double>(pipelined_iterations_max));
   set("spi_critpath_realized_period_avg", "Mean realized iteration period",
       realized_period_avg);
   set("spi_critpath_realized_period_steady",

@@ -110,6 +110,12 @@ struct CriticalPathReport {
   double realized_period_steady = 0.0;
   std::int64_t iterations_observed = 0;
 
+  /// Maximum number of iterations simultaneously "open" (between an
+  /// iteration's first FireBegin and its last FireEnd): the realized
+  /// cross-iteration pipelining depth. 1 = barriered/sequential; >1 =
+  /// the free-running workers actually overlapped iterations.
+  std::int64_t pipelined_iterations_max = 0;
+
   /// Predicted bound echoed from AnalyzeOptions (already scaled into
   /// the log's unit); 0 = unknown.
   double predicted_mcm = 0.0;

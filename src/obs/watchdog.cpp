@@ -1,5 +1,6 @@
 #include "obs/watchdog.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 
@@ -24,6 +25,7 @@ void append_worker_json(std::string& out, const WorkerSnapshot& w) {
   out += "{\"proc\":" + std::to_string(w.proc);
   out += ",\"epoch\":" + std::to_string(w.epoch);
   out += ",\"iteration\":" + std::to_string(w.iteration);
+  out += ",\"completed\":" + std::to_string(w.completed);
   out += ",\"step\":" + std::to_string(w.step);
   out += ",\"actor\":" + std::to_string(w.actor);
   out += ",\"waiting_edge\":" + std::to_string(w.waiting_edge);
@@ -42,6 +44,9 @@ std::string StallReport::to_json() const {
   out += ",\"actor_name\":\"" + detail::json_escaped(actor_name);
   out += "\",\"window_ms\":" + std::to_string(window_ms);
   out += ",\"stalled_ms\":" + std::to_string(stalled_ms);
+  out += ",\"iteration_min\":" + std::to_string(iteration_min);
+  out += ",\"iteration_max\":" + std::to_string(iteration_max);
+  out += ",\"inflight_iterations\":" + std::to_string(inflight_iterations);
   out += ",\"message\":\"" + detail::json_escaped(message);
   out += "\",\"workers\":[";
   for (std::size_t i = 0; i < workers.size(); ++i) {
@@ -132,6 +137,18 @@ StallReport ProgressWatchdog::classify(const std::vector<WorkerSnapshot>& worker
     return report;
   }
 
+  // Iteration spread across the live workers: under cross-iteration
+  // pipelining a healthy run keeps workers on *different* iterations, so
+  // the spread is context for the diagnosis, never evidence of a stall
+  // by itself (only frozen epochs are).
+  report.iteration_min = live.front()->iteration;
+  report.iteration_max = live.front()->iteration;
+  for (const WorkerSnapshot* w : live) {
+    report.iteration_min = std::min(report.iteration_min, w->iteration);
+    report.iteration_max = std::max(report.iteration_max, w->iteration);
+  }
+  report.inflight_iterations = report.iteration_max - report.iteration_min + 1;
+
   // A worker inside a compute function (an actor is set, no channel op
   // in flight) dominates the diagnosis: everyone else is back-pressure
   // downstream/upstream of it.
@@ -181,6 +198,10 @@ StallReport ProgressWatchdog::classify(const std::vector<WorkerSnapshot>& worker
                      "ms; workers are running but no firing completes";
   }
   report.classification = to_string(report.kind);
+  if (report.inflight_iterations > 1)
+    report.message += "; " + std::to_string(report.inflight_iterations) +
+                      " iterations in flight [" + std::to_string(report.iteration_min) +
+                      ".." + std::to_string(report.iteration_max) + "]";
   // The classification leads the message so log lines, StallError
   // what() and /healthz verdicts all name the verdict verbatim.
   report.message = report.classification + (": " + report.message);

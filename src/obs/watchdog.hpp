@@ -49,6 +49,7 @@ struct WorkerSnapshot {
   std::int32_t proc = 0;
   std::uint64_t epoch = 0;        ///< firings completed (heartbeat)
   std::int64_t iteration = 0;     ///< graph iteration being executed
+  std::int64_t completed = 0;     ///< graph iterations fully completed
   std::int32_t step = -1;         ///< index into the proc's firing program
   std::int32_t actor = -1;        ///< actor of the current firing (-1 between firings)
   std::int32_t waiting_edge = -1; ///< edge id of the channel op in progress (-1: none)
@@ -72,6 +73,13 @@ struct StallReport {
   std::string actor_name;           ///< resolved actor name, "" if none
   std::int64_t window_ms = 0;       ///< configured no-progress window
   std::int64_t stalled_ms = 0;      ///< measured time since the last progress
+  /// Iteration spread across the live workers at detection — under
+  /// cross-iteration pipelining the stalled workers are legitimately on
+  /// *different* iterations, and the spread tells the operator how deep
+  /// the overlapped window was when it wedged.
+  std::int64_t iteration_min = 0;   ///< lowest live-worker iteration
+  std::int64_t iteration_max = 0;   ///< highest live-worker iteration
+  std::int64_t inflight_iterations = 0;  ///< iteration_max - iteration_min + 1 (0: no live workers)
   std::string message;              ///< one-line human summary
   std::vector<WorkerSnapshot> workers;  ///< per-worker state at detection
 

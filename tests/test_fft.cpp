@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dsp/kernels.hpp"
 #include "dsp/rng.hpp"
 
 namespace spi::dsp {
@@ -117,5 +118,58 @@ TEST(PowerSpectrum, PadsAndSquares) {
   for (double p : power) EXPECT_NEAR(p, 4.0, 1e-9);  // |FFT of impulse 2|^2
 }
 
+
+/// Restores the default (vectorized) kernel path on scope exit so a
+/// failing differential test cannot leak the scalar override into the
+/// rest of the binary.
+struct ScalarKernelGuard {
+  ScalarKernelGuard() { set_scalar_kernels(true); }
+  ~ScalarKernelGuard() { set_scalar_kernels(false); }
+};
+
+// The cached-twiddle SoA path is the one documented ULP exception to
+// the bit-identity rule: its direct cos/sin twiddles differ from the
+// scalar reference's iterated w *= wlen recurrence by a few ULP. The
+// differential bound here (1e-10 on unit-magnitude inputs up to
+// n=1024) is far tighter than any consumer tolerance in the suite.
+TEST(Fft, VectorizedMatchesScalarReferenceWithinUlp) {
+  Rng rng(29);
+  for (const std::size_t n : {2u, 8u, 64u, 256u, 1024u}) {
+    std::vector<Complex> x(n);
+    for (auto& v : x) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+    std::vector<Complex> scalar_fwd, scalar_inv;
+    {
+      ScalarKernelGuard scalar;
+      scalar_fwd = fft(x);
+      scalar_inv = ifft(scalar_fwd);
+    }
+    const auto vec_fwd = fft(x);
+    const auto vec_inv = ifft(vec_fwd);
+    expect_close(vec_fwd, scalar_fwd, 1e-10);
+    expect_close(vec_inv, scalar_inv, 1e-10);
+  }
+}
+
+TEST(Fft, PlanCacheIsBoundedAndReused) {
+  fft_plan_cache_clear();
+  EXPECT_EQ(fft_plan_cache_size(), 0u);
+
+  Rng rng(31);
+  std::vector<Complex> x(64);
+  for (auto& v : x) v = Complex(rng.uniform(-1, 1), 0);
+  (void)fft(x);
+  const std::size_t after_first = fft_plan_cache_size();
+  EXPECT_GE(after_first, 1u);
+  (void)fft(x);       // same size: the cached plan is reused,
+  (void)ifft(fft(x)); // forward and inverse share one table
+  EXPECT_EQ(fft_plan_cache_size(), after_first);
+
+  for (std::size_t n = 2; n <= 4096; n *= 2) (void)fft(std::vector<Complex>(n));
+  EXPECT_LE(fft_plan_cache_size(), 32u);  // the documented bound
+
+  fft_plan_cache_clear();
+  EXPECT_EQ(fft_plan_cache_size(), 0u);
+}
 }  // namespace
 }  // namespace spi::dsp

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "dsp/kernels.hpp"
 #include "dsp/rng.hpp"
 
 namespace spi::dsp {
@@ -104,5 +105,48 @@ TEST(FirState, ResetClearsHistory) {
   EXPECT_THROW(FirState(std::vector<double>{}), std::invalid_argument);
 }
 
+
+/// Restores the default (vectorized) kernel path on scope exit so a
+/// failing differential test cannot leak the scalar override into the
+/// rest of the binary.
+struct ScalarKernelGuard {
+  ScalarKernelGuard() { set_scalar_kernels(true); }
+  ~ScalarKernelGuard() { set_scalar_kernels(false); }
+};
+
+// The tap-outer vectorized path performs the same additions in the
+// same k-ascending order per output sample as the scalar reference, so
+// the streams must match bit for bit — including across uneven blocks
+// where the history buffer is in play.
+TEST(Fir, VectorizedMatchesScalarReferenceBitExact) {
+  Rng rng(41);
+  std::vector<double> taps(31), x(997);
+  for (auto& t : taps) t = rng.uniform(-1, 1);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  std::vector<double> scalar_whole, scalar_blocked;
+  {
+    ScalarKernelGuard scalar;
+    scalar_whole = fir_filter(x, taps);
+    FirState state(taps);
+    for (std::size_t pos = 0; pos < x.size();) {
+      const std::size_t size = std::min<std::size_t>(113, x.size() - pos);
+      const auto chunk = state.process(std::span(x).subspan(pos, size));
+      scalar_blocked.insert(scalar_blocked.end(), chunk.begin(), chunk.end());
+      pos += size;
+    }
+  }
+
+  EXPECT_EQ(fir_filter(x, taps), scalar_whole);
+  FirState state(taps);
+  std::vector<double> blocked;
+  for (std::size_t pos = 0; pos < x.size();) {
+    const std::size_t size = std::min<std::size_t>(113, x.size() - pos);
+    const auto chunk = state.process(std::span(x).subspan(pos, size));
+    blocked.insert(blocked.end(), chunk.begin(), chunk.end());
+    pos += size;
+  }
+  EXPECT_EQ(blocked, scalar_blocked);
+}
 }  // namespace
 }  // namespace spi::dsp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dsp/kernels.hpp"
 #include "dsp/rng.hpp"
 
 namespace spi::dsp {
@@ -100,5 +101,33 @@ TEST_P(LuProperty, RandomSystemsSolveToResidualZero) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LuProperty,
                          ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
 
+
+/// Restores the default (vectorized) kernel path on scope exit so a
+/// failing differential test cannot leak the scalar override into the
+/// rest of the binary.
+struct ScalarKernelGuard {
+  ScalarKernelGuard() { set_scalar_kernels(true); }
+  ~ScalarKernelGuard() { set_scalar_kernels(false); }
+};
+
+// The 4-row-blocked matvec keeps each row's accumulation order
+// unchanged (independent accumulators, one per row), so the result is
+// bit-identical to the scalar reference — including the remainder rows
+// when the row count is not a multiple of the block.
+TEST(Matrix, VectorizedMultiplyMatchesScalarBitExact) {
+  Rng rng(43);
+  Matrix m(37, 29);  // 37 % 4 != 0: exercises the remainder rows
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) m.at(r, c) = rng.uniform(-1, 1);
+  std::vector<double> x(m.cols());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  std::vector<double> scalar_y;
+  {
+    ScalarKernelGuard scalar;
+    scalar_y = m.multiply(x);
+  }
+  EXPECT_EQ(m.multiply(x), scalar_y);
+}
 }  // namespace
 }  // namespace spi::dsp

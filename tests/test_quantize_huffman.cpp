@@ -2,6 +2,7 @@
 
 #include "dsp/huffman.hpp"
 #include "dsp/quantize.hpp"
+#include "dsp/kernels.hpp"
 #include "dsp/rng.hpp"
 
 namespace spi::dsp {
@@ -195,5 +196,62 @@ TEST_P(HuffmanProperty, RandomRoundTripsAndOptimality) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanProperty, ::testing::Values(2, 4, 8, 16, 32, 64, 128));
 
+
+/// Restores the default (vectorized) kernel path on scope exit so a
+/// failing differential test cannot leak the scalar override into the
+/// rest of the binary.
+struct ScalarKernelGuard {
+  ScalarKernelGuard() { set_scalar_kernels(true); }
+  ~ScalarKernelGuard() { set_scalar_kernels(false); }
+};
+
+// The word-at-a-time bit packer must produce the byte-identical stream
+// of the equivalent bit-by-bit put_bits sequence, for codeword
+// sequences and for raw put_bits64 calls at every alignment.
+TEST(Huffman, VectorizedEncodeMatchesScalarByteExact) {
+  Rng rng(47);
+  const std::vector<std::uint64_t> freq{1000, 300, 90, 27, 8, 2, 1};
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  std::vector<std::size_t> symbols(8192);
+  for (auto& s : symbols)
+    s = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(freq.size()) - 1));
+
+  BitWriter scalar_out;
+  {
+    ScalarKernelGuard scalar;
+    code.encode(symbols, scalar_out);
+  }
+  BitWriter vectorized_out;
+  code.encode(symbols, vectorized_out);
+  EXPECT_EQ(vectorized_out.bit_count(), scalar_out.bit_count());
+  EXPECT_EQ(vectorized_out.bytes(), scalar_out.bytes());
+
+  BitReader r(vectorized_out.bytes(), vectorized_out.bit_count());
+  EXPECT_EQ(code.decode(r, symbols.size()), symbols);
+}
+
+TEST(BitStream, PutBits64MatchesPutBitsStream) {
+  Rng rng(53);
+  std::vector<std::pair<std::uint32_t, int>> chunks;
+  for (int i = 0; i < 500; ++i) {
+    const int count = static_cast<int>(rng.uniform_int(1, 32));
+    const auto value = static_cast<std::uint32_t>(rng.uniform_int(0, (1LL << count) - 1));
+    chunks.emplace_back(value, count);
+  }
+
+  BitWriter bitwise, wordwise;
+  for (const auto& [value, count] : chunks) {
+    ScalarKernelGuard scalar;  // force the bit-by-bit reference path
+    bitwise.put_bits(value, count);
+  }
+  for (const auto& [value, count] : chunks) wordwise.put_bits64(value, count);
+  EXPECT_EQ(wordwise.bytes(), bitwise.bytes());
+  EXPECT_EQ(wordwise.bit_count(), bitwise.bit_count());
+
+  // The 64-bit packer enforces the same contract as put_bits.
+  BitWriter w;
+  EXPECT_THROW(w.put_bits64(0, -1), std::invalid_argument);
+  EXPECT_THROW(w.put_bits64(0, 65), std::invalid_argument);
+}
 }  // namespace
 }  // namespace spi::dsp

@@ -365,6 +365,32 @@ int main(int argc, char** argv) {
 
     const spi::obs::CriticalPathReport report = spi::obs::analyze_critical_path(log, options);
 
+    // Headline how close the run came to the schedule-theoretic floor,
+    // and whether cross-iteration pipelining was actually realized
+    // (depth 1 = barriered / strictly iteration-sequential workers).
+    const double realized = report.realized_period_steady > 0.0
+                                ? report.realized_period_steady
+                                : report.realized_period_avg;
+    if (report.pipelined_iterations_max > 1) {
+      std::fprintf(stderr,
+                   "spi_trace_analyze: pipelined execution, up to %lld iterations in "
+                   "flight; realized steady period %.6g\n",
+                   static_cast<long long>(report.pipelined_iterations_max), realized);
+    } else {
+      std::fprintf(stderr,
+                   "spi_trace_analyze: barriered execution (1 iteration in flight); "
+                   "realized steady period %.6g\n",
+                   realized);
+    }
+    if (report.period_ratio > 0.0) {
+      std::fprintf(stderr,
+                   "spi_trace_analyze: realized/MCM = %.4g (predicted MCM %.6g)%s\n",
+                   report.period_ratio, report.predicted_mcm,
+                   report.period_ratio <= 1.1
+                       ? " — within 10% of the bound"
+                       : "");
+    }
+
     if (!chrome_out.empty() && !write_file(chrome_out, report.to_chrome_trace_json(log)))
       return 1;
 
